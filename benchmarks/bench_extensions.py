@@ -1,0 +1,38 @@
+"""Benchmarks for the extensions beyond the paper's evaluation.
+
+* landing vs internal pages (the paper's §4.3 limitation, quantified);
+* the validation scorecard (every encoded paper claim re-checked);
+* full-report generation.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.analysis.internal import compare_landing_vs_internal
+from repro.analysis.report import generate_report
+from repro.analysis.validation import validate_study
+
+
+def test_internal_pages_comparison(benchmark, study):
+    """Landing-page vs internal-page redundancy on the same sites."""
+
+    def run():
+        return compare_landing_vs_internal(study.ecosystem, top=60, seed=5)
+
+    comparison = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(comparison.render())
+    assert comparison.landing.h2_sites > 0
+    assert comparison.internal.h2_sites > 0
+
+
+def test_validation_scorecard(benchmark, study, warm_dns_study):
+    """All encoded paper claims checked against the bench study."""
+    scorecard = benchmark(validate_study, study)
+    emit(scorecard.render())
+    assert scorecard.all_passed, scorecard.render()
+
+
+def test_full_report_generation(benchmark, study, warm_dns_study):
+    """Rendering the complete Markdown evaluation report."""
+    report = benchmark(generate_report, study)
+    assert "Table 12" in report

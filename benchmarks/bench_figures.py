@@ -1,0 +1,40 @@
+"""Benchmarks regenerating the paper's figures.
+
+* Figure 2 — 1-CDF of redundant connections per website (three series).
+* Figure 3 — DNS resolver overlap heatmap over simulated days.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.analysis.figures import figure2, figure3
+from repro.dnsstudy.study import DnsLoadBalancingStudy
+
+
+def test_figure2_redundancy_distribution(benchmark, study):
+    """Figure 2: distribution of redundant connections per website."""
+    figure = benchmark(figure2, study)
+    emit(figure.render(max_x=10, width=40))
+    assert set(figure.series) == {"har-endless", "alexa", "alexa-nofetch"}
+
+
+def test_figure3_resolver_overlap(benchmark, study, warm_dns_study):
+    """Figure 3: per-pair resolver-overlap timelines (render only;
+    the underlying study is measured separately below)."""
+    figure = benchmark(figure3, study)
+    emit(figure.render(max_slots=60))
+    assert figure.classifications()
+
+
+def test_figure3_dns_study_execution(benchmark, study):
+    """The Appendix A.4 measurement itself: 14 resolvers x pairs x
+    6-minute slots over half a simulated day."""
+
+    def run_study():
+        return DnsLoadBalancingStudy(
+            ecosystem=study.ecosystem, duration_s=12 * 3600.0
+        ).run()
+
+    result = benchmark.pedantic(run_study, rounds=3, iterations=1)
+    classes = {t.classification() for t in result.timelines}
+    assert "never" in classes and "sometimes" in classes

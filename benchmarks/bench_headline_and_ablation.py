@@ -1,0 +1,43 @@
+"""Benchmarks for the §5.1 headline numbers and the mitigation ablations."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.ablation import compare_mitigations
+from repro.analysis.headline import headline
+from repro.core.causes import Cause
+
+
+def test_headline_statistics(benchmark, study):
+    """§5.1/§5.3.3 running-text numbers (redundant shares, lifetimes,
+    the 25 % reduction from patching privacy_mode)."""
+    stats = benchmark(headline, study)
+    emit(stats.render())
+    assert stats.cred_connections_without_fetch == 0
+
+
+def test_ablation_privacy_mode(benchmark, study):
+    """§5.3.3: re-aggregate the patched run and verify CRED vanished."""
+
+    def patched_report():
+        return study.dataset("alexa-nofetch").report
+
+    report = benchmark(patched_report)
+    assert report.by_cause[Cause.CRED].connections == 0
+
+
+@pytest.mark.benchmark(group="mitigations")
+def test_ablation_full_mitigation_matrix(benchmark):
+    """Conclusion: measure all four mitigation levers on fresh worlds
+    (Fetch adaptation, coordinated DNS, certificate merging, ORIGIN
+    frames)."""
+
+    def run():
+        return compare_mitigations(seed=7, n_sites=100, top=60)
+
+    comparison = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(comparison.render())
+    assert comparison.reduction("no-fetch-credentials") > 0
+    assert comparison.reduction("coordinated-dns") > 0

@@ -1,0 +1,43 @@
+"""Benchmarks for the performance-impact extension (paper future work)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.perf.congestion import SlowStartModel
+from repro.perf.corpus import corpus_impact
+from repro.perf.whatif import whatif_site
+
+
+def test_corpus_whatif_impact(benchmark, study):
+    """What-if coalescing analysis over the whole Alexa dataset."""
+    dataset = study.dataset("alexa")
+
+    def run():
+        return corpus_impact(dataset, {})
+
+    impact = benchmark(run)
+    emit(impact.render())
+    assert impact.total_connections_saved == (
+        dataset.report.redundant_connections
+    )
+
+
+def test_single_site_whatif(benchmark, study):
+    dataset = study.dataset("alexa")
+    site, classification = max(
+        dataset.classifications.items(),
+        key=lambda item: item[1].redundant_count,
+    )
+
+    result = benchmark(
+        whatif_site, site, classification.records, classification
+    )
+    assert result.connections_saved == classification.redundant_count
+
+
+def test_slow_start_transfer(benchmark):
+    model = SlowStartModel()
+
+    outcome = benchmark(model.transfer, 500_000, rtt_s=0.05,
+                        bandwidth_bps=50e6)
+    assert outcome.rounds >= 1

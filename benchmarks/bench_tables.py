@@ -1,0 +1,79 @@
+"""Benchmarks regenerating every table of the paper (Tables 1-12).
+
+Each benchmark measures producing the table from the classified study
+data and prints the reproduced rows once (compare with the paper's
+tables; see EXPERIMENTS.md for the side-by-side).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis import tables
+
+
+def _bench_table(benchmark, study, table_fn):
+    result = benchmark(table_fn, study)
+    emit(result.render())
+    assert result.rows
+
+
+def test_table1_cause_counts(benchmark, study):
+    """Table 1: causes of redundant connections across all datasets."""
+    _bench_table(benchmark, study, tables.table1)
+
+
+def test_table2_top_ip_origins(benchmark, study):
+    """Table 2: top-4 origins for cause IP with previous connections."""
+    _bench_table(benchmark, study, tables.table2)
+
+
+def test_table3_cert_issuers(benchmark, study):
+    """Table 3: top certificate issuers for cause CERT."""
+    _bench_table(benchmark, study, tables.table3)
+
+
+def test_table4_cert_domains(benchmark, study):
+    """Table 4: top domains for cause CERT with issuers."""
+    _bench_table(benchmark, study, tables.table4)
+
+
+def test_table5_issuer_market_share(benchmark, study):
+    """Table 5: top-10 issuers over all connections (Appendix A.1)."""
+    _bench_table(benchmark, study, tables.table5)
+
+
+def test_table6_ip_ases(benchmark, study):
+    """Table 6: top-10 ASNs for cause IP (Appendix A.2)."""
+    _bench_table(benchmark, study, tables.table6)
+
+
+def test_table7_overlap_causes(benchmark, study):
+    """Table 7: cause counts on the corpora overlap (Appendix A.3)."""
+    _bench_table(benchmark, study, tables.table7)
+
+
+def test_table8_overlap_ip_origins(benchmark, study):
+    """Table 8: top-5 IP origins on the overlap."""
+    _bench_table(benchmark, study, tables.table8)
+
+
+def test_table9_overlap_cert_issuers(benchmark, study):
+    """Table 9: top-5 CERT issuers on the overlap."""
+    _bench_table(benchmark, study, tables.table9)
+
+
+def test_table10_overlap_cert_domains(benchmark, study):
+    """Table 10: top-5 CERT domains on the overlap."""
+    _bench_table(benchmark, study, tables.table10)
+
+
+def test_table11_resolver_fleet(benchmark, study):
+    """Table 11: the DNS resolver fleet."""
+    _bench_table(benchmark, study, tables.table11)
+
+
+def test_table12_top20_ip_domains(benchmark, study):
+    """Table 12: top-20 domains for the IP case."""
+    _bench_table(benchmark, study, tables.table12)

@@ -1,0 +1,38 @@
+"""Shared benchmark fixtures.
+
+One study is built per session and shared by every table/figure bench;
+each bench then measures regenerating its paper artefact from the
+measurement data and prints the artefact once, so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+reproduces the paper's full evaluation output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.study import Study, StudyConfig
+
+#: Scale of the benchmark corpus.  ~300 site universe: large enough for
+#: every table to have its heavy hitters, small enough to build in
+#: seconds.
+BENCH_CONFIG = StudyConfig(seed=7, n_sites=300, dns_study_days=0.5)
+
+
+@pytest.fixture(scope="session")
+def study() -> Study:
+    return Study.run(BENCH_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def warm_dns_study(study: Study):
+    """Force the lazy DNS study once so figure benches measure rendering."""
+    return study.dns_study
+
+
+def emit(artifact: str) -> None:
+    """Print a rendered artefact beneath the benchmark output."""
+    print()
+    print(artifact)

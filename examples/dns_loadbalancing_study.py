@@ -1,0 +1,42 @@
+"""The Appendix A.4 DNS study: who could coalesce, and when?
+
+Resolves the paper's flagship domain pairs every six simulated minutes
+for two simulated days through the 14-resolver fleet of Table 11 and
+renders the Figure 3 overlap heatmap.  Pairs whose answers never overlap
+(GA/GTM, Facebook, wp.com) can never be coalesced by HTTP/2 Connection
+Reuse; fluctuating pairs (gstatic, google ads) coalesce only when the
+load balancers happen to agree.
+
+Run:  python examples/dns_loadbalancing_study.py
+"""
+
+from __future__ import annotations
+
+from repro import DnsLoadBalancingStudy, Ecosystem, EcosystemConfig
+from repro.analysis.figures import Figure3Result
+
+
+def main() -> None:
+    ecosystem = Ecosystem.generate(EcosystemConfig(seed=7, n_sites=50))
+    study = DnsLoadBalancingStudy(
+        ecosystem=ecosystem, duration_s=2 * 24 * 3600.0
+    )
+    print("Resolving domain pairs through 14 resolvers over 2 sim-days...")
+    result = study.run()
+
+    print()
+    print(Figure3Result(study=result).render(max_slots=72))
+
+    print("\nSummary (share of resolver-slots with overlapping answers):")
+    for timeline in sorted(result.timelines, key=lambda t: -t.mean_overlap()):
+        print(f"  {timeline.mean_overlap():6.1%}  {timeline.pair.domain} "
+              f"/ prev: {timeline.pair.prev}  [{timeline.classification()}]")
+
+    never = [t for t in result.timelines if t.classification() == "never"]
+    print(f"\n{len(never)} of {len(result.timelines)} pairs can NEVER be "
+          "coalesced from any vantage point — their redundant connections "
+          "are structural, exactly the paper's cause-IP finding.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""The HTTP Archive pipeline end to end (§4.2.1 / §4.3).
+
+Crawls a slice of the synthetic web HTTP-Archive-style (three loads per
+site, median HAR kept, realistic logging inconsistencies injected),
+then sanitises the HARs with the paper's filter cascade and compares the
+endless and immediate lifetime models — the paper's upper/lower bounds
+on redundancy.
+
+Run:  python examples/har_pipeline_demo.py
+"""
+
+from __future__ import annotations
+
+from repro import Ecosystem, EcosystemConfig, HttpArchiveCrawler, LifetimeModel
+from repro.har.reader import read_sessions
+from repro.util.formatting import align_table, pct
+
+
+def main() -> None:
+    ecosystem = Ecosystem.generate(EcosystemConfig(seed=7, n_sites=150))
+    crawler = HttpArchiveCrawler(ecosystem=ecosystem, seed=11)
+    domains = ecosystem.httparchive_sample(0.8, seed=1)
+
+    print(f"Crawling {len(domains)} sites (3 loads each, median HAR)...")
+    corpus = crawler.crawl(domains)
+    print(f"  {len(corpus.hars)} HARs, {len(corpus.unreachable)} unreachable")
+
+    # The §4.3 sanitiser tally.
+    total = read_sessions(next(iter(corpus.hars.values()))).stats
+    for har in list(corpus.hars.values())[1:]:
+        total.merge(read_sessions(har).stats)
+    print("\nFilter cascade (paper §4.3):")
+    rows = [
+        ["socket id 0 (HTTP/3)", str(total.socket_id_zero)],
+        ["missing IP", str(total.missing_ip)],
+        ["inconsistent IP", str(total.inconsistent_ip)],
+        ["invalid method", str(total.invalid_method)],
+        ["invalid version", str(total.invalid_version)],
+        ["invalid status", str(total.invalid_status)],
+        ["HTTP/1 or HTTP/3", str(total.http1_or_h3)],
+        ["missing certificate", str(total.missing_certificate)],
+        ["accepted HTTP/2 requests", str(total.accepted)],
+    ]
+    print(align_table(rows, header=["category", "requests"]))
+
+    print("\nClassification under both lifetime models:")
+    endless = corpus.classify(model=LifetimeModel.ENDLESS, asdb=ecosystem.asdb)
+    immediate = corpus.classify(model=LifetimeModel.IMMEDIATE,
+                                asdb=ecosystem.asdb)
+    rows = []
+    for dataset in (endless, immediate):
+        report = dataset.report
+        rows.append([
+            dataset.model.value,
+            str(report.redundant_sites),
+            pct(report.redundant_sites, report.h2_sites),
+            str(report.redundant_connections),
+            pct(report.redundant_connections, report.h2_connections),
+        ])
+    print(align_table(rows, header=["model", "red. sites", "site %",
+                                    "red. conns", "conn %"]))
+    print(
+        "\nEndless (upper bound) vs immediate (lower bound) brackets the "
+        "paper's 36%-72% headline range for the HTTP Archive."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Measure the paper's proposed mitigations.
+
+The conclusion of the paper names the levers; this example quantifies
+each of them on identical synthetic worlds:
+
+* browsers dropping the Fetch credentials partition (removes CRED),
+* services coordinating DNS answers for coalescable domains
+  (collapses the dominant IP cause for adopting parties),
+* operators merging per-shard certificates (removes CERT),
+* servers sending RFC 8336 ORIGIN frames + browsers honouring them.
+
+Run:  python examples/mitigation_ablations.py
+"""
+
+from __future__ import annotations
+
+from repro import compare_mitigations
+from repro.core import Cause
+
+
+def main() -> None:
+    print("Measuring baseline + 4 mitigations (5 crawls)...")
+    comparison = compare_mitigations(seed=7, n_sites=200, top=120)
+
+    print()
+    print(comparison.render())
+
+    print("\nPer-cause connections:")
+    header = f"  {'variant':<22}{'IP':>6}{'CRED':>6}{'CERT':>6}{'total':>7}"
+    print(header)
+    baseline = comparison.baseline.report
+    rows = [("baseline", baseline)]
+    rows += [(name, outcome.report) for name, outcome in
+             comparison.outcomes.items()]
+    for name, report in rows:
+        print(f"  {name:<22}"
+              f"{report.by_cause[Cause.IP].connections:>6}"
+              f"{report.by_cause[Cause.CRED].connections:>6}"
+              f"{report.by_cause[Cause.CERT].connections:>6}"
+              f"{report.redundant_connections:>7}")
+
+    print(
+        "\nNote how each lever removes (almost exactly) its own cause — "
+        "and how coordinated DNS, attacking the dominant IP cause, buys "
+        "the largest single reduction, matching the paper's takeaways."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+"""repro — reproduction of "Sharding and HTTP/2 Connection Reuse Revisited"
+(Sander, Blöcher, Wehrle, Rüth — IMC '21).
+
+Quickstart::
+
+    from repro import Study, StudyConfig, table1, headline
+
+    study = Study.run(StudyConfig(n_sites=400))
+    print(table1(study).render())
+    print(headline(study).render())
+
+The public surface re-exports the layers a downstream user needs:
+
+* :mod:`repro.web` — the synthetic web ecosystem (substitute for the
+  live web; see DESIGN.md);
+* :mod:`repro.browser` — the Chromium-like browser model whose
+  connection decisions the study measures;
+* :mod:`repro.core` — the Connection Reuse predicate and the §4.1
+  redundancy classifier (the paper's core contribution);
+* :mod:`repro.crawl` — the HTTP Archive and Alexa measurement
+  harnesses;
+* :mod:`repro.analysis` — the study driver plus renderers for every
+  table and figure of the paper.
+"""
+
+from repro.analysis.internal import (
+    InternalPagesComparison,
+    compare_landing_vs_internal,
+)
+from repro.analysis.report import generate_report, write_report
+from repro.analysis.validation import Scorecard, validate_study
+from repro.analysis import (
+    ALL_TABLES,
+    Figure2Result,
+    Figure3Result,
+    HeadlineStats,
+    MitigationComparison,
+    Study,
+    StudyConfig,
+    TableResult,
+    compare_mitigations,
+    figure2,
+    figure3,
+    headline,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    table8,
+    table9,
+    table10,
+    table11,
+    table12,
+)
+from repro.browser import BrowserConfig, ChromiumBrowser, ConnectionPool, Visit
+from repro.core import (
+    Cause,
+    CorpusReport,
+    LifetimeModel,
+    SessionRecord,
+    SiteClassification,
+    classify_site,
+    could_reuse,
+    records_from_visit,
+)
+from repro.crawl import AlexaCrawler, HttpArchiveCrawler
+from repro.dnsstudy import DnsLoadBalancingStudy
+from repro.perf import (
+    CorpusImpact,
+    PathModel,
+    SlowStartModel,
+    WhatIfResult,
+    corpus_impact,
+    whatif_site,
+)
+from repro.web import Ecosystem, EcosystemConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # analysis
+    "ALL_TABLES", "Figure2Result", "Figure3Result", "HeadlineStats",
+    "MitigationComparison", "Study", "StudyConfig", "TableResult",
+    "compare_mitigations", "figure2", "figure3", "headline",
+    "table1", "table2", "table3", "table4", "table5", "table6",
+    "table7", "table8", "table9", "table10", "table11", "table12",
+    # browser
+    "BrowserConfig", "ChromiumBrowser", "ConnectionPool", "Visit",
+    # core
+    "Cause", "CorpusReport", "LifetimeModel", "SessionRecord",
+    "SiteClassification", "classify_site", "could_reuse",
+    "records_from_visit",
+    # crawl / dns study / web
+    "AlexaCrawler", "HttpArchiveCrawler", "DnsLoadBalancingStudy",
+    "Ecosystem", "EcosystemConfig",
+    # extensions
+    "InternalPagesComparison", "compare_landing_vs_internal",
+    "generate_report", "write_report", "Scorecard", "validate_study",
+    "CorpusImpact", "PathModel", "SlowStartModel", "WhatIfResult",
+    "corpus_impact", "whatif_site",
+]

@@ -1,0 +1,55 @@
+"""Analysis layer: the study driver plus every table/figure renderer."""
+
+from repro.analysis.ablation import (
+    MitigationComparison,
+    MitigationOutcome,
+    compare_mitigations,
+)
+from repro.analysis.figures import Figure2Result, Figure3Result, figure2, figure3
+from repro.analysis.headline import HeadlineStats, headline
+from repro.analysis.study import DATASET_LABELS, Study, StudyConfig
+from repro.analysis.tables import (
+    ALL_TABLES,
+    TableResult,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    table8,
+    table9,
+    table10,
+    table11,
+    table12,
+)
+
+__all__ = [
+    "MitigationComparison",
+    "MitigationOutcome",
+    "compare_mitigations",
+    "Figure2Result",
+    "Figure3Result",
+    "figure2",
+    "figure3",
+    "HeadlineStats",
+    "headline",
+    "DATASET_LABELS",
+    "Study",
+    "StudyConfig",
+    "ALL_TABLES",
+    "TableResult",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "table8",
+    "table9",
+    "table10",
+    "table11",
+    "table12",
+]

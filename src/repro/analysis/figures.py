@@ -1,0 +1,115 @@
+"""Figure renderers (Figures 2 and 3).
+
+Figures are returned as data (for tests and notebooks) plus an ASCII
+rendering (for terminals and EXPERIMENTS.md) — no plotting dependency.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+from repro.analysis.study import DATASET_LABELS, Study
+from repro.dnsstudy.study import DnsStudyResult
+
+__all__ = ["Figure2Result", "figure2", "Figure3Result", "figure3"]
+
+
+@dataclass
+class Figure2Result:
+    """1-CDF of redundant connections per website, per dataset."""
+
+    series: dict[str, list[tuple[int, float]]] = field(default_factory=dict)
+
+    def share_with_at_least(self, dataset: str, x: int) -> float:
+        """P(redundant connections >= x) for one dataset."""
+        shares = dict(self.series[dataset])
+        if x in shares:
+            return shares[x]
+        if not shares or x > max(shares):
+            return 0.0
+        return 1.0  # x below the support starts at certainty
+
+    def render(self, *, max_x: int = 15, width: int = 50) -> str:
+        """ASCII rendering of the paper's Figure 2."""
+        lines = ["Figure 2: Distribution of redundant connections per website",
+                 "          (share of sites with >= x redundant connections)"]
+        for name in self.series:
+            label = DATASET_LABELS.get(name, name)
+            lines.append(f"  {label}")
+            for x in range(0, max_x + 1):
+                share = self.share_with_at_least(name, x)
+                bar = "#" * int(round(share * width))
+                lines.append(f"    >= {x:>2}: {share:6.2%} |{bar}")
+        return "\n".join(lines)
+
+
+def figure2(study: Study, *, datasets: tuple[str, ...] | None = None) -> Figure2Result:
+    """Compute the Figure 2 series.
+
+    The paper plots HTTP Archive Endless, Alexa Top 100k, and Alexa
+    without the Fetch Standard.
+    """
+    keys = datasets or ("har-endless", "alexa", "alexa-nofetch")
+    result = Figure2Result()
+    for key in keys:
+        report = study.dataset(key).report
+        result.series[key] = ccdf_complement(report.redundant_per_site)
+    return result
+
+
+def ccdf_complement(values: list[int]) -> list[tuple[int, float]]:
+    """``P(X >= x)`` evaluated at every integer from 0 to max(values).
+
+    Unlike :func:`repro.util.stats.ccdf` (support points only), this
+    fills gaps, which makes the 'share of sites with >= x redundant
+    connections' reads of §5.1 straightforward.
+    """
+    if not values:
+        return []
+    ordered = sorted(values)
+    total = len(ordered)
+    return [
+        (x, (total - bisect.bisect_left(ordered, x)) / total)
+        for x in range(0, max(ordered) + 1)
+    ]
+
+
+@dataclass
+class Figure3Result:
+    """Per-pair resolver-overlap timelines (the Appendix A.4 heatmap)."""
+
+    study: DnsStudyResult
+
+    def render(self, *, max_slots: int = 60) -> str:
+        """ASCII heatmap: one row per pair, one column per time slot."""
+        shades = " .:-=+*#"
+        lines = [
+            "Figure 3: Number of DNS vantage points where domains overlapped",
+            f"          ({self.study.resolver_count} resolvers, "
+            f"{self.study.interval_s:.0f}s slots; darker = more overlap)",
+        ]
+        for timeline in self.study.timelines:
+            points = timeline.points[:max_slots]
+            cells = []
+            for _, count in points:
+                index = min(
+                    len(shades) - 1,
+                    round(count / max(1, self.study.resolver_count) * (len(shades) - 1)),
+                )
+                cells.append(shades[index])
+            label = f"{timeline.pair.domain} / prev: {timeline.pair.prev}"
+            lines.append(f"  [{''.join(cells)}] {label} ({timeline.classification()})")
+        return "\n".join(lines)
+
+    def classifications(self) -> dict[str, str]:
+        """pair label → never/sometimes/always."""
+        return {
+            timeline.pair.label(): timeline.classification()
+            for timeline in self.study.timelines
+        }
+
+
+def figure3(study: Study) -> Figure3Result:
+    """Run (or reuse) the DNS study and wrap it for rendering."""
+    return Figure3Result(study=study.dns_study)

@@ -1,0 +1,112 @@
+"""The §5.1 / §5.3.3 headline statistics.
+
+The numbers quoted in the paper's running text rather than in tables:
+
+* share of HTTP/2 sites with at least one redundant connection
+  (76 % HAR endless / 38 % immediate / 95 % Alexa);
+* "around 50 % of all sites open at least two [HAR] / six [Alexa]
+  redundant connections" (Figure 2 reads);
+* connection lifetimes: most connections outlive the test, and those
+  that close early have a median lifetime of 122.2 s;
+* the CRED ablation: patching privacy_mode removes the CRED cause
+  entirely and cuts total redundant connections by ~25 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.figures import ccdf_complement
+from repro.analysis.study import Study
+from repro.core.causes import Cause
+from repro.util.stats import median
+
+__all__ = ["HeadlineStats", "headline"]
+
+
+@dataclass(frozen=True)
+class HeadlineStats:
+    """All §5.1/§5.3.3 text numbers in one bundle."""
+
+    har_endless_redundant_share: float
+    har_immediate_redundant_share: float
+    alexa_redundant_share: float
+    alexa_endless_redundant_share: float
+    har_share_two_or_more: float
+    alexa_share_six_or_more: float
+    closed_connection_share: float
+    median_closed_lifetime_s: float | None
+    cred_connections_with_fetch: int
+    cred_connections_without_fetch: int
+    redundant_reduction_share: float
+
+    def render(self) -> str:
+        lines = [
+            "Headline statistics (§5.1, §5.3.3)",
+            f"  HTTP Archive sites with redundant connections (endless):  "
+            f"{self.har_endless_redundant_share:.0%}",
+            f"  HTTP Archive sites with redundant connections (immediate): "
+            f"{self.har_immediate_redundant_share:.0%}",
+            f"  Alexa sites with redundant connections:                    "
+            f"{self.alexa_redundant_share:.0%}",
+            f"  Alexa sites, endless assumption:                           "
+            f"{self.alexa_endless_redundant_share:.0%}",
+            f"  HAR sites with >= 2 redundant connections:                 "
+            f"{self.har_share_two_or_more:.0%}",
+            f"  Alexa sites with >= 6 redundant connections:               "
+            f"{self.alexa_share_six_or_more:.0%}",
+            f"  Share of connections closing before test end:              "
+            f"{self.closed_connection_share:.1%}",
+            f"  Median lifetime of early-closed connections:               "
+            + (
+                f"{self.median_closed_lifetime_s:.1f} s"
+                if self.median_closed_lifetime_s is not None
+                else "n/a"
+            ),
+            f"  CRED connections, Fetch-compliant run:                     "
+            f"{self.cred_connections_with_fetch}",
+            f"  CRED connections, privacy-mode-patched run:                "
+            f"{self.cred_connections_without_fetch}",
+            f"  Redundant-connection reduction from the patch:             "
+            f"{self.redundant_reduction_share:.0%}",
+        ]
+        return "\n".join(lines)
+
+
+def _share_at_least(values: list[int], x: int) -> float:
+    for value, share in ccdf_complement(values):
+        if value == x:
+            return share
+    return 0.0
+
+
+def headline(study: Study) -> HeadlineStats:
+    """Compute every running-text number from the study's datasets."""
+    har_endless = study.dataset("har-endless").report
+    har_immediate = study.dataset("har-immediate").report
+    alexa = study.dataset("alexa").report
+    alexa_endless = study.dataset("alexa-endless").report
+    nofetch = study.dataset("alexa-nofetch").report
+
+    closed = study.early_closed_lifetimes()
+    total_h2 = alexa.h2_connections
+
+    reduction = 0.0
+    if alexa.redundant_connections:
+        reduction = 1.0 - (
+            nofetch.redundant_connections / alexa.redundant_connections
+        )
+
+    return HeadlineStats(
+        har_endless_redundant_share=har_endless.redundant_site_share(),
+        har_immediate_redundant_share=har_immediate.redundant_site_share(),
+        alexa_redundant_share=alexa.redundant_site_share(),
+        alexa_endless_redundant_share=alexa_endless.redundant_site_share(),
+        har_share_two_or_more=_share_at_least(har_endless.redundant_per_site, 2),
+        alexa_share_six_or_more=_share_at_least(alexa.redundant_per_site, 6),
+        closed_connection_share=(len(closed) / total_h2) if total_h2 else 0.0,
+        median_closed_lifetime_s=median(closed) if closed else None,
+        cred_connections_with_fetch=alexa.by_cause[Cause.CRED].connections,
+        cred_connections_without_fetch=nofetch.by_cause[Cause.CRED].connections,
+        redundant_reduction_share=reduction,
+    )

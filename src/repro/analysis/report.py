@@ -1,0 +1,83 @@
+"""Full-report generation: every artefact of the paper in one document.
+
+``generate_report`` renders Tables 1–12, Figures 2–3, the headline
+statistics and the validation scorecard as one Markdown document — the
+reproduction's equivalent of the paper's evaluation section, generated
+from data.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.export import table_to_markdown
+from repro.analysis.figures import figure2, figure3
+from repro.analysis.headline import headline
+from repro.analysis.study import Study
+from repro.analysis.tables import ALL_TABLES
+from repro.analysis.validation import validate_study
+
+__all__ = ["generate_report", "write_report"]
+
+
+def generate_report(study: Study, *, include_dns_study: bool = True) -> str:
+    """Render the full evaluation as Markdown."""
+    config = study.config
+    parts = [
+        "# Reproduction report — Sharding and HTTP/2 Connection Reuse "
+        "Revisited (IMC '21)",
+        "",
+        f"Seed {config.seed}, {config.n_sites} sites "
+        f"({study.dataset('har-endless').report.h2_sites} HTTP-Archive-style "
+        f"HTTP/2 sites, {study.dataset('alexa').report.h2_sites} Alexa-style "
+        "sites after intersecting both runs).",
+        "",
+        "## Headline statistics (§5.1, §5.3.3)",
+        "",
+        "```",
+        headline(study).render(),
+        "```",
+        "",
+    ]
+
+    table_order = [f"table{i}" for i in range(1, 13)]
+    for name in table_order:
+        if name == "table11" and not include_dns_study:
+            continue
+        parts.append(table_to_markdown(ALL_TABLES[name](study)))
+        parts.append("")
+
+    parts += [
+        "## Figure 2 — redundant connections per website",
+        "",
+        "```",
+        figure2(study).render(max_x=10, width=40),
+        "```",
+        "",
+    ]
+    if include_dns_study:
+        parts += [
+            "## Figure 3 — DNS resolver overlap",
+            "",
+            "```",
+            figure3(study).render(max_slots=60),
+            "```",
+            "",
+        ]
+    parts += [
+        "## Validation against the paper's claims",
+        "",
+        "```",
+        validate_study(study).render(),
+        "```",
+        "",
+    ]
+    return "\n".join(parts)
+
+
+def write_report(study: Study, path: str | Path, **kwargs) -> Path:
+    """Generate and write the report; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(generate_report(study, **kwargs))
+    return path

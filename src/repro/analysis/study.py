@@ -1,0 +1,195 @@
+"""The full-study driver.
+
+One :class:`Study` object runs everything the paper's evaluation needs,
+in the paper's order:
+
+1. generate the synthetic web (one seed → one world);
+2. the HTTP Archive crawl (3 loads/site, median HAR, §4.3 noise) from
+   the US vantage point, classified under the endless and immediate
+   lifetime models;
+3. two Alexa crawls from the German vantage point — Fetch-compliant and
+   privacy-mode-patched — restricted to the runs' common reachable
+   sites, classified with actual NetLog lifetimes (plus the endless
+   variant);
+4. the corpora overlap (Appendix A.3);
+5. the DNS load-balancing study (Appendix A.4).
+
+Every table and figure renderer consumes a Study; benches construct one
+small Study per session and reuse it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from repro.crawl.alexa import AlexaCrawler, AlexaRun
+from repro.crawl.classify import ClassifiedDataset
+from repro.crawl.httparchive import HarCorpus, HttpArchiveCrawler
+from repro.crawl.overlap import overlap_datasets
+from repro.core.session import LifetimeModel
+from repro.dnsstudy.study import DnsLoadBalancingStudy, DnsStudyResult
+from repro.web.ecosystem import Ecosystem, EcosystemConfig
+
+__all__ = ["StudyConfig", "Study", "DATASET_LABELS"]
+
+#: Paper-facing names of the Table 1 dataset columns.
+DATASET_LABELS: dict[str, str] = {
+    "har-endless": "HAR Endless",
+    "har-immediate": "HAR Immediate",
+    "alexa-endless": "Alexa Endless",
+    "alexa": "Alexa",
+    "alexa-nofetch": "Alexa w/o Fetch",
+    "har-overlap": "HAR Overlap Endless",
+    "alexa-overlap": "Alexa Overlap Endless",
+}
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """Scale and seed of one full reproduction run."""
+
+    seed: int = 7
+    n_sites: int = 1200
+    #: Share of the universe whose top ranks form the Alexa list.
+    alexa_share: float = 0.30
+    #: Sampling share of the universe the HTTP Archive crawls.
+    ha_sample_share: float = 0.85
+    #: Simulated duration of the DNS study.
+    dns_study_days: float = 2.0
+    ecosystem_overrides: dict = field(default_factory=dict)
+
+    def ecosystem_config(self) -> EcosystemConfig:
+        return EcosystemConfig(
+            seed=self.seed, n_sites=self.n_sites, **self.ecosystem_overrides
+        )
+
+    def small(self) -> "StudyConfig":
+        """A scaled-down copy for quick tests."""
+        return StudyConfig(
+            seed=self.seed,
+            n_sites=min(self.n_sites, 200),
+            alexa_share=self.alexa_share,
+            ha_sample_share=self.ha_sample_share,
+            dns_study_days=0.25,
+            ecosystem_overrides=dict(self.ecosystem_overrides),
+        )
+
+
+@dataclass
+class Study:
+    """All measurement artefacts of one reproduction run."""
+
+    config: StudyConfig
+    ecosystem: Ecosystem
+    har_corpus: HarCorpus
+    alexa_run: AlexaRun
+    alexa_nofetch_run: AlexaRun
+    alexa_common_sites: list[str]
+    datasets: dict[str, ClassifiedDataset]
+
+    @classmethod
+    def run(cls, config: StudyConfig | None = None) -> "Study":
+        """Execute the full pipeline for ``config``."""
+        config = config or StudyConfig()
+        ecosystem = Ecosystem.generate(config.ecosystem_config())
+        asdb = ecosystem.asdb
+
+        ha_crawler = HttpArchiveCrawler(ecosystem=ecosystem, seed=config.seed + 100)
+        ha_domains = ecosystem.httparchive_sample(
+            config.ha_sample_share, seed=config.seed + 1
+        )
+        har_corpus = ha_crawler.crawl(ha_domains)
+
+        alexa_count = max(1, int(config.n_sites * config.alexa_share))
+        alexa_domains = ecosystem.alexa_list(alexa_count)
+        alexa_crawler = AlexaCrawler(ecosystem=ecosystem, seed=config.seed + 200)
+        alexa_run = alexa_crawler.run(alexa_domains, run_name="alexa-fetch")
+        alexa_nofetch = alexa_crawler.run(
+            alexa_domains,
+            run_name="alexa-nofetch",
+            ignore_privacy_mode=True,
+            run_offset=500_000.0,
+        )
+        # "We review the intersection of websites for comparability."
+        common = sorted(
+            set(alexa_run.reachable_sites) & set(alexa_nofetch.reachable_sites)
+        )
+
+        datasets = {
+            "har-endless": har_corpus.classify(
+                model=LifetimeModel.ENDLESS, asdb=asdb, name="har-endless"
+            ),
+            "har-immediate": har_corpus.classify(
+                model=LifetimeModel.IMMEDIATE, asdb=asdb, name="har-immediate"
+            ),
+            "alexa-endless": alexa_run.classify(
+                model=LifetimeModel.ENDLESS, asdb=asdb,
+                name="alexa-endless", sites=common,
+            ),
+            "alexa": alexa_run.classify(
+                model=LifetimeModel.ACTUAL, asdb=asdb, name="alexa", sites=common
+            ),
+            "alexa-nofetch": alexa_nofetch.classify(
+                model=LifetimeModel.ACTUAL, asdb=asdb,
+                name="alexa-nofetch", sites=common,
+            ),
+        }
+        har_overlap, alexa_overlap = overlap_datasets(
+            datasets["har-endless"], datasets["alexa-endless"]
+        )
+        datasets["har-overlap"] = har_overlap
+        datasets["alexa-overlap"] = alexa_overlap
+
+        return cls(
+            config=config,
+            ecosystem=ecosystem,
+            har_corpus=har_corpus,
+            alexa_run=alexa_run,
+            alexa_nofetch_run=alexa_nofetch,
+            alexa_common_sites=common,
+            datasets=datasets,
+        )
+
+    # ------------------------------------------------------------------
+    def dataset(self, key: str) -> ClassifiedDataset:
+        return self.datasets[key]
+
+    @cached_property
+    def dns_study(self) -> DnsStudyResult:
+        """The Appendix A.4 resolver study (computed on first use)."""
+        study = DnsLoadBalancingStudy(
+            ecosystem=self.ecosystem,
+            duration_s=self.config.dns_study_days * 24 * 3600.0,
+        )
+        return study.run()
+
+    def connection_lifetimes(self) -> list[float]:
+        """Lifetimes of Alexa connections that closed before test end."""
+        lifetimes = []
+        for domain in self.alexa_common_sites:
+            measurement = self.alexa_run.measurements[domain]
+            for record in measurement.records:
+                if record.protocol != "h2":
+                    continue
+                lifetime = record.lifetime()
+                if lifetime is not None:
+                    lifetimes.append(lifetime)
+        return lifetimes
+
+    def early_closed_lifetimes(self) -> list[float]:
+        """Lifetimes of sessions closed by the server (GOAWAY) only."""
+        lifetimes = []
+        for domain in self.alexa_common_sites:
+            measurement = self.alexa_run.measurements[domain]
+            if measurement.netlog is None:
+                continue
+            from repro.netlog.parser import parse_sessions
+
+            parsed = parse_sessions(measurement.netlog)
+            for record in parsed.records:
+                if record.connection_id in parsed.goaway_sessions:
+                    lifetime = record.lifetime()
+                    if lifetime is not None:
+                        lifetimes.append(lifetime)
+        return lifetimes

@@ -1,0 +1,351 @@
+"""Renderers for every table of the paper (Tables 1–12).
+
+Each ``tableN`` function takes a :class:`~repro.analysis.study.Study`
+and returns a :class:`TableResult` whose ``render()`` prints the same
+rows/series the paper reports, in the paper's layout and number style.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.study import DATASET_LABELS, Study
+from repro.core.attribution import AttributionIndex
+from repro.core.causes import Cause
+from repro.crawl.classify import ClassifiedDataset
+from repro.dns.resolver import default_fleet
+from repro.tls.issuers import (
+    DIGICERT,
+    GOOGLE_TRUST_SERVICES,
+    LETS_ENCRYPT,
+)
+from repro.util.formatting import align_table, si_count
+
+__all__ = [
+    "TableResult",
+    "table1", "table2", "table3", "table4", "table5", "table6",
+    "table7", "table8", "table9", "table10", "table11", "table12",
+    "ALL_TABLES",
+]
+
+#: Issuer abbreviations used in Table 4/10 ("LE", "GTS", "DCI").
+_ISSUER_ABBREV = {
+    LETS_ENCRYPT: "LE",
+    GOOGLE_TRUST_SERVICES: "GTS",
+    DIGICERT: "DCI",
+}
+
+
+@dataclass
+class TableResult:
+    """One rendered table plus its raw rows for programmatic checks."""
+
+    table_id: str
+    title: str
+    header: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+
+    def render(self) -> str:
+        body = align_table(self.rows, header=self.header)
+        return f"{self.table_id}: {self.title}\n{body}"
+
+
+# ----------------------------------------------------------------------
+# Table 1 / Table 7 — cause counts per dataset
+# ----------------------------------------------------------------------
+def _cause_table(
+    table_id: str, title: str, datasets: list[ClassifiedDataset]
+) -> TableResult:
+    header = ["Cause"]
+    for dataset in datasets:
+        label = DATASET_LABELS.get(dataset.name, dataset.name)
+        header += [f"{label} Sites", f"{label} Conns."]
+    rows = []
+    for cause in (Cause.CERT, Cause.IP, Cause.CRED):
+        row = [cause.value]
+        for dataset in datasets:
+            counts = dataset.report.by_cause[cause]
+            row += [si_count(counts.sites), si_count(counts.connections)]
+        rows.append(row)
+    redundant = ["Redund."]
+    total = ["Total"]
+    for dataset in datasets:
+        report = dataset.report
+        redundant += [
+            si_count(report.redundant_sites),
+            si_count(report.redundant_connections),
+        ]
+        total += [si_count(report.h2_sites), si_count(report.h2_connections)]
+    rows.append(redundant)
+    rows.append(total)
+    return TableResult(table_id=table_id, title=title, header=header, rows=rows)
+
+
+def table1(study: Study) -> TableResult:
+    """Counts of causes of redundant connections and affected websites."""
+    keys = ["har-endless", "har-immediate", "alexa-endless", "alexa",
+            "alexa-nofetch"]
+    return _cause_table(
+        "Table 1",
+        "Counts of occurring causes of redundant connections and affected websites",
+        [study.dataset(key) for key in keys],
+    )
+
+
+def table7(study: Study) -> TableResult:
+    """The same counts on the HAR/Alexa overlap (Appendix A.3)."""
+    return _cause_table(
+        "Table 7",
+        "Occurring causes for the overlap / intersection of the datasets",
+        [study.dataset("har-overlap"), study.dataset("alexa-overlap")],
+    )
+
+
+# ----------------------------------------------------------------------
+# Tables 2 / 8 / 12 — top origins for cause IP
+# ----------------------------------------------------------------------
+def _ip_origin_table(
+    table_id: str,
+    title: str,
+    primary: ClassifiedDataset,
+    secondary: ClassifiedDataset,
+    *,
+    top: int,
+) -> TableResult:
+    header = ["Origin", "HA ↑", "HA Conns.", "Alexa ↑", "Alexa Conns."]
+    rows: list[list[str]] = []
+    for attribution in primary.attribution.top_ip_origins(top):
+        origin = attribution.origin
+        secondary_attr = secondary.attribution.ip_origins.get(origin)
+        rows.append(
+            [
+                origin,
+                str(primary.attribution.ip_origin_rank(origin) or "-"),
+                si_count(attribution.connections),
+                str(secondary.attribution.ip_origin_rank(origin) or "-"),
+                si_count(secondary_attr.connections) if secondary_attr else "",
+            ]
+        )
+        for prev, count in attribution.top_previous(2):
+            secondary_prev = (
+                secondary_attr.previous.get(prev, 0) if secondary_attr else 0
+            )
+            rows.append(
+                [
+                    f"  prev: {prev}",
+                    "",
+                    si_count(count),
+                    "",
+                    si_count(secondary_prev) if secondary_prev else "",
+                ]
+            )
+    return TableResult(table_id=table_id, title=title, header=header, rows=rows)
+
+
+def table2(study: Study) -> TableResult:
+    """Top 4 origins and reusable previous connections for cause IP."""
+    return _ip_origin_table(
+        "Table 2",
+        "Top origins, their redundant connections and previous connections (IP)",
+        study.dataset("har-endless"),
+        study.dataset("alexa"),
+        top=4,
+    )
+
+
+def table8(study: Study) -> TableResult:
+    """Top 5 IP origins on the dataset overlap."""
+    return _ip_origin_table(
+        "Table 8",
+        "Top origins for cause IP on the overlap",
+        study.dataset("har-overlap"),
+        study.dataset("alexa-overlap"),
+        top=5,
+    )
+
+
+def table12(study: Study) -> TableResult:
+    """Top 20 domains for the IP case (the appendix's long table)."""
+    return _ip_origin_table(
+        "Table 12",
+        "Top 20 domains for the IP case",
+        study.dataset("har-endless"),
+        study.dataset("alexa"),
+        top=20,
+    )
+
+
+# ----------------------------------------------------------------------
+# Tables 3 / 9 — certificate issuers for cause CERT
+# ----------------------------------------------------------------------
+def _issuer_table(
+    table_id: str,
+    title: str,
+    primary: AttributionIndex,
+    secondary: AttributionIndex,
+    *,
+    top: int,
+    use_all: bool = False,
+) -> TableResult:
+    header = ["Certificate Issuer", "HA Conns.", "HA Domains",
+              "Alexa Conns.", "Alexa Domains"]
+    primary_issuers = (
+        primary.top_all_issuers(top) if use_all else primary.top_cert_issuers(top)
+    )
+    secondary_map = secondary.all_issuers if use_all else secondary.cert_issuers
+    rows = []
+    for attribution in primary_issuers:
+        other = secondary_map.get(attribution.issuer)
+        rows.append(
+            [
+                attribution.issuer,
+                si_count(attribution.connections),
+                si_count(len(attribution.domains)),
+                si_count(other.connections) if other else "",
+                si_count(len(other.domains)) if other else "",
+            ]
+        )
+    return TableResult(table_id=table_id, title=title, header=header, rows=rows)
+
+
+def table3(study: Study) -> TableResult:
+    """Top issuers w.r.t. redundant connections of cause CERT."""
+    return _issuer_table(
+        "Table 3",
+        "Top certificate issuers w.r.t. redundant connections of cause CERT",
+        study.dataset("har-endless").attribution,
+        study.dataset("alexa").attribution,
+        top=7,
+    )
+
+
+def table9(study: Study) -> TableResult:
+    """Top CERT issuers on the dataset overlap."""
+    return _issuer_table(
+        "Table 9",
+        "Top certificate issuers (CERT) on the overlap",
+        study.dataset("har-overlap").attribution,
+        study.dataset("alexa-overlap").attribution,
+        top=5,
+    )
+
+
+def table5(study: Study) -> TableResult:
+    """Top 10 issuers over all connections (Appendix A.1)."""
+    return _issuer_table(
+        "Table 5",
+        "Top 10 certificate issuers for all connections",
+        study.dataset("har-endless").attribution,
+        study.dataset("alexa").attribution,
+        top=10,
+        use_all=True,
+    )
+
+
+# ----------------------------------------------------------------------
+# Tables 4 / 10 — domains for cause CERT
+# ----------------------------------------------------------------------
+def _cert_domain_table(
+    table_id: str,
+    title: str,
+    primary: ClassifiedDataset,
+    secondary: ClassifiedDataset,
+    *,
+    top: int,
+) -> TableResult:
+    header = ["Domain", "HA Conns.", "Alexa Conns.", "Issuer"]
+    rows = []
+    for attribution in primary.attribution.top_cert_domains(top):
+        domain = attribution.origin
+        other = secondary.attribution.cert_domains.get(domain)
+        issuer = primary.attribution.cert_domain_issuer.get(domain, "")
+        rows.append(
+            [
+                domain,
+                si_count(attribution.connections),
+                si_count(other.connections) if other else "",
+                _ISSUER_ABBREV.get(issuer, issuer),
+            ]
+        )
+        for prev, count in attribution.top_previous(1):
+            rows.append([f"  prev: {prev}", si_count(count), "", ""])
+    return TableResult(table_id=table_id, title=title, header=header, rows=rows)
+
+
+def table4(study: Study) -> TableResult:
+    """Top domains for redundant connections due to absent SANs (CERT)."""
+    return _cert_domain_table(
+        "Table 4",
+        "Top domains for redundant connections to the same IPs (CERT)",
+        study.dataset("har-endless"),
+        study.dataset("alexa"),
+        top=5,
+    )
+
+
+def table10(study: Study) -> TableResult:
+    """Top CERT domains on the dataset overlap."""
+    return _cert_domain_table(
+        "Table 10",
+        "Top CERT domains on the overlap",
+        study.dataset("har-overlap"),
+        study.dataset("alexa-overlap"),
+        top=5,
+    )
+
+
+# ----------------------------------------------------------------------
+# Table 6 — ASes for cause IP
+# ----------------------------------------------------------------------
+def table6(study: Study) -> TableResult:
+    """Top 10 ASNs for connections of cause IP (Appendix A.2)."""
+    header = ["AS", "HA Conns.", "HA Domains", "Alexa Conns.", "Alexa Domains"]
+    primary = study.dataset("har-endless").attribution
+    secondary = study.dataset("alexa").attribution
+    secondary_counts = dict(
+        (name, (connections, domains))
+        for name, connections, domains in secondary.top_ip_ases(top=10_000)
+    )
+    rows = []
+    for name, connections, domains in primary.top_ip_ases(10):
+        other = secondary_counts.get(name)
+        rows.append(
+            [
+                name,
+                si_count(connections),
+                si_count(domains),
+                si_count(other[0]) if other else "",
+                si_count(other[1]) if other else "",
+            ]
+        )
+    return TableResult(
+        table_id="Table 6",
+        title="Top 10 ASNs for connections of cause IP",
+        header=header,
+        rows=rows,
+    )
+
+
+# ----------------------------------------------------------------------
+# Table 11 — the resolver fleet
+# ----------------------------------------------------------------------
+def table11(study: Study) -> TableResult:
+    """DNS resolvers used for the load-balancing study."""
+    fleet = default_fleet(study.ecosystem.namespace)
+    rows = [
+        [resolver.info.ip, resolver.info.country, resolver.info.operator]
+        for resolver in fleet
+    ]
+    return TableResult(
+        table_id="Table 11",
+        title="DNS resolvers used to analyze DNS-based load-balancing",
+        header=["IP", "Country", "Operator"],
+        rows=rows,
+    )
+
+
+ALL_TABLES = {
+    "table1": table1, "table2": table2, "table3": table3, "table4": table4,
+    "table5": table5, "table6": table6, "table7": table7, "table8": table8,
+    "table9": table9, "table10": table10, "table11": table11, "table12": table12,
+}

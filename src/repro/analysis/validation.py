@@ -1,0 +1,192 @@
+"""Programmatic validation of a study against the paper's findings.
+
+Every qualitative claim of the paper that the reproduction targets is
+encoded as a named check with an expectation, the measured value, and a
+tolerance.  ``validate_study`` runs all of them and returns a scorecard
+— the machine-readable counterpart of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.analysis.figures import figure2
+from repro.analysis.headline import headline
+from repro.analysis.study import Study
+from repro.core.causes import Cause
+
+__all__ = ["CheckResult", "Scorecard", "validate_study"]
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """One paper claim checked against the reproduction."""
+
+    name: str
+    claim: str
+    expected: str
+    measured: str
+    passed: bool
+
+
+@dataclass
+class Scorecard:
+    """All checks for one study."""
+
+    checks: list[CheckResult]
+
+    @property
+    def passed(self) -> int:
+        return sum(1 for check in self.checks if check.passed)
+
+    @property
+    def failed(self) -> list[CheckResult]:
+        return [check for check in self.checks if not check.passed]
+
+    @property
+    def all_passed(self) -> bool:
+        return not self.failed
+
+    def render(self) -> str:
+        lines = [f"Paper-shape scorecard: {self.passed}/{len(self.checks)} "
+                 "checks passed"]
+        for check in self.checks:
+            status = "PASS" if check.passed else "FAIL"
+            lines.append(f"  [{status}] {check.name}: expected "
+                         f"{check.expected}, measured {check.measured}")
+            if not check.passed:
+                lines.append(f"         claim: {check.claim}")
+        return "\n".join(lines)
+
+
+def _check(
+    checks: list[CheckResult],
+    name: str,
+    claim: str,
+    expected: str,
+    measured_value: object,
+    predicate: Callable[[], bool],
+) -> None:
+    checks.append(
+        CheckResult(
+            name=name,
+            claim=claim,
+            expected=expected,
+            measured=str(measured_value),
+            passed=bool(predicate()),
+        )
+    )
+
+
+def validate_study(study: Study) -> Scorecard:
+    """Run every encoded paper claim against ``study``."""
+    checks: list[CheckResult] = []
+    har = study.dataset("har-endless").report
+    har_imm = study.dataset("har-immediate").report
+    alexa = study.dataset("alexa").report
+    nofetch = study.dataset("alexa-nofetch").report
+    stats = headline(study)
+
+    _check(checks, "har-redundant-majority",
+           "§5.1: 76% of HTTP Archive sites open redundant connections",
+           "> 0.6", round(har.redundant_site_share(), 2),
+           lambda: har.redundant_site_share() > 0.6)
+    _check(checks, "alexa-redundant-majority",
+           "§5.1: 95% of Alexa sites open redundant connections",
+           "> 0.85", round(alexa.redundant_site_share(), 2),
+           lambda: alexa.redundant_site_share() > 0.85)
+    _check(checks, "alexa-exceeds-har",
+           "§5.1: Alexa shows more redundancy than the HTTP Archive",
+           "alexa > har", f"{alexa.redundant_site_share():.2f} vs "
+                          f"{har.redundant_site_share():.2f}",
+           lambda: alexa.redundant_site_share() > har.redundant_site_share())
+    _check(checks, "immediate-lower-bound",
+           "§4.2.1: the immediate model is a lower bound",
+           "immediate < endless",
+           f"{har_imm.redundant_connections} vs {har.redundant_connections}",
+           lambda: har_imm.redundant_connections < har.redundant_connections)
+
+    for key, report in (("har", har), ("alexa", alexa)):
+        ip = report.by_cause[Cause.IP]
+        cred = report.by_cause[Cause.CRED]
+        cert = report.by_cause[Cause.CERT]
+        _check(checks, f"{key}-cause-ordering-sites",
+               "§5.2: IP > CRED > CERT by affected sites",
+               "IP > CRED > CERT",
+               f"{ip.sites}/{cred.sites}/{cert.sites}",
+               lambda ip=ip, cred=cred, cert=cert:
+               ip.sites > cred.sites > cert.sites)
+        _check(checks, f"{key}-cause-ordering-conns",
+               "§5.2: IP >> CRED > CERT by connections",
+               "IP > 3*CRED > CERT",
+               f"{ip.connections}/{cred.connections}/{cert.connections}",
+               lambda ip=ip, cred=cred, cert=cert:
+               ip.connections > 3 * cred.connections
+               and cred.connections > cert.connections)
+
+    _check(checks, "cred-vanishes",
+           "§5.3.3: the CRED cases vanish completely under the patch",
+           "0", nofetch.by_cause[Cause.CRED].connections,
+           lambda: nofetch.by_cause[Cause.CRED].connections == 0)
+    _check(checks, "patch-reduction",
+           "§5.3.3: disabling the flag reduces redundancy by ~25%",
+           "0.10-0.40", round(stats.redundant_reduction_share, 2),
+           lambda: 0.10 <= stats.redundant_reduction_share <= 0.40)
+    _check(checks, "lifetime-share",
+           "§5.1: ~3.5% of connections close before test end",
+           "< 0.1", round(stats.closed_connection_share, 3),
+           lambda: stats.closed_connection_share < 0.1)
+    _check(checks, "lifetime-median",
+           "§5.1: median lifetime of closing connections is 122.2 s",
+           "60-250 s", stats.median_closed_lifetime_s,
+           lambda: stats.median_closed_lifetime_s is not None
+           and 60 < stats.median_closed_lifetime_s < 250)
+
+    attribution = study.dataset("har-endless").attribution
+    top_origin = attribution.top_ip_origins(1)
+    _check(checks, "top-ip-origin",
+           "Table 2: www.google-analytics.com is the top IP origin",
+           "www.google-analytics.com",
+           top_origin[0].origin if top_origin else "none",
+           lambda: bool(top_origin)
+           and top_origin[0].origin == "www.google-analytics.com")
+    top_ases = [name for name, _, _ in attribution.top_ip_ases(3)]
+    _check(checks, "top-ip-as",
+           "Table 6: GOOGLE is the top AS for cause IP",
+           "GOOGLE", top_ases[0] if top_ases else "none",
+           lambda: bool(top_ases) and top_ases[0] == "GOOGLE")
+    cert_issuers = {a.issuer for a in attribution.top_cert_issuers(3)}
+    _check(checks, "cert-issuers",
+           "Table 3: GTS and Let's Encrypt lead the CERT issuers",
+           "GTS or LE in top 3", ", ".join(sorted(cert_issuers)),
+           lambda: bool({"Google Trust Services", "Let's Encrypt"}
+                        & cert_issuers))
+    cert_domains = {a.origin for a in attribution.top_cert_domains(6)}
+    _check(checks, "klaviyo-cert-domain",
+           "Table 4: fast.a.klaviyo.com among the top CERT domains",
+           "present", "present" if "fast.a.klaviyo.com" in cert_domains
+           else "absent",
+           lambda: "fast.a.klaviyo.com" in cert_domains)
+
+    figure = figure2(study)
+    _check(checks, "figure2-dominance",
+           "Figure 2: the Alexa curve dominates the HTTP Archive curve",
+           "alexa >= har at x=3",
+           f"{figure.share_with_at_least('alexa', 3):.2f} vs "
+           f"{figure.share_with_at_least('har-endless', 3):.2f}",
+           lambda: figure.share_with_at_least("alexa", 3)
+           >= figure.share_with_at_least("har-endless", 3))
+
+    dns = study.dns_study
+    classes = {t.pair.domain: t.classification() for t in dns.timelines}
+    _check(checks, "figure3-ga-never",
+           "Figure 3: GA/GTM answers never overlap",
+           "never", classes.get("www.google-analytics.com", "missing"),
+           lambda: classes.get("www.google-analytics.com") == "never")
+    _check(checks, "figure3-gstatic-sometimes",
+           "Figure 3: gstatic pairs overlap sometimes",
+           "sometimes", classes.get("www.gstatic.com", "missing"),
+           lambda: classes.get("www.gstatic.com") == "sometimes")
+
+    return Scorecard(checks=checks)

@@ -1,0 +1,42 @@
+"""A minimal cookie jar.
+
+The pool partition does not depend on whether cookies *exist* — only on
+whether the Fetch Standard *allows* them — but the jar keeps the
+simulation honest: responses can set cookies, later credentialed
+requests would carry them, and tests can assert that anonymous requests
+never see the jar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.domains import normalize, registrable_domain
+
+__all__ = ["CookieJar"]
+
+
+@dataclass
+class CookieJar:
+    """Cookies stored per registrable domain ("site")."""
+
+    _store: dict[str, dict[str, str]] = field(default_factory=dict)
+
+    @staticmethod
+    def _site(domain: str) -> str:
+        return registrable_domain(domain) or normalize(domain)
+
+    def set_cookie(self, domain: str, name: str, value: str) -> None:
+        """Store a cookie for ``domain``'s site."""
+        self._store.setdefault(self._site(domain), {})[name] = value
+
+    def cookies_for(self, domain: str) -> dict[str, str]:
+        """All cookies a credentialed request to ``domain`` would carry."""
+        return dict(self._store.get(self._site(domain), {}))
+
+    def clear(self) -> None:
+        """Reset the jar (the crawlers do this between visits)."""
+        self._store.clear()
+
+    def __len__(self) -> int:
+        return sum(len(cookies) for cookies in self._store.values())

@@ -1,0 +1,217 @@
+"""The Chromium-like HTTP/2 session pool.
+
+This is the decision procedure whose outcomes the paper measures.  It
+mirrors Chromium's ``SpdySessionPool``:
+
+* Sessions are keyed by ``(host, port, privacy_mode)`` — the privacy
+  mode component is the Fetch Standard partition (internally
+  ``privacy_mode`` in Chromium [12]); the paper's patched run removes it
+  (``ignore_privacy_mode``).
+* On a key miss, **IP pooling** (connection coalescing, RFC 7540
+  §9.1.1) scans live sessions in the same partition: a session may be
+  reused when its peer IP is among the new host's resolved addresses
+  *and* its certificate covers the host — unless the host previously
+  received a 421 on that session.
+* Optionally (off by default, like Chromium [17]) the RFC 8336 ORIGIN
+  frame's origin set also qualifies a session for reuse without an IP
+  match — the mitigation ablation of §5.3.1.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.h2.connection import Http2Connection
+from repro.netlog.events import NetLog, NetLogEventType
+from repro.web.server import OriginServer
+
+__all__ = ["SessionKey", "PoolDecision", "ConnectionPool"]
+
+
+@dataclass(frozen=True)
+class SessionKey:
+    """Chromium SpdySessionKey subset: host, port, privacy partition."""
+
+    host: str
+    port: int
+    privacy_mode: bool
+
+
+@dataclass(frozen=True)
+class PoolDecision:
+    """How a request obtained its connection (for tests/diagnostics)."""
+
+    connection: Http2Connection
+    created: bool
+    coalesced: bool
+    via_origin_frame: bool = False
+
+
+@dataclass
+class ConnectionPool:
+    """Per-visit pool of HTTP/2 sessions (plus HTTP/1.1 fallbacks)."""
+
+    server_lookup: Callable[[str], OriginServer]
+    rng: random.Random
+    netlog: NetLog | None = None
+    ignore_privacy_mode: bool = False
+    honor_origin_frame: bool = False
+    #: With QUIC enabled, connections to alt-svc-advertising endpoints
+    #: are established as HTTP/3 (protocol "h3"); the measurement
+    #: methodology excludes those, which is why the paper's crawls ran
+    #: with QUIC disabled.
+    enable_quic: bool = False
+    port: int = 443
+    sessions: list[Http2Connection] = field(default_factory=list)
+    _aliases: dict[SessionKey, Http2Connection] = field(default_factory=dict)
+    _next_connection_id: int = 1
+    coalesced_count: int = 0
+    created_count: int = 0
+
+    def _key(self, host: str, privacy_mode: bool) -> SessionKey:
+        if self.ignore_privacy_mode:
+            privacy_mode = False
+        return SessionKey(host=host, port=self.port, privacy_mode=privacy_mode)
+
+    def _partition_matches(self, session: Http2Connection, privacy_mode: bool) -> bool:
+        if self.ignore_privacy_mode:
+            return True
+        return session.privacy_mode == privacy_mode
+
+    def live_sessions(self) -> list[Http2Connection]:
+        return [session for session in self.sessions if session.is_open]
+
+    # ------------------------------------------------------------------
+    def get_connection(
+        self,
+        host: str,
+        ips: tuple[str, ...],
+        *,
+        privacy_mode: bool,
+        now: float,
+        force_new: bool = False,
+        protocol_hint: str = "h2",
+    ) -> PoolDecision:
+        """Find or create the session a request for ``host`` uses.
+
+        ``ips`` is the DNS answer for ``host`` at request time;
+        ``force_new`` skips all reuse (the 421 retry path).
+        """
+        key = self._key(host, privacy_mode)
+
+        if not force_new:
+            session = self._aliases.get(key)
+            if session is not None and session.is_open:
+                return PoolDecision(connection=session, created=False, coalesced=False)
+
+            if protocol_hint == "h2":
+                coalesced = self._find_coalescable(key, host, ips)
+                if coalesced is not None:
+                    session, via_origin = coalesced
+                    self._aliases[key] = session
+                    self.coalesced_count += 1
+                    if self.netlog is not None:
+                        self.netlog.emit(
+                            NetLogEventType.HTTP2_SESSION_POOL_FOUND_EXISTING_SESSION,
+                            time=now,
+                            source_id=session.connection_id,
+                            host=host,
+                            via_origin_frame=via_origin,
+                        )
+                    return PoolDecision(
+                        connection=session,
+                        created=False,
+                        coalesced=True,
+                        via_origin_frame=via_origin,
+                    )
+
+        session = self._create(host, ips, privacy_mode=privacy_mode, now=now)
+        if not force_new:
+            self._aliases[key] = session
+        return PoolDecision(connection=session, created=True, coalesced=False)
+
+    def _find_coalescable(
+        self, key: SessionKey, host: str, ips: tuple[str, ...]
+    ) -> tuple[Http2Connection, bool] | None:
+        ip_set = set(ips)
+        origin = f"https://{host}"
+        for session in self.sessions:
+            if not session.is_open:
+                continue
+            if session.protocol != "h2":
+                continue
+            if not self._partition_matches(session, key.privacy_mode):
+                continue
+            if session.port != key.port:
+                continue
+            if host in session.misdirected_domains:
+                continue
+            if not session.certificate.covers(host):
+                continue
+            if session.remote_ip in ip_set:
+                return session, False
+            if self.honor_origin_frame and origin in session.origin_set:
+                return session, True
+        return None
+
+    def _create(
+        self,
+        host: str,
+        ips: tuple[str, ...],
+        *,
+        privacy_mode: bool,
+        now: float,
+    ) -> Http2Connection:
+        if not ips:
+            raise ValueError(f"cannot connect to {host}: empty address list")
+        # Chromium may end up on any announced address (happy eyeballs,
+        # per-attempt ordering); picking among answers reproduces the
+        # paper's corner case of same-domain connections on different
+        # IPs (§4.1).
+        ip = self.rng.choice(list(ips))
+        server = self.server_lookup(ip)
+        protocol = server.alpn
+        if self.enable_quic and getattr(server, "alt_svc_h3", False):
+            protocol = "h3"
+        session = Http2Connection(
+            connection_id=self._next_connection_id,
+            server=server,
+            sni=host,
+            remote_ip=ip,
+            created_at=now,
+            port=self.port,
+            privacy_mode=False if self.ignore_privacy_mode else privacy_mode,
+            protocol=protocol,
+        )
+        self._next_connection_id += 1
+        self.sessions.append(session)
+        self.created_count += 1
+        if self.netlog is not None:
+            self.netlog.emit(
+                NetLogEventType.HTTP2_SESSION,
+                time=now,
+                source_id=session.connection_id,
+                host=host,
+                peer_address=ip,
+                privacy_mode=session.privacy_mode,
+                protocol=session.protocol,
+                cert_sans=list(session.certificate.sans),
+                cert_issuer=session.certificate.issuer_org,
+            )
+        return session
+
+    # ------------------------------------------------------------------
+    def close_all(self, *, now: float, reason: str = "shutdown") -> None:
+        """Close every live session (end of the observation window)."""
+        for session in self.sessions:
+            if session.is_open:
+                session.close(now=now)
+                if self.netlog is not None:
+                    self.netlog.emit(
+                        NetLogEventType.HTTP2_SESSION_CLOSE,
+                        time=now,
+                        source_id=session.connection_id,
+                        reason=reason,
+                    )

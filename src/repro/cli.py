@@ -1,0 +1,203 @@
+"""Command-line interface.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro study --sites 400 --table 1 --headline
+    python -m repro study --sites 400 --table all --figure 2
+    python -m repro audit site000004.com --sites 150
+    python -m repro dnsstudy --days 2
+    python -m repro mitigations --sites 200
+    python -m repro perf --sites 300
+
+Every command is deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Sharding and HTTP/2 Connection Reuse "
+                    "Revisited' (IMC '21)",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="root seed")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    study = commands.add_parser("study", help="run the full study")
+    study.add_argument("--sites", type=int, default=400)
+    study.add_argument("--table", default=None,
+                       help="table number 1-12, or 'all'")
+    study.add_argument("--figure", type=int, choices=(2, 3), default=None)
+    study.add_argument("--headline", action="store_true")
+
+    audit = commands.add_parser("audit", help="audit one site's connections")
+    audit.add_argument("domain", nargs="?", default=None)
+    audit.add_argument("--sites", type=int, default=150)
+
+    dns = commands.add_parser("dnsstudy", help="the Appendix A.4 DNS study")
+    dns.add_argument("--days", type=float, default=2.0)
+    dns.add_argument("--sites", type=int, default=50)
+
+    mitigations = commands.add_parser("mitigations",
+                                      help="measure the mitigation levers")
+    mitigations.add_argument("--sites", type=int, default=200)
+
+    perf = commands.add_parser("perf",
+                               help="performance impact of redundancy")
+    perf.add_argument("--sites", type=int, default=300)
+
+    report = commands.add_parser(
+        "report", help="write the full evaluation report (Markdown)"
+    )
+    report.add_argument("output", help="output .md path")
+    report.add_argument("--sites", type=int, default=400)
+
+    validate = commands.add_parser(
+        "validate", help="check the study against the paper's claims"
+    )
+    validate.add_argument("--sites", type=int, default=400)
+    return parser
+
+
+def _cmd_study(args) -> int:
+    from repro.analysis import ALL_TABLES, Study, StudyConfig, figure2, \
+        figure3, headline
+
+    study = Study.run(StudyConfig(seed=args.seed, n_sites=args.sites))
+    shown = False
+    if args.table:
+        names = sorted(ALL_TABLES) if args.table == "all" else [
+            f"table{int(args.table)}"
+        ]
+        for name in names:
+            if name not in ALL_TABLES:
+                print(f"unknown table: {args.table}", file=sys.stderr)
+                return 2
+            print(ALL_TABLES[name](study).render())
+            print()
+        shown = True
+    if args.figure == 2:
+        print(figure2(study).render())
+        shown = True
+    elif args.figure == 3:
+        print(figure3(study).render())
+        shown = True
+    if args.headline or not shown:
+        print(headline(study).render())
+    return 0
+
+
+def _cmd_audit(args) -> int:
+    from repro.browser.browser import ChromiumBrowser
+    from repro.core.classifier import classify_site
+    from repro.core.session import LifetimeModel, records_from_visit
+    from repro.util.clock import SimClock
+    from repro.web.ecosystem import Ecosystem, EcosystemConfig
+
+    ecosystem = Ecosystem.generate(
+        EcosystemConfig(seed=args.seed, n_sites=args.sites)
+    )
+    domain = args.domain or ecosystem.websites[0].domain
+    browser = ChromiumBrowser(
+        ecosystem=ecosystem,
+        resolver=ecosystem.make_resolver(),
+        clock=SimClock(),
+        rng=random.Random(args.seed),
+    )
+    visit = browser.visit(domain)
+    if visit.unreachable:
+        print(f"{domain}: unreachable", file=sys.stderr)
+        return 1
+    verdict = classify_site(domain, records_from_visit(visit),
+                            model=LifetimeModel.ACTUAL)
+    print(f"{domain}: {verdict.h2_connections} HTTP/2 connections, "
+          f"{verdict.redundant_count} redundant")
+    for hit in verdict.hits:
+        print(f"  {hit.cause.value:<4} #{hit.record.connection_id} "
+              f"{hit.record.domain} ({hit.record.ip})  "
+              f"prev: #{hit.previous.connection_id} {hit.previous.domain} "
+              f"({hit.previous.ip})")
+    return 0
+
+
+def _cmd_dnsstudy(args) -> int:
+    from repro.analysis.figures import Figure3Result
+    from repro.dnsstudy.study import DnsLoadBalancingStudy
+    from repro.web.ecosystem import Ecosystem, EcosystemConfig
+
+    ecosystem = Ecosystem.generate(
+        EcosystemConfig(seed=args.seed, n_sites=args.sites)
+    )
+    result = DnsLoadBalancingStudy(
+        ecosystem=ecosystem, duration_s=args.days * 24 * 3600.0
+    ).run()
+    print(Figure3Result(study=result).render())
+    return 0
+
+
+def _cmd_mitigations(args) -> int:
+    from repro.analysis.ablation import compare_mitigations
+
+    comparison = compare_mitigations(seed=args.seed, n_sites=args.sites)
+    print(comparison.render())
+    return 0
+
+
+def _cmd_perf(args) -> int:
+    from repro.analysis.study import Study, StudyConfig
+    from repro.perf.corpus import corpus_impact
+
+    study = Study.run(StudyConfig(seed=args.seed, n_sites=args.sites))
+    for key in ("har-endless", "alexa"):
+        impact = corpus_impact(study.dataset(key), {})
+        print(impact.render())
+        print()
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.analysis.report import write_report
+    from repro.analysis.study import Study, StudyConfig
+
+    study = Study.run(StudyConfig(seed=args.seed, n_sites=args.sites))
+    path = write_report(study, args.output)
+    print(f"report written to {path}")
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from repro.analysis.study import Study, StudyConfig
+    from repro.analysis.validation import validate_study
+
+    study = Study.run(StudyConfig(seed=args.seed, n_sites=args.sites))
+    scorecard = validate_study(study)
+    print(scorecard.render())
+    return 0 if scorecard.all_passed else 1
+
+
+_COMMANDS = {
+    "study": _cmd_study,
+    "audit": _cmd_audit,
+    "dnsstudy": _cmd_dnsstudy,
+    "mitigations": _cmd_mitigations,
+    "perf": _cmd_perf,
+    "report": _cmd_report,
+    "validate": _cmd_validate,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

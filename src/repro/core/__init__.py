@@ -1,0 +1,35 @@
+"""Core contribution: Connection Reuse auditing and redundancy classification."""
+
+from repro.core.attribution import (
+    AttributionIndex,
+    IssuerAttribution,
+    OriginAttribution,
+)
+from repro.core.causes import Cause
+from repro.core.classifier import CauseHit, SiteClassification, classify_site
+from repro.core.report import CauseCounts, CorpusReport
+from repro.core.reuse import could_reuse, reuse_blockers
+from repro.core.session import (
+    LifetimeModel,
+    RequestSummary,
+    SessionRecord,
+    records_from_visit,
+)
+
+__all__ = [
+    "AttributionIndex",
+    "IssuerAttribution",
+    "OriginAttribution",
+    "Cause",
+    "CauseHit",
+    "SiteClassification",
+    "classify_site",
+    "CauseCounts",
+    "CorpusReport",
+    "could_reuse",
+    "reuse_blockers",
+    "LifetimeModel",
+    "RequestSummary",
+    "SessionRecord",
+    "records_from_visit",
+]

@@ -1,0 +1,31 @@
+"""The root causes of redundant connections (Figure 1 of the paper)."""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Cause"]
+
+
+class Cause(enum.Enum):
+    """Why a browser opened a connection that reuse could have avoided.
+
+    * ``CERT`` — same IP, but no earlier connection's certificate lists
+      the new domain (domain sharding with disjunct certificates).
+    * ``IP`` — an earlier connection's certificate covers the domain,
+      but DNS resolved it to a different IP (unsynchronized
+      load balancing, genuinely distributed content).
+    * ``CRED`` — IP and certificate both match; the Fetch Standard's
+      credentials partition still forced a new connection.
+
+    Unknown third-party connections (no earlier connection matches on
+    either axis) are *not* redundant: "these cannot be avoided in the
+    HTTP context" (§3).
+    """
+
+    CERT = "CERT"
+    IP = "IP"
+    CRED = "CRED"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value

@@ -1,0 +1,107 @@
+"""Corpus-level aggregation: the numbers behind Table 1 and Figure 2."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.causes import Cause
+from repro.core.classifier import SiteClassification
+from repro.util.formatting import pct, si_count
+
+__all__ = ["CauseCounts", "CorpusReport"]
+
+
+@dataclass
+class CauseCounts:
+    """Sites and connections attributed to one cause."""
+
+    sites: int = 0
+    connections: int = 0
+
+
+@dataclass
+class CorpusReport:
+    """Aggregated classification results over a whole corpus."""
+
+    name: str
+    total_sites: int = 0
+    h2_sites: int = 0
+    total_connections: int = 0
+    h2_connections: int = 0
+    redundant_sites: int = 0
+    redundant_connections: int = 0
+    by_cause: dict[Cause, CauseCounts] = field(
+        default_factory=lambda: {cause: CauseCounts() for cause in Cause}
+    )
+    #: Redundant-connection count per h2 site (Figure 2's raw data).
+    redundant_per_site: list[int] = field(default_factory=list)
+
+    def add_site(self, classification: SiteClassification) -> None:
+        """Fold one site's classification into the report."""
+        self.total_sites += 1
+        self.total_connections += classification.total_connections
+        if classification.h2_connections == 0:
+            return
+        self.h2_sites += 1
+        self.h2_connections += classification.h2_connections
+        redundant = classification.redundant_count
+        self.redundant_per_site.append(redundant)
+        if redundant:
+            self.redundant_sites += 1
+            self.redundant_connections += redundant
+        for cause in Cause:
+            count = classification.count(cause)
+            if count:
+                self.by_cause[cause].sites += 1
+                self.by_cause[cause].connections += count
+
+    # ------------------------------------------------------------------
+    def site_share(self, cause: Cause) -> float:
+        """Share of h2 sites affected by ``cause`` (paper-style)."""
+        if self.h2_sites == 0:
+            return 0.0
+        return self.by_cause[cause].sites / self.h2_sites
+
+    def connection_share(self, cause: Cause) -> float:
+        if self.h2_connections == 0:
+            return 0.0
+        return self.by_cause[cause].connections / self.h2_connections
+
+    def redundant_site_share(self) -> float:
+        if self.h2_sites == 0:
+            return 0.0
+        return self.redundant_sites / self.h2_sites
+
+    def table_rows(self) -> list[list[str]]:
+        """Rows in the layout of the paper's Table 1 (one dataset)."""
+        rows = []
+        for cause in (Cause.CERT, Cause.IP, Cause.CRED):
+            counts = self.by_cause[cause]
+            rows.append(
+                [
+                    cause.value,
+                    si_count(counts.sites),
+                    si_count(counts.connections),
+                    pct(counts.sites, self.h2_sites),
+                    pct(counts.connections, self.h2_connections),
+                ]
+            )
+        rows.append(
+            [
+                "Redund.",
+                si_count(self.redundant_sites),
+                si_count(self.redundant_connections),
+                pct(self.redundant_sites, self.h2_sites),
+                pct(self.redundant_connections, self.h2_connections),
+            ]
+        )
+        rows.append(
+            [
+                "Total",
+                si_count(self.h2_sites),
+                si_count(self.h2_connections),
+                "100 %",
+                "100 %",
+            ]
+        )
+        return rows

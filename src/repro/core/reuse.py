@@ -1,0 +1,40 @@
+"""The HTTP/2 Connection Reuse predicate (RFC 7540 §9.1.1).
+
+"Requests for domain D may be sent over an existing connection A if D
+resolves to the same destination IP that A is using (+ matching ports)
+and if A's TLS certificate includes D" (§2.2.2).  This module states the
+rule once so the classifier, the browser pool tests and the mitigation
+ablations all agree on what *should* have been reusable.
+"""
+
+from __future__ import annotations
+
+from repro.core.session import SessionRecord
+
+__all__ = ["could_reuse", "reuse_blockers"]
+
+
+def could_reuse(existing: SessionRecord, domain: str, ip: str, port: int = 443) -> bool:
+    """Does the RFC allow sending ``domain``@``ip`` over ``existing``?"""
+    return (
+        existing.protocol == "h2"
+        and existing.ip == ip
+        and existing.port == port
+        and existing.covers(domain)
+    )
+
+
+def reuse_blockers(
+    existing: SessionRecord, domain: str, ip: str, port: int = 443
+) -> list[str]:
+    """Human-readable reasons reuse is *not* allowed (empty = allowed)."""
+    blockers = []
+    if existing.protocol != "h2":
+        blockers.append(f"existing connection is {existing.protocol}, not HTTP/2")
+    if existing.ip != ip:
+        blockers.append(f"destination IP differs ({existing.ip} vs {ip})")
+    if existing.port != port:
+        blockers.append(f"port differs ({existing.port} vs {port})")
+    if not existing.covers(domain):
+        blockers.append(f"certificate SANs do not include {domain}")
+    return blockers

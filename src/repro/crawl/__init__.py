@@ -1,0 +1,18 @@
+"""Measurement harnesses: HTTP Archive crawl, Alexa runs, overlap."""
+
+from repro.crawl.alexa import AlexaCrawler, AlexaMeasurement, AlexaRun
+from repro.crawl.classify import ClassifiedDataset, classify_dataset
+from repro.crawl.httparchive import HarCorpus, HttpArchiveCrawler
+from repro.crawl.overlap import overlap_datasets, overlap_sites
+
+__all__ = [
+    "AlexaCrawler",
+    "AlexaMeasurement",
+    "AlexaRun",
+    "ClassifiedDataset",
+    "classify_dataset",
+    "HarCorpus",
+    "HttpArchiveCrawler",
+    "overlap_datasets",
+    "overlap_sites",
+]

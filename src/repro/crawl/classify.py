@@ -1,0 +1,79 @@
+"""Turning raw measurements into classified datasets.
+
+A *dataset* in the paper's sense is one column group of Table 1: a set
+of per-site session records evaluated under one lifetime model.  This
+module owns the shared fold: classify every site, aggregate the
+corpus report, and build the attribution index (origins, issuers, ASes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.attribution import AttributionIndex
+from repro.core.classifier import SiteClassification, classify_site
+from repro.core.report import CorpusReport
+from repro.core.session import LifetimeModel, SessionRecord
+from repro.net.asdb import AsDatabase
+
+__all__ = ["ClassifiedDataset", "classify_dataset"]
+
+
+@dataclass
+class ClassifiedDataset:
+    """One fully classified corpus under one lifetime model."""
+
+    name: str
+    model: LifetimeModel
+    report: CorpusReport
+    attribution: AttributionIndex
+    classifications: dict[str, SiteClassification] = field(default_factory=dict)
+
+    def subset(self, sites: Iterable[str], *, name: str) -> "ClassifiedDataset":
+        """Re-aggregate over a site subset (the overlap analyses)."""
+        picked = {
+            site: classification
+            for site, classification in self.classifications.items()
+            if site in set(sites)
+        }
+        report = CorpusReport(name=name)
+        attribution = AttributionIndex()
+        for classification in picked.values():
+            report.add_site(classification)
+            attribution.add_site(classification)
+        out = ClassifiedDataset(
+            name=name,
+            model=self.model,
+            report=report,
+            attribution=attribution,
+            classifications=picked,
+        )
+        return out
+
+
+def classify_dataset(
+    name: str,
+    site_records: dict[str, list[SessionRecord]],
+    *,
+    model: LifetimeModel,
+    asdb: AsDatabase | None = None,
+) -> ClassifiedDataset:
+    """Classify every site of a corpus and aggregate."""
+    report = CorpusReport(name=name)
+    attribution = AttributionIndex()
+    classifications: dict[str, SiteClassification] = {}
+    for site, records in site_records.items():
+        classification = classify_site(site, records, model=model)
+        classifications[site] = classification
+        report.add_site(classification)
+        attribution.add_site(classification)
+        if asdb is not None:
+            attribution.attribute_ases(asdb, classification)
+    return ClassifiedDataset(
+        name=name,
+        model=model,
+        report=report,
+        attribution=attribution,
+        classifications=classifications,
+    )

@@ -1,0 +1,105 @@
+"""The HTTP Archive crawl (§4.2.1).
+
+"For every website, the landing page is loaded 3 times and the HAR file
+for the median load time is saved."  The crawler reproduces that
+pipeline against the synthetic ecosystem from a US vantage point (the
+HTTP Archive crawls from US data centres, which is one of the
+vantage-point differences the paper discusses in Appendix A.3/A.4),
+injecting the §4.3 logging inconsistencies that the reader later
+filters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.browser.browser import BrowserConfig, ChromiumBrowser
+from repro.crawl.classify import ClassifiedDataset, classify_dataset
+from repro.core.session import LifetimeModel
+from repro.har.model import HarFile
+from repro.har.reader import FilterStats, read_sessions
+from repro.har.writer import HarNoiseConfig, write_har
+from repro.util.clock import SimClock
+from repro.util.rng import RngFactory
+from repro.web.ecosystem import Ecosystem
+
+__all__ = ["HarCorpus", "HttpArchiveCrawler"]
+
+
+@dataclass
+class HarCorpus:
+    """The crawl's output: one (median-load) HAR per reachable site."""
+
+    name: str
+    hars: dict[str, HarFile] = field(default_factory=dict)
+    unreachable: list[str] = field(default_factory=list)
+
+    def classify(
+        self, *, model: LifetimeModel, asdb=None, name: str | None = None
+    ) -> ClassifiedDataset:
+        """Sanitize all HARs and classify under ``model``."""
+        stats = FilterStats()
+        site_records = {}
+        for site, har in self.hars.items():
+            result = read_sessions(har)
+            stats.merge(result.stats)
+            site_records[site] = result.records
+        dataset = classify_dataset(
+            name or f"{self.name}-{model.value}",
+            site_records,
+            model=model,
+            asdb=asdb,
+        )
+        dataset.filter_stats = stats  # type: ignore[attr-defined]
+        return dataset
+
+
+@dataclass
+class HttpArchiveCrawler:
+    """Visits sites three times and keeps the median-load HAR."""
+
+    ecosystem: Ecosystem
+    seed: int = 11
+    vantage_country: str = "US"
+    noise: HarNoiseConfig = field(default_factory=HarNoiseConfig)
+    start_time: float = 0.0
+    loads_per_site: int = 3
+    observe_s: float = 300.0
+
+    def crawl(self, domains: list[str] | None = None) -> HarCorpus:
+        """Crawl ``domains`` (default: the ecosystem's CrUX-like sample)."""
+        if domains is None:
+            domains = self.ecosystem.httparchive_sample(seed=self.seed)
+        rng = RngFactory(self.seed)
+        clock = SimClock(self.start_time)
+        resolver = self.ecosystem.make_resolver("httparchive-crux")
+        browser = ChromiumBrowser(
+            ecosystem=self.ecosystem,
+            resolver=resolver,
+            clock=clock,
+            rng=rng.stream("browser"),
+            config=BrowserConfig(
+                vantage_country=self.vantage_country, observe_s=self.observe_s
+            ),
+        )
+        gap_rng = rng.stream("gaps")
+        noise_rng = rng.stream("har-noise")
+        corpus = HarCorpus(name="httparchive")
+        for domain in domains:
+            visits = []
+            for _ in range(self.loads_per_site):
+                visit = browser.visit(domain)
+                if visit.unreachable:
+                    break
+                visits.append(visit)
+                clock.advance(gap_rng.uniform(1.0, 5.0))
+            if not visits:
+                corpus.unreachable.append(domain)
+                continue
+            # Median of three by onLoad time, like the HTTP Archive.
+            visits.sort(key=lambda visit: visit.load.load_time)
+            median_visit = visits[len(visits) // 2]
+            corpus.hars[domain] = write_har(
+                median_visit, noise=self.noise, rng=noise_rng
+            )
+        return corpus

@@ -1,0 +1,33 @@
+"""Dataset intersection (Appendix A.3).
+
+The HTTP Archive and Alexa corpora visit different site sets; to compare
+vantage points the paper intersects them by visited URL and re-runs the
+aggregation on the overlap (Tables 7–10).
+"""
+
+from __future__ import annotations
+
+from repro.crawl.classify import ClassifiedDataset
+
+__all__ = ["overlap_sites", "overlap_datasets"]
+
+
+def overlap_sites(*datasets: ClassifiedDataset) -> set[str]:
+    """Sites present (and classified) in every dataset."""
+    if not datasets:
+        return set()
+    sites = set(datasets[0].classifications)
+    for dataset in datasets[1:]:
+        sites &= set(dataset.classifications)
+    return sites
+
+
+def overlap_datasets(
+    a: ClassifiedDataset, b: ClassifiedDataset, *, suffix: str = "overlap"
+) -> tuple[ClassifiedDataset, ClassifiedDataset]:
+    """Both datasets restricted to their common sites."""
+    sites = overlap_sites(a, b)
+    return (
+        a.subset(sites, name=f"{a.name}-{suffix}"),
+        b.subset(sites, name=f"{b.name}-{suffix}"),
+    )

@@ -1,0 +1,28 @@
+"""DNS substrate: records, load balancing, authoritative namespace, resolvers."""
+
+from repro.dns.loadbalancer import (
+    AnycastPolicy,
+    LoadBalancingPolicy,
+    RotationPolicy,
+    StaticPolicy,
+)
+from repro.dns.records import DEFAULT_TTL, Answer, RecordType
+from repro.dns.resolver import RecursiveResolver, ResolverInfo, default_fleet
+from repro.dns.zone import AddressEntry, AliasEntry, DnsNamespace, NxDomain
+
+__all__ = [
+    "AnycastPolicy",
+    "LoadBalancingPolicy",
+    "RotationPolicy",
+    "StaticPolicy",
+    "DEFAULT_TTL",
+    "Answer",
+    "RecordType",
+    "RecursiveResolver",
+    "ResolverInfo",
+    "default_fleet",
+    "AddressEntry",
+    "AliasEntry",
+    "DnsNamespace",
+    "NxDomain",
+]

@@ -1,0 +1,98 @@
+"""Authoritative-side load-balancing policies.
+
+The paper attributes the dominant cause of redundant connections (cause
+*IP*) to **unsynchronized DNS load balancing**: two domains of the same
+service (e.g. ``www.googletagmanager.com`` and
+``www.google-analytics.com``) are balanced independently over a shared
+server pool, so a client usually receives *different* IPs for them even
+though either server could have answered for both (§5.3.1, Appendix A.4).
+
+Policies here decide which addresses of a pool an authoritative zone
+returns for a query, as a pure function of ``(salt, time slot, resolver
+identity)`` — deterministic, so studies are reproducible, yet exhibiting
+exactly the temporal/spatial fluctuation of Figure 3:
+
+* :class:`StaticPolicy` — always the full pool in fixed order (no LB).
+* :class:`RotationPolicy` — returns ``answer_count`` addresses starting
+  at a pseudo-random offset that changes every ``period_s`` seconds and
+  differs per resolver.  Two domains sharing a pool but using different
+  ``salt`` values are *unsynchronized*; giving them the same ``salt``
+  models the paper's proposed mitigation (shared CNAME / coordinated LB).
+* :class:`AnycastPolicy` — one stable virtual IP for every query, the
+  "Anycast CDN" mitigation of §5.3.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+from repro.util.rng import stable_hash
+
+__all__ = ["LoadBalancingPolicy", "StaticPolicy", "RotationPolicy", "AnycastPolicy"]
+
+
+class LoadBalancingPolicy(Protocol):
+    """Strategy choosing the answer set for one query."""
+
+    def select(
+        self, pool: Sequence[str], *, salt: str, now: float, resolver_id: str
+    ) -> tuple[str, ...]:
+        """Return the A records to serve, in answer order."""
+        ...
+
+
+@dataclass(frozen=True)
+class StaticPolicy:
+    """No balancing: the whole pool, in pool order."""
+
+    def select(
+        self, pool: Sequence[str], *, salt: str, now: float, resolver_id: str
+    ) -> tuple[str, ...]:
+        return tuple(pool)
+
+
+@dataclass(frozen=True)
+class RotationPolicy:
+    """Time- and vantage-dependent rotation over the pool.
+
+    ``answer_count`` addresses are taken from the pool starting at an
+    offset derived from ``(salt, slot, resolver_id)``.  With
+    ``per_resolver=False`` all resolvers in a slot agree (purely temporal
+    rotation); the default also varies across resolvers, which is what
+    the paper observed across its 14 vantage points.
+    """
+
+    answer_count: int = 1
+    period_s: float = 360.0
+    per_resolver: bool = True
+
+    def __post_init__(self) -> None:
+        if self.answer_count < 1:
+            raise ValueError("answer_count must be >= 1")
+        if self.period_s <= 0:
+            raise ValueError("period_s must be positive")
+
+    def select(
+        self, pool: Sequence[str], *, salt: str, now: float, resolver_id: str
+    ) -> tuple[str, ...]:
+        if not pool:
+            return ()
+        slot = int(now // self.period_s)
+        vantage = resolver_id if self.per_resolver else ""
+        offset = stable_hash("rotation", salt, slot, vantage) % len(pool)
+        count = min(self.answer_count, len(pool))
+        doubled = list(pool) + list(pool)
+        return tuple(doubled[offset:offset + count])
+
+
+@dataclass(frozen=True)
+class AnycastPolicy:
+    """Every query sees the same single (virtual) address: pool[0]."""
+
+    def select(
+        self, pool: Sequence[str], *, salt: str, now: float, resolver_id: str
+    ) -> tuple[str, ...]:
+        if not pool:
+            return ()
+        return (pool[0],)

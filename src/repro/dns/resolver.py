@@ -1,0 +1,115 @@
+"""Caching recursive resolvers.
+
+Each resolver has an identity (feeding the authoritative rotation hash,
+so different vantage points see different load-balancer answers — the
+spatial dimension of Figure 3) and a TTL-honouring cache (the temporal
+smoothing the paper notes: "load-balanced resolvers with differing
+caches can also cause this effect").
+
+Table 11 of the paper lists the 14 public resolvers used for the DNS
+study; :func:`default_fleet` mirrors that fleet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dns.records import Answer
+from repro.dns.zone import DnsNamespace
+
+__all__ = ["RecursiveResolver", "ResolverInfo", "default_fleet"]
+
+
+@dataclass(frozen=True)
+class ResolverInfo:
+    """Descriptive metadata for one resolver (Table 11 row)."""
+
+    resolver_id: str
+    ip: str
+    country: str
+    operator: str
+    supports_ecs: bool = False
+
+
+#: The paper's resolver fleet (Table 11).  The university resolver is the
+#: default vantage point for crawls.
+_FLEET_ROWS: tuple[tuple[str, str, str], ...] = (
+    ("internal", "Germany", "RWTH Aachen University"),
+    ("168.126.63.1", "South Korea", "KT Corporation"),
+    ("172.104.237.57", "Germany", "FreeDNS"),
+    ("172.104.49.100", "Singapore", "FreeDNS"),
+    ("177.47.128.2", "Brazil", "Ver Tv Comunicações S/A"),
+    ("178.237.152.146", "Spain", "MAXEN TECHNOLOGIES, S.L."),
+    ("195.208.5.1", "Russia", "MSK-IX"),
+    ("203.50.2.71", "Australia", "Telstra Corporation Limited"),
+    ("210.87.250.59", "Hong Kong", "HKT Limited"),
+    ("212.89.130.180", "Germany", "Infoserve GmbH"),
+    ("221.119.13.154", "Japan", "Marss Japan Co., Ltd"),
+    ("8.0.26.0", "United Kingdom", "Level 3 Communications, Inc."),
+    ("8.0.6.0", "USA", "Level 3 Communications, Inc."),
+    ("80.67.169.12", "France", "French Data Network (FDN)"),
+)
+
+
+def default_fleet(namespace: DnsNamespace) -> list["RecursiveResolver"]:
+    """Build the 14-resolver fleet of Table 11 over ``namespace``."""
+    fleet = []
+    for ip, country, operator in _FLEET_ROWS:
+        info = ResolverInfo(
+            resolver_id=ip, ip=ip, country=country, operator=operator
+        )
+        fleet.append(RecursiveResolver(namespace=namespace, info=info))
+    return fleet
+
+
+@dataclass
+class RecursiveResolver:
+    """A recursive resolver with a TTL-honouring answer cache."""
+
+    namespace: DnsNamespace
+    info: ResolverInfo
+    _cache: dict[str, tuple[float, Answer]] = field(default_factory=dict)
+    queries: int = 0
+    cache_hits: int = 0
+
+    @property
+    def resolver_id(self) -> str:
+        return self.info.resolver_id
+
+    def resolve(
+        self, name: str, *, now: float, client_subnet: str | None = None
+    ) -> Answer:
+        """Resolve ``name`` at simulated time ``now``.
+
+        Served from cache while the cached answer's TTL has not expired;
+        otherwise queried authoritatively and re-cached.
+
+        ``client_subnet`` models EDNS Client Subnet (RFC 7871): ECS-
+        capable resolvers forward the client's subnet so authoritative
+        load balancers can answer per client, and cache per subnet.
+        The paper's fleet deliberately consisted of non-ECS resolvers
+        (Table 11), so overlap differences were attributable to the
+        resolvers themselves.
+        """
+        self.queries += 1
+        use_ecs = self.info.supports_ecs and client_subnet is not None
+        cache_key = f"{name}\x1f{client_subnet}" if use_ecs else name
+        cached = self._cache.get(cache_key)
+        if cached is not None:
+            expiry, answer = cached
+            if now < expiry:
+                self.cache_hits += 1
+                return answer
+        vantage = (
+            f"{self.resolver_id}|ecs:{client_subnet}" if use_ecs
+            else self.resolver_id
+        )
+        answer = self.namespace.authoritative_answer(
+            name, now=now, resolver_id=vantage
+        )
+        self._cache[cache_key] = (now + answer.ttl, answer)
+        return answer
+
+    def flush(self) -> None:
+        """Drop the entire cache (used between crawl visits)."""
+        self._cache.clear()

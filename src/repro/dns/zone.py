@@ -1,0 +1,129 @@
+"""Authoritative DNS: hostname entries and the global namespace.
+
+The ecosystem generator wires every hostname it mints into a
+:class:`DnsNamespace` — either an address entry (a server pool plus a
+load-balancing policy) or an alias (CNAME).  Recursive resolvers query
+the namespace; there is no delegation hierarchy because nothing in the
+reproduction depends on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dns.loadbalancer import LoadBalancingPolicy, StaticPolicy
+from repro.dns.records import DEFAULT_TTL, Answer
+from repro.util.domains import is_valid_hostname, normalize
+
+__all__ = ["AddressEntry", "AliasEntry", "DnsNamespace", "NxDomain"]
+
+#: Maximum CNAME chain length before the namespace declares a loop.
+_MAX_CHAIN = 16
+
+
+class NxDomain(LookupError):
+    """Raised when a hostname has no entry (the paper's unreachable sites)."""
+
+
+@dataclass
+class AddressEntry:
+    """A hostname backed by a pool of addresses and a balancing policy.
+
+    ``salt`` defaults to the hostname itself, which makes two hostnames
+    over the same pool *unsynchronized* (the paper's dominant failure
+    mode); pass a shared salt to synchronize them (the mitigation).
+    """
+
+    pool: tuple[str, ...]
+    policy: LoadBalancingPolicy = field(default_factory=StaticPolicy)
+    ttl: int = DEFAULT_TTL
+    salt: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.pool:
+            raise ValueError("address entry needs at least one address")
+
+
+@dataclass
+class AliasEntry:
+    """A CNAME from one hostname to another."""
+
+    target: str
+    ttl: int = DEFAULT_TTL
+
+    def __post_init__(self) -> None:
+        self.target = normalize(self.target)
+        if not is_valid_hostname(self.target):
+            raise ValueError(f"invalid CNAME target: {self.target!r}")
+
+
+class DnsNamespace:
+    """The authoritative view of every name in the synthetic Internet."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, AddressEntry | AliasEntry] = {}
+
+    def add_address(self, name: str, entry: AddressEntry) -> None:
+        """Register an address entry for ``name`` (replacing any prior)."""
+        name = normalize(name)
+        if not is_valid_hostname(name):
+            raise ValueError(f"invalid hostname: {name!r}")
+        self._entries[name] = entry
+
+    def add_alias(self, name: str, entry: AliasEntry) -> None:
+        """Register a CNAME for ``name``."""
+        name = normalize(name)
+        if not is_valid_hostname(name):
+            raise ValueError(f"invalid hostname: {name!r}")
+        if entry.target == name:
+            raise ValueError(f"CNAME to self: {name}")
+        self._entries[name] = entry
+
+    def remove(self, name: str) -> None:
+        """Delete ``name`` (simulates a site becoming unreachable)."""
+        self._entries.pop(normalize(name), None)
+
+    def __contains__(self, name: str) -> bool:
+        return normalize(name) in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def names(self) -> list[str]:
+        """All registered hostnames, sorted."""
+        return sorted(self._entries)
+
+    def authoritative_answer(
+        self, name: str, *, now: float, resolver_id: str
+    ) -> Answer:
+        """Resolve ``name`` following CNAMEs, applying LB policies.
+
+        Raises :class:`NxDomain` for unknown names and ``ValueError`` on
+        CNAME loops.
+        """
+        query_name = normalize(name)
+        current = query_name
+        chain: list[str] = []
+        ttl = None
+        for _ in range(_MAX_CHAIN):
+            entry = self._entries.get(current)
+            if entry is None:
+                raise NxDomain(current)
+            if isinstance(entry, AliasEntry):
+                chain.append(entry.target)
+                ttl = entry.ttl if ttl is None else min(ttl, entry.ttl)
+                current = entry.target
+                continue
+            ips = entry.policy.select(
+                entry.pool,
+                salt=entry.salt or current,
+                now=now,
+                resolver_id=resolver_id,
+            )
+            if not ips:
+                raise NxDomain(current)
+            ttl = entry.ttl if ttl is None else min(ttl, entry.ttl)
+            return Answer(
+                name=query_name, ips=ips, ttl=ttl, cname_chain=tuple(chain)
+            )
+        raise ValueError(f"CNAME chain too long resolving {query_name}")

@@ -1,0 +1,17 @@
+"""DNS load-balancing study (Figure 3, Table 11, Appendix A.4)."""
+
+from repro.dnsstudy.study import (
+    DEFAULT_PAIRS,
+    DnsLoadBalancingStudy,
+    DnsStudyResult,
+    DomainPair,
+    PairTimeline,
+)
+
+__all__ = [
+    "DEFAULT_PAIRS",
+    "DnsLoadBalancingStudy",
+    "DnsStudyResult",
+    "DomainPair",
+    "PairTimeline",
+]

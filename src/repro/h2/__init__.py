@@ -1,0 +1,63 @@
+"""HTTP/2 substrate: frames, HPACK, streams, connections, settings."""
+
+from repro.h2.connection import (
+    HTTP_MISDIRECTED_REQUEST,
+    ConnectionClosedError,
+    Http2Connection,
+    RequestRecord,
+    ServerEndpoint,
+)
+from repro.h2.frames import (
+    DataFrame,
+    Flags,
+    Frame,
+    FrameError,
+    FrameHeader,
+    FrameType,
+    GoawayFrame,
+    HeadersFrame,
+    OriginFrame,
+    PingFrame,
+    RstStreamFrame,
+    SettingsFrame,
+    UnknownFrame,
+    WindowUpdateFrame,
+    decode_frames,
+    encode_frame,
+)
+from repro.h2.hpack import STATIC_TABLE, HpackDecoder, HpackEncoder, HpackError
+from repro.h2.settings import Http2Settings, SettingId
+from repro.h2.stream import Http2Stream, StreamError, StreamState
+
+__all__ = [
+    "HTTP_MISDIRECTED_REQUEST",
+    "ConnectionClosedError",
+    "Http2Connection",
+    "RequestRecord",
+    "ServerEndpoint",
+    "DataFrame",
+    "Flags",
+    "Frame",
+    "FrameError",
+    "FrameHeader",
+    "FrameType",
+    "GoawayFrame",
+    "HeadersFrame",
+    "OriginFrame",
+    "PingFrame",
+    "RstStreamFrame",
+    "SettingsFrame",
+    "UnknownFrame",
+    "WindowUpdateFrame",
+    "decode_frames",
+    "encode_frame",
+    "STATIC_TABLE",
+    "HpackDecoder",
+    "HpackEncoder",
+    "HpackError",
+    "Http2Settings",
+    "SettingId",
+    "Http2Stream",
+    "StreamError",
+    "StreamState",
+]

@@ -1,0 +1,243 @@
+"""HTTP/2 client connection.
+
+An :class:`Http2Connection` is the unit of observation of the whole
+study: the paper counts connections, groups them by destination IP,
+inspects their certificate SANs and their initially used domain, and
+asks which of them were redundant.  The connection therefore records
+exactly those observables, plus the stream/request log that the HAR and
+NetLog pipelines serialise.
+
+Server interaction goes through the small :class:`ServerEndpoint`
+protocol implemented by ``repro.web.server.OriginServer`` — including
+421 (Misdirected Request) responses when a coalesced request reaches a
+server that cannot answer for the domain, and the optional RFC 8336
+ORIGIN frame advertisement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.h2.hpack import HpackDecoder, HpackEncoder
+from repro.h2.settings import Http2Settings
+from repro.h2.stream import Http2Stream
+from repro.tls.certificate import Certificate
+
+__all__ = [
+    "ServerEndpoint",
+    "RequestRecord",
+    "ConnectionClosedError",
+    "Http2Connection",
+    "HTTP_MISDIRECTED_REQUEST",
+]
+
+HTTP_MISDIRECTED_REQUEST = 421
+
+
+class ConnectionClosedError(RuntimeError):
+    """A request was attempted on a closed connection."""
+
+
+class ServerEndpoint(Protocol):
+    """What a connection needs from the server side."""
+
+    ip: str
+    certificate: Certificate
+
+    def certificate_for(self, sni: str) -> Certificate:
+        """The leaf certificate presented for a given SNI (vhosting)."""
+        ...
+
+    def handle_request(
+        self, domain: str, path: str, *, method: str, credentials: bool
+    ) -> tuple[int, list[tuple[str, str]], int]:
+        """Serve one request; returns (status, headers, body size)."""
+        ...
+
+    def advertised_origins(self) -> tuple[str, ...]:
+        """Origins the server announces via ORIGIN frames (RFC 8336)."""
+        ...
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """One request as later visible in HAR / NetLog data."""
+
+    url: str
+    domain: str
+    path: str
+    method: str
+    status: int
+    started_at: float
+    finished_at: float
+    with_credentials: bool
+    stream_id: int
+    body_size: int
+
+
+@dataclass
+class Http2Connection:
+    """One HTTP/2 session from browser to server."""
+
+    connection_id: int
+    server: ServerEndpoint
+    sni: str
+    remote_ip: str
+    created_at: float
+    port: int = 443
+    privacy_mode: bool = False
+    #: Negotiated ALPN protocol; non-"h2" sessions model the HTTP/1.1
+    #: fallback connections that the HAR sanitizer later filters out.
+    protocol: str = "h2"
+    local_settings: Http2Settings = field(default_factory=Http2Settings)
+    remote_settings: Http2Settings = field(default_factory=Http2Settings)
+    closed_at: float | None = None
+    goaway_received: bool = False
+    streams: dict[int, Http2Stream] = field(default_factory=dict)
+    requests: list[RequestRecord] = field(default_factory=list)
+    origin_set: set[str] = field(default_factory=set)
+    misdirected_domains: set[str] = field(default_factory=set)
+    _next_stream_id: int = 1
+
+    def __post_init__(self) -> None:
+        # Real servers choose the presented certificate by SNI; this is
+        # what makes same-IP sharding with disjunct certificates (the
+        # paper's CERT cause) possible in the first place.
+        self.certificate = self.server.certificate_for(self.sni)
+        if self.remote_ip != self.server.ip:
+            raise ValueError(
+                f"connection IP {self.remote_ip} does not match server {self.server.ip}"
+            )
+        self._encoder = HpackEncoder(self.remote_settings.header_table_size)
+        self._decoder = HpackDecoder(self.local_settings.header_table_size)
+        # RFC 8336: the server may advertise additional origins at
+        # session start; whether the client *uses* them is browser policy.
+        self.origin_set.update(self.server.advertised_origins())
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def is_open(self) -> bool:
+        return self.closed_at is None and not self.goaway_received
+
+    def close(self, *, now: float) -> None:
+        """Client-side close (or idle timeout)."""
+        if self.closed_at is None:
+            self.closed_at = now
+            for stream in self.streams.values():
+                if not stream.is_closed:
+                    stream.reset(now=now)
+
+    def receive_goaway(self, *, now: float) -> None:
+        """Server GOAWAY: no new streams; existing ones finish."""
+        self.goaway_received = True
+        if self.closed_at is None:
+            self.closed_at = now
+
+    def lifetime(self, *, assume_end: float | None = None) -> float | None:
+        """Seconds the connection lived; ``assume_end`` caps open ones."""
+        end = self.closed_at if self.closed_at is not None else assume_end
+        if end is None:
+            return None
+        return max(0.0, end - self.created_at)
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+    def open_stream_count(self) -> int:
+        return sum(1 for stream in self.streams.values() if not stream.is_closed)
+
+    def perform_request(
+        self,
+        domain: str,
+        path: str,
+        *,
+        now: float,
+        method: str = "GET",
+        with_credentials: bool = False,
+        extra_headers: list[tuple[str, str]] | None = None,
+        service_time: float = 0.0,
+    ) -> RequestRecord:
+        """Multiplex one request over this connection.
+
+        Raises :class:`ConnectionClosedError` when the session can no
+        longer accept streams; enforces MAX_CONCURRENT_STREAMS.
+        """
+        if not self.is_open:
+            raise ConnectionClosedError(f"connection {self.connection_id} is closed")
+        limit = self.remote_settings.max_concurrent_streams
+        if limit is not None and self.open_stream_count() >= limit:
+            raise ConnectionClosedError(
+                f"connection {self.connection_id} is at MAX_CONCURRENT_STREAMS"
+            )
+        stream = Http2Stream(stream_id=self._next_stream_id)
+        self._next_stream_id += 2
+        self.streams[stream.stream_id] = stream
+
+        headers = [
+            (":method", method),
+            (":scheme", "https"),
+            (":authority", domain),
+            (":path", path),
+        ]
+        if with_credentials:
+            headers.append(("cookie", f"session={domain}"))
+        headers.extend(extra_headers or [])
+        self._encoder.encode(headers)  # byte accounting for HPACK studies
+        stream.send_request(headers, now=now)
+
+        status, response_headers, body_size = self.server.handle_request(
+            domain, path, method=method, credentials=with_credentials
+        )
+        finished = now + service_time
+        stream.receive_response(status, response_headers, now=finished)
+
+        if status == HTTP_MISDIRECTED_REQUEST:
+            # The server refuses to answer for this origin on this
+            # connection; remember so the browser will not coalesce again.
+            self.misdirected_domains.add(domain)
+
+        record = RequestRecord(
+            url=f"https://{domain}{path}",
+            domain=domain,
+            path=path,
+            method=method,
+            status=status,
+            started_at=now,
+            finished_at=finished,
+            with_credentials=with_credentials,
+            stream_id=stream.stream_id,
+            body_size=body_size,
+        )
+        self.requests.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    # Introspection used by the classifier / reports
+    # ------------------------------------------------------------------
+    @property
+    def hpack_compression_ratio(self) -> float:
+        return self._encoder.compression_ratio
+
+    @property
+    def hpack_bytes_emitted(self) -> int:
+        return self._encoder.bytes_emitted
+
+    @property
+    def hpack_bytes_uncompressed(self) -> int:
+        return self._encoder.bytes_uncompressed
+
+    def last_activity(self) -> float:
+        """Timestamp of the most recent request completion (or creation)."""
+        if not self.requests:
+            return self.created_at
+        return max(record.finished_at for record in self.requests)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Http2Connection(id={self.connection_id}, sni={self.sni!r}, "
+            f"ip={self.remote_ip}, privacy_mode={self.privacy_mode}, "
+            f"requests={len(self.requests)})"
+        )

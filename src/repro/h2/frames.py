@@ -1,0 +1,291 @@
+"""HTTP/2 frame codec (RFC 7540 §4, plus the RFC 8336 ORIGIN frame).
+
+Frames are encoded with the real 9-octet header (24-bit length, type,
+flags, 31-bit stream identifier) and their real payload layouts, so a
+byte stream produced here is structurally valid HTTP/2.  The ORIGIN
+frame matters to the paper: it lets a server extend the set of origins a
+connection may be reused for, but "these are not implemented in
+Chromium" (§4.3) — our browser model reproduces that default and offers
+honouring them as an ablation.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, field
+
+__all__ = [
+    "FrameType",
+    "Flags",
+    "FrameHeader",
+    "Frame",
+    "DataFrame",
+    "HeadersFrame",
+    "RstStreamFrame",
+    "SettingsFrame",
+    "PingFrame",
+    "GoawayFrame",
+    "WindowUpdateFrame",
+    "OriginFrame",
+    "UnknownFrame",
+    "FrameError",
+    "encode_frame",
+    "decode_frames",
+]
+
+_HEADER = struct.Struct("!HBBBL")  # 24-bit length split as H+B, type, flags, stream.
+
+
+class FrameError(ValueError):
+    """Malformed frame bytes."""
+
+
+class FrameType(enum.IntEnum):
+    """Registered frame types used by the reproduction."""
+
+    DATA = 0x0
+    HEADERS = 0x1
+    RST_STREAM = 0x3
+    SETTINGS = 0x4
+    PING = 0x6
+    GOAWAY = 0x7
+    WINDOW_UPDATE = 0x8
+    ORIGIN = 0xC
+
+
+class Flags(enum.IntFlag):
+    """Frame flags (union of the flags of all supported types)."""
+
+    NONE = 0x0
+    END_STREAM = 0x1
+    ACK = 0x1  # SETTINGS/PING reuse bit 0.
+    END_HEADERS = 0x4
+    PADDED = 0x8
+    PRIORITY = 0x20
+
+
+@dataclass(frozen=True)
+class FrameHeader:
+    """The 9-octet frame header."""
+
+    length: int
+    frame_type: int
+    flags: int
+    stream_id: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length < (1 << 24):
+            raise FrameError(f"length {self.length} exceeds 24 bits")
+        if not 0 <= self.stream_id < (1 << 31):
+            raise FrameError(f"stream id {self.stream_id} exceeds 31 bits")
+
+    def pack(self) -> bytes:
+        return _HEADER.pack(
+            self.length >> 8,
+            self.length & 0xFF,
+            self.frame_type,
+            self.flags,
+            self.stream_id,
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "FrameHeader":
+        if len(data) < 9:
+            raise FrameError("truncated frame header")
+        high, low, frame_type, flags, stream = _HEADER.unpack_from(data)
+        return cls(
+            length=(high << 8) | low,
+            frame_type=frame_type,
+            flags=flags,
+            stream_id=stream & 0x7FFF_FFFF,
+        )
+
+
+@dataclass(frozen=True)
+class Frame:
+    """Base frame: subclasses define payload layout."""
+
+    stream_id: int = 0
+    flags: int = 0
+
+    frame_type: int = -1  # overridden per subclass
+
+    def payload(self) -> bytes:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class DataFrame(Frame):
+    data: bytes = b""
+    frame_type: int = FrameType.DATA
+
+    def payload(self) -> bytes:
+        return self.data
+
+
+@dataclass(frozen=True)
+class HeadersFrame(Frame):
+    header_block: bytes = b""
+    frame_type: int = FrameType.HEADERS
+
+    def payload(self) -> bytes:
+        return self.header_block
+
+
+@dataclass(frozen=True)
+class RstStreamFrame(Frame):
+    error_code: int = 0
+    frame_type: int = FrameType.RST_STREAM
+
+    def payload(self) -> bytes:
+        return struct.pack("!L", self.error_code)
+
+
+@dataclass(frozen=True)
+class SettingsFrame(Frame):
+    pairs: tuple[tuple[int, int], ...] = field(default_factory=tuple)
+    frame_type: int = FrameType.SETTINGS
+
+    def payload(self) -> bytes:
+        return b"".join(struct.pack("!HL", ident, value) for ident, value in self.pairs)
+
+
+@dataclass(frozen=True)
+class PingFrame(Frame):
+    opaque: bytes = b"\x00" * 8
+    frame_type: int = FrameType.PING
+
+    def payload(self) -> bytes:
+        if len(self.opaque) != 8:
+            raise FrameError("PING payload must be 8 octets")
+        return self.opaque
+
+
+@dataclass(frozen=True)
+class GoawayFrame(Frame):
+    last_stream_id: int = 0
+    error_code: int = 0
+    debug_data: bytes = b""
+    frame_type: int = FrameType.GOAWAY
+
+    def payload(self) -> bytes:
+        return struct.pack("!LL", self.last_stream_id, self.error_code) + self.debug_data
+
+
+@dataclass(frozen=True)
+class WindowUpdateFrame(Frame):
+    increment: int = 1
+    frame_type: int = FrameType.WINDOW_UPDATE
+
+    def payload(self) -> bytes:
+        if not 1 <= self.increment < (1 << 31):
+            raise FrameError(f"illegal window increment {self.increment}")
+        return struct.pack("!L", self.increment)
+
+
+@dataclass(frozen=True)
+class OriginFrame(Frame):
+    """RFC 8336: Origin-Entry list, each a 16-bit length + ASCII origin."""
+
+    origins: tuple[str, ...] = field(default_factory=tuple)
+    frame_type: int = FrameType.ORIGIN
+
+    def payload(self) -> bytes:
+        out = bytearray()
+        for origin in self.origins:
+            raw = origin.encode("ascii")
+            out += struct.pack("!H", len(raw)) + raw
+        return bytes(out)
+
+
+@dataclass(frozen=True)
+class UnknownFrame(Frame):
+    """Frames of unregistered types are carried opaquely (must-ignore)."""
+
+    raw_payload: bytes = b""
+    raw_type: int = 0xFF
+    frame_type: int = -2
+
+    def payload(self) -> bytes:
+        return self.raw_payload
+
+
+def encode_frame(frame: Frame) -> bytes:
+    """Serialise ``frame`` into header + payload octets."""
+    payload = frame.payload()
+    frame_type = frame.raw_type if isinstance(frame, UnknownFrame) else frame.frame_type
+    header = FrameHeader(
+        length=len(payload),
+        frame_type=frame_type,
+        flags=frame.flags,
+        stream_id=frame.stream_id,
+    )
+    return header.pack() + payload
+
+
+def _decode_payload(header: FrameHeader, payload: bytes) -> Frame:
+    kwargs = {"stream_id": header.stream_id, "flags": header.flags}
+    if header.frame_type == FrameType.DATA:
+        return DataFrame(data=payload, **kwargs)
+    if header.frame_type == FrameType.HEADERS:
+        return HeadersFrame(header_block=payload, **kwargs)
+    if header.frame_type == FrameType.RST_STREAM:
+        if len(payload) != 4:
+            raise FrameError("RST_STREAM payload must be 4 octets")
+        return RstStreamFrame(error_code=struct.unpack("!L", payload)[0], **kwargs)
+    if header.frame_type == FrameType.SETTINGS:
+        if len(payload) % 6:
+            raise FrameError("SETTINGS payload not a multiple of 6")
+        pairs = tuple(
+            struct.unpack_from("!HL", payload, off) for off in range(0, len(payload), 6)
+        )
+        return SettingsFrame(pairs=pairs, **kwargs)
+    if header.frame_type == FrameType.PING:
+        if len(payload) != 8:
+            raise FrameError("PING payload must be 8 octets")
+        return PingFrame(opaque=payload, **kwargs)
+    if header.frame_type == FrameType.GOAWAY:
+        if len(payload) < 8:
+            raise FrameError("GOAWAY payload too short")
+        last, code = struct.unpack_from("!LL", payload)
+        return GoawayFrame(
+            last_stream_id=last & 0x7FFF_FFFF,
+            error_code=code,
+            debug_data=payload[8:],
+            **kwargs,
+        )
+    if header.frame_type == FrameType.WINDOW_UPDATE:
+        if len(payload) != 4:
+            raise FrameError("WINDOW_UPDATE payload must be 4 octets")
+        return WindowUpdateFrame(increment=struct.unpack("!L", payload)[0], **kwargs)
+    if header.frame_type == FrameType.ORIGIN:
+        if header.stream_id != 0:
+            raise FrameError("ORIGIN frames must be on stream 0")
+        origins: list[str] = []
+        offset = 0
+        while offset < len(payload):
+            if offset + 2 > len(payload):
+                raise FrameError("truncated Origin-Entry length")
+            (length,) = struct.unpack_from("!H", payload, offset)
+            offset += 2
+            if offset + length > len(payload):
+                raise FrameError("truncated Origin-Entry")
+            origins.append(payload[offset:offset + length].decode("ascii"))
+            offset += length
+        return OriginFrame(origins=tuple(origins), **kwargs)
+    return UnknownFrame(raw_payload=payload, raw_type=header.frame_type, **kwargs)
+
+
+def decode_frames(data: bytes) -> list[Frame]:
+    """Decode a byte string into consecutive frames (must consume fully)."""
+    frames: list[Frame] = []
+    offset = 0
+    while offset < len(data):
+        header = FrameHeader.unpack(data[offset:offset + 9])
+        offset += 9
+        if offset + header.length > len(data):
+            raise FrameError("truncated frame payload")
+        frames.append(_decode_payload(header, data[offset:offset + header.length]))
+        offset += header.length
+    return frames

@@ -1,0 +1,293 @@
+"""HPACK header compression (RFC 7541, without Huffman coding).
+
+A faithful subset: the full static table, a size-bounded dynamic table
+with FIFO eviction, prefix-coded integers, and the three literal
+representations.  Huffman coding is omitted (the H bit is always 0),
+which RFC 7541 permits.
+
+Why HPACK is in a connection-reuse reproduction at all: one of the costs
+the paper ascribes to redundant connections is that "header compression
+is less effective as the compression dictionary has to be bootstrapped
+again" (§2.2.1).  The examples and ablation benches use this encoder to
+measure exactly that effect — bytes on the wire with one shared
+connection versus several cold ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["HpackEncoder", "HpackDecoder", "HpackError", "STATIC_TABLE"]
+
+
+class HpackError(ValueError):
+    """Malformed HPACK input."""
+
+
+#: RFC 7541 Appendix A static table (1-indexed).
+STATIC_TABLE: tuple[tuple[str, str], ...] = (
+    (":authority", ""),
+    (":method", "GET"),
+    (":method", "POST"),
+    (":path", "/"),
+    (":path", "/index.html"),
+    (":scheme", "http"),
+    (":scheme", "https"),
+    (":status", "200"),
+    (":status", "204"),
+    (":status", "206"),
+    (":status", "304"),
+    (":status", "400"),
+    (":status", "404"),
+    (":status", "500"),
+    ("accept-charset", ""),
+    ("accept-encoding", "gzip, deflate"),
+    ("accept-language", ""),
+    ("accept-ranges", ""),
+    ("accept", ""),
+    ("access-control-allow-origin", ""),
+    ("age", ""),
+    ("allow", ""),
+    ("authorization", ""),
+    ("cache-control", ""),
+    ("content-disposition", ""),
+    ("content-encoding", ""),
+    ("content-language", ""),
+    ("content-length", ""),
+    ("content-location", ""),
+    ("content-range", ""),
+    ("content-type", ""),
+    ("cookie", ""),
+    ("date", ""),
+    ("etag", ""),
+    ("expect", ""),
+    ("expires", ""),
+    ("from", ""),
+    ("host", ""),
+    ("if-match", ""),
+    ("if-modified-since", ""),
+    ("if-none-match", ""),
+    ("if-range", ""),
+    ("if-unmodified-since", ""),
+    ("last-modified", ""),
+    ("link", ""),
+    ("location", ""),
+    ("max-forwards", ""),
+    ("proxy-authenticate", ""),
+    ("proxy-authorization", ""),
+    ("range", ""),
+    ("referer", ""),
+    ("refresh", ""),
+    ("retry-after", ""),
+    ("server", ""),
+    ("set-cookie", ""),
+    ("strict-transport-security", ""),
+    ("transfer-encoding", ""),
+    ("user-agent", ""),
+    ("vary", ""),
+    ("via", ""),
+    ("www-authenticate", ""),
+)
+
+_STATIC_LOOKUP: dict[tuple[str, str], int] = {
+    pair: index + 1 for index, pair in enumerate(STATIC_TABLE)
+}
+_STATIC_NAME_LOOKUP: dict[str, int] = {}
+for _index, (_name, _value) in enumerate(STATIC_TABLE):
+    _STATIC_NAME_LOOKUP.setdefault(_name, _index + 1)
+
+#: Per-entry overhead in the dynamic-table size calculation (RFC 7541 §4.1).
+_ENTRY_OVERHEAD = 32
+
+#: Headers that should never enter the dynamic table (RFC 7541 §7.1.3).
+_NEVER_INDEX = frozenset({"authorization", "set-cookie"})
+
+
+def encode_integer(value: int, prefix_bits: int, first_byte_flags: int = 0) -> bytes:
+    """Prefix-coded integer (RFC 7541 §5.1)."""
+    if value < 0:
+        raise HpackError(f"cannot encode negative integer {value}")
+    limit = (1 << prefix_bits) - 1
+    if value < limit:
+        return bytes([first_byte_flags | value])
+    out = bytearray([first_byte_flags | limit])
+    value -= limit
+    while value >= 128:
+        out.append((value % 128) + 128)
+        value //= 128
+    out.append(value)
+    return bytes(out)
+
+
+def decode_integer(data: bytes, offset: int, prefix_bits: int) -> tuple[int, int]:
+    """Decode a prefix-coded integer; returns (value, next_offset)."""
+    if offset >= len(data):
+        raise HpackError("truncated integer")
+    limit = (1 << prefix_bits) - 1
+    value = data[offset] & limit
+    offset += 1
+    if value < limit:
+        return value, offset
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise HpackError("truncated integer continuation")
+        byte = data[offset]
+        offset += 1
+        value += (byte & 0x7F) << shift
+        shift += 7
+        if not byte & 0x80:
+            return value, offset
+        if shift > 62:
+            raise HpackError("integer overflow")
+
+
+def _encode_string(text: str) -> bytes:
+    raw = text.encode("utf-8")
+    return encode_integer(len(raw), 7) + raw
+
+
+def _decode_string(data: bytes, offset: int) -> tuple[str, int]:
+    if offset >= len(data):
+        raise HpackError("truncated string length")
+    huffman = bool(data[offset] & 0x80)
+    length, offset = decode_integer(data, offset, 7)
+    if huffman:
+        raise HpackError("huffman-coded strings are not supported")
+    if offset + length > len(data):
+        raise HpackError("truncated string body")
+    return data[offset:offset + length].decode("utf-8"), offset + length
+
+
+@dataclass
+class _DynamicTable:
+    """The shared dynamic-table mechanics of encoder and decoder."""
+
+    max_size: int = 4096
+    entries: list[tuple[str, str]] = field(default_factory=list)
+    size: int = 0
+
+    @staticmethod
+    def entry_size(name: str, value: str) -> int:
+        return len(name.encode()) + len(value.encode()) + _ENTRY_OVERHEAD
+
+    def add(self, name: str, value: str) -> None:
+        needed = self.entry_size(name, value)
+        while self.entries and self.size + needed > self.max_size:
+            old_name, old_value = self.entries.pop()
+            self.size -= self.entry_size(old_name, old_value)
+        if needed <= self.max_size:
+            self.entries.insert(0, (name, value))
+            self.size += needed
+
+    def resize(self, new_max: int) -> None:
+        self.max_size = new_max
+        while self.entries and self.size > self.max_size:
+            old_name, old_value = self.entries.pop()
+            self.size -= self.entry_size(old_name, old_value)
+
+    def lookup(self, index: int) -> tuple[str, str]:
+        """Combined-address-space lookup (static table first)."""
+        if index < 1:
+            raise HpackError(f"index {index} out of range")
+        if index <= len(STATIC_TABLE):
+            return STATIC_TABLE[index - 1]
+        dynamic_index = index - len(STATIC_TABLE) - 1
+        if dynamic_index >= len(self.entries):
+            raise HpackError(f"index {index} out of range")
+        return self.entries[dynamic_index]
+
+    def find(self, name: str, value: str) -> tuple[int | None, int | None]:
+        """Return (full-match index, name-only index) in combined space."""
+        full = _STATIC_LOOKUP.get((name, value))
+        name_only = _STATIC_NAME_LOOKUP.get(name)
+        for position, (entry_name, entry_value) in enumerate(self.entries):
+            index = len(STATIC_TABLE) + 1 + position
+            if entry_name == name:
+                if entry_value == value and full is None:
+                    full = index
+                if name_only is None:
+                    name_only = index
+        return full, name_only
+
+
+class HpackEncoder:
+    """Stateful header-block encoder for one connection direction."""
+
+    def __init__(self, max_table_size: int = 4096) -> None:
+        self._table = _DynamicTable(max_size=max_table_size)
+        self.bytes_emitted = 0
+        self.bytes_uncompressed = 0
+
+    def encode(self, headers: list[tuple[str, str]]) -> bytes:
+        """Encode one header list into a header block fragment."""
+        out = bytearray()
+        for name, value in headers:
+            name = name.lower()
+            self.bytes_uncompressed += len(name) + len(value) + 2
+            full, name_only = self._table.find(name, value)
+            if full is not None:
+                out += encode_integer(full, 7, 0x80)
+                continue
+            if name in _NEVER_INDEX:
+                # Literal never indexed (0x10 prefix).
+                if name_only is not None:
+                    out += encode_integer(name_only, 4, 0x10)
+                else:
+                    out += bytes([0x10]) + _encode_string(name)
+                out += _encode_string(value)
+                continue
+            # Literal with incremental indexing (0x40 prefix).
+            if name_only is not None:
+                out += encode_integer(name_only, 6, 0x40)
+            else:
+                out += bytes([0x40]) + _encode_string(name)
+            out += _encode_string(value)
+            self._table.add(name, value)
+        self.bytes_emitted += len(out)
+        return bytes(out)
+
+    @property
+    def compression_ratio(self) -> float:
+        """Emitted / uncompressed bytes over the encoder's lifetime."""
+        if self.bytes_uncompressed == 0:
+            return 1.0
+        return self.bytes_emitted / self.bytes_uncompressed
+
+
+class HpackDecoder:
+    """Stateful header-block decoder for one connection direction."""
+
+    def __init__(self, max_table_size: int = 4096) -> None:
+        self._table = _DynamicTable(max_size=max_table_size)
+
+    def decode(self, data: bytes) -> list[tuple[str, str]]:
+        """Decode a header block fragment into a header list."""
+        headers: list[tuple[str, str]] = []
+        offset = 0
+        while offset < len(data):
+            byte = data[offset]
+            if byte & 0x80:  # Indexed representation.
+                index, offset = decode_integer(data, offset, 7)
+                if index == 0:
+                    raise HpackError("indexed representation with index 0")
+                headers.append(self._table.lookup(index))
+            elif byte & 0x40:  # Literal with incremental indexing.
+                index, offset = decode_integer(data, offset, 6)
+                name, offset = (
+                    self._table.lookup(index)[0], offset
+                ) if index else _decode_string(data, offset)
+                value, offset = _decode_string(data, offset)
+                self._table.add(name, value)
+                headers.append((name, value))
+            elif byte & 0x20:  # Dynamic-table size update.
+                new_size, offset = decode_integer(data, offset, 5)
+                self._table.resize(new_size)
+            else:  # Literal without indexing / never indexed.
+                index, offset = decode_integer(data, offset, 4)
+                name, offset = (
+                    self._table.lookup(index)[0], offset
+                ) if index else _decode_string(data, offset)
+                value, offset = _decode_string(data, offset)
+                headers.append((name, value))
+        return headers

@@ -1,0 +1,24 @@
+"""HAR pipeline: model, writer (with §4.3 noise), sanitising reader."""
+
+from repro.har.model import (
+    VALID_METHODS,
+    HarEntry,
+    HarFile,
+    HarPage,
+    HarSecurityDetails,
+)
+from repro.har.reader import FilterStats, HarReadResult, read_sessions
+from repro.har.writer import HarNoiseConfig, write_har
+
+__all__ = [
+    "VALID_METHODS",
+    "HarEntry",
+    "HarFile",
+    "HarPage",
+    "HarSecurityDetails",
+    "FilterStats",
+    "HarReadResult",
+    "read_sessions",
+    "HarNoiseConfig",
+    "write_har",
+]

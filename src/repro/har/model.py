@@ -1,0 +1,179 @@
+"""HAR 1.2 object model (the HTTP Archive's data format).
+
+The HTTP Archive stores one HAR file per crawled page; the paper parses
+those "to identify HTTP/2 requests on the same sessions (by socket /
+connection ID) to reconstruct the HTTP/2 session lifecycle" (§4.2.1).
+We model the subset of HAR the analysis touches, including the
+HTTP-Archive-specific ``_securityDetails`` block that carries the
+certificate SAN list used for Connection Reuse checks.
+
+Timestamps are simulated seconds (floats), not ISO-8601 strings; the
+reader treats them opaquely, exactly as the paper's pipeline treats
+``startedDateTime``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["HarSecurityDetails", "HarEntry", "HarPage", "HarFile", "VALID_METHODS"]
+
+#: Request methods the sanitizer accepts (everything else is an
+#: "invalid HTTP request method" in the paper's filter list).
+VALID_METHODS = frozenset(
+    {"GET", "POST", "HEAD", "PUT", "DELETE", "OPTIONS", "PATCH"}
+)
+
+
+@dataclass(frozen=True)
+class HarSecurityDetails:
+    """The certificate details the HTTP Archive exports per request."""
+
+    subject_name: str
+    san_list: tuple[str, ...]
+    issuer: str
+    valid: bool = True
+
+
+@dataclass(frozen=True)
+class HarEntry:
+    """One request/response pair."""
+
+    pageref: str
+    started_date_time: float
+    time_ms: float
+    method: str
+    url: str
+    http_version: str
+    status: int
+    body_size: int
+    server_ip_address: str | None
+    connection: str | None  # the socket id, as a string like in HARs
+    request_id: str | None = None
+    with_credentials: bool = False
+    security: HarSecurityDetails | None = None
+
+    @property
+    def domain(self) -> str:
+        without_scheme = self.url.split("://", 1)[-1]
+        return without_scheme.split("/", 1)[0].lower()
+
+    @property
+    def path(self) -> str:
+        without_scheme = self.url.split("://", 1)[-1]
+        slash = without_scheme.find("/")
+        return without_scheme[slash:] if slash >= 0 else "/"
+
+
+
+@dataclass(frozen=True)
+class HarPage:
+    """One page load."""
+
+    page_id: str
+    started_date_time: float
+    title: str
+    on_load_ms: float
+
+
+@dataclass
+class HarFile:
+    """One HAR document (one page visit in the HTTP Archive)."""
+
+    page: HarPage
+    entries: list[HarEntry] = field(default_factory=list)
+    creator: str = "repro-harness"
+    version: str = "1.2"
+
+    def to_dict(self) -> dict:
+        """Serialise to the standard nested-dict HAR layout."""
+        return {
+            "log": {
+                "version": self.version,
+                "creator": {"name": self.creator, "version": "1.0"},
+                "pages": [
+                    {
+                        "startedDateTime": self.page.started_date_time,
+                        "id": self.page.page_id,
+                        "title": self.page.title,
+                        "pageTimings": {"onLoad": self.page.on_load_ms},
+                    }
+                ],
+                "entries": [
+                    {
+                        "pageref": entry.pageref,
+                        "startedDateTime": entry.started_date_time,
+                        "time": entry.time_ms,
+                        "request": {
+                            "method": entry.method,
+                            "url": entry.url,
+                            "httpVersion": entry.http_version,
+                        },
+                        "response": {
+                            "status": entry.status,
+                            "httpVersion": entry.http_version,
+                            "bodySize": entry.body_size,
+                        },
+                        "serverIPAddress": entry.server_ip_address,
+                        "connection": entry.connection,
+                        "_requestId": entry.request_id,
+                        "_withCredentials": entry.with_credentials,
+                        "_securityDetails": (
+                            {
+                                "subjectName": entry.security.subject_name,
+                                "sanList": list(entry.security.san_list),
+                                "issuer": entry.security.issuer,
+                                "valid": entry.security.valid,
+                            }
+                            if entry.security is not None
+                            else None
+                        ),
+                    }
+                    for entry in self.entries
+                ],
+            }
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HarFile":
+        """Parse the nested-dict layout back into objects."""
+        log = data["log"]
+        pages = log.get("pages") or []
+        if not pages:
+            raise ValueError("HAR file has no pages")
+        raw_page = pages[0]
+        page = HarPage(
+            page_id=raw_page["id"],
+            started_date_time=raw_page["startedDateTime"],
+            title=raw_page.get("title", ""),
+            on_load_ms=raw_page.get("pageTimings", {}).get("onLoad", 0.0),
+        )
+        entries = []
+        for raw in log.get("entries", []):
+            raw_security = raw.get("_securityDetails")
+            security = None
+            if raw_security is not None:
+                security = HarSecurityDetails(
+                    subject_name=raw_security.get("subjectName", ""),
+                    san_list=tuple(raw_security.get("sanList", ())),
+                    issuer=raw_security.get("issuer", ""),
+                    valid=raw_security.get("valid", True),
+                )
+            entries.append(
+                HarEntry(
+                    pageref=raw.get("pageref", ""),
+                    started_date_time=raw["startedDateTime"],
+                    time_ms=raw.get("time", 0.0),
+                    method=raw["request"]["method"],
+                    url=raw["request"]["url"],
+                    http_version=raw["request"].get("httpVersion", ""),
+                    status=raw["response"].get("status", 0),
+                    body_size=raw["response"].get("bodySize", 0),
+                    server_ip_address=raw.get("serverIPAddress"),
+                    connection=raw.get("connection"),
+                    request_id=raw.get("_requestId"),
+                    with_credentials=raw.get("_withCredentials", False),
+                    security=security,
+                )
+            )
+        return cls(page=page, entries=entries)

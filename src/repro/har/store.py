@@ -1,0 +1,58 @@
+"""HAR corpus persistence.
+
+The HTTP Archive publishes its crawls as files; this module gives the
+synthetic corpus the same property, so studies can be crawled once and
+re-analysed many times (or shipped to another machine).  One JSON file
+per site, plus an index with crawl metadata.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.crawl.httparchive import HarCorpus
+from repro.har.model import HarFile
+
+__all__ = ["save_corpus", "load_corpus"]
+
+_INDEX_NAME = "corpus.json"
+
+
+def _site_filename(index: int, domain: str) -> str:
+    safe = domain.replace("/", "_")
+    return f"{index:06d}_{safe}.har.json"
+
+
+def save_corpus(corpus: HarCorpus, directory: str | Path) -> Path:
+    """Write ``corpus`` under ``directory`` (created if missing)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    index = {
+        "name": corpus.name,
+        "unreachable": list(corpus.unreachable),
+        "sites": {},
+    }
+    for position, (domain, har) in enumerate(sorted(corpus.hars.items())):
+        filename = _site_filename(position, domain)
+        (directory / filename).write_text(
+            json.dumps(har.to_dict(), separators=(",", ":"))
+        )
+        index["sites"][domain] = filename
+    (directory / _INDEX_NAME).write_text(json.dumps(index, indent=2))
+    return directory / _INDEX_NAME
+
+
+def load_corpus(directory: str | Path) -> HarCorpus:
+    """Read a corpus previously written by :func:`save_corpus`."""
+    directory = Path(directory)
+    index_path = directory / _INDEX_NAME
+    if not index_path.exists():
+        raise FileNotFoundError(f"no corpus index at {index_path}")
+    index = json.loads(index_path.read_text())
+    corpus = HarCorpus(name=index["name"],
+                       unreachable=list(index.get("unreachable", ())))
+    for domain, filename in index.get("sites", {}).items():
+        data = json.loads((directory / filename).read_text())
+        corpus.hars[domain] = HarFile.from_dict(data)
+    return corpus

@@ -1,0 +1,12 @@
+"""NetLog pipeline: Chromium-style event stream and session stitching."""
+
+from repro.netlog.events import NetLog, NetLogEvent, NetLogEventType
+from repro.netlog.parser import NetLogParseResult, parse_sessions
+
+__all__ = [
+    "NetLog",
+    "NetLogEvent",
+    "NetLogEventType",
+    "NetLogParseResult",
+    "parse_sessions",
+]

@@ -1,0 +1,69 @@
+"""NetLog event model (Chromium's network logging system [19]).
+
+The paper's own measurements "collect Chromium's NetLog files giving
+more details on low-level connection events (e.g., start and end) and
+stitch these events together to gather a precise view of the session
+lifecycle" (§4.2.2).  The browser model emits the subset of event types
+that stitching needs; the parser in :mod:`repro.netlog.parser` consumes
+them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["NetLogEventType", "NetLogEvent", "NetLog"]
+
+
+class NetLogEventType(enum.Enum):
+    """Event types, named after their Chromium counterparts."""
+
+    HOST_RESOLVER_IMPL_JOB = "HOST_RESOLVER_IMPL_JOB"
+    HTTP2_SESSION = "HTTP2_SESSION"
+    HTTP2_SESSION_CLOSE = "HTTP2_SESSION_CLOSE"
+    HTTP2_SESSION_RECV_GOAWAY = "HTTP2_SESSION_RECV_GOAWAY"
+    HTTP2_SESSION_POOL_FOUND_EXISTING_SESSION = (
+        "HTTP2_SESSION_POOL_FOUND_EXISTING_SESSION"
+    )
+    HTTP2_STREAM = "HTTP2_STREAM"
+    HTTP_TRANSACTION = "HTTP_TRANSACTION"
+    PAGE_LOAD_START = "PAGE_LOAD_START"
+    PAGE_LOAD_END = "PAGE_LOAD_END"
+
+
+@dataclass(frozen=True)
+class NetLogEvent:
+    """One log line: type, simulated time, source (connection) id, params."""
+
+    event_type: NetLogEventType
+    time: float
+    source_id: int
+    params: dict = field(default_factory=dict)
+
+
+@dataclass
+class NetLog:
+    """An append-only event stream for one browser visit."""
+
+    events: list[NetLogEvent] = field(default_factory=list)
+
+    def emit(
+        self,
+        event_type: NetLogEventType,
+        *,
+        time: float,
+        source_id: int,
+        **params,
+    ) -> NetLogEvent:
+        event = NetLogEvent(
+            event_type=event_type, time=time, source_id=source_id, params=params
+        )
+        self.events.append(event)
+        return event
+
+    def of_type(self, event_type: NetLogEventType) -> list[NetLogEvent]:
+        return [event for event in self.events if event.event_type is event_type]
+
+    def __len__(self) -> int:
+        return len(self.events)

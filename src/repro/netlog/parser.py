@@ -1,0 +1,101 @@
+"""NetLog stitching: events → session lifecycles (§4.2.2).
+
+Unlike HARs, NetLogs carry explicit connection start/end events and the
+pool's privacy-mode flag, so the reconstructed records have *actual*
+lifetimes and can distinguish the Fetch-credentials partition directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.session import RequestSummary, SessionRecord
+from repro.netlog.events import NetLog, NetLogEventType
+
+__all__ = ["NetLogParseResult", "parse_sessions"]
+
+
+@dataclass
+class NetLogParseResult:
+    """Sessions stitched from one visit's NetLog."""
+
+    url: str | None
+    records: list[SessionRecord] = field(default_factory=list)
+    goaway_sessions: set[int] = field(default_factory=set)
+    dns_queries: int = 0
+
+
+def parse_sessions(netlog: NetLog) -> NetLogParseResult:
+    """Stitch session, stream and close events into records."""
+    url: str | None = None
+    opens: dict[int, dict] = {}
+    closes: dict[int, float] = {}
+    goaways: set[int] = set()
+    streams: dict[int, list[dict]] = {}
+    dns_queries = 0
+
+    for event in netlog.events:
+        if event.event_type is NetLogEventType.PAGE_LOAD_START:
+            url = event.params.get("url", url)
+        elif event.event_type is NetLogEventType.HTTP2_SESSION:
+            opens[event.source_id] = {"time": event.time, **event.params}
+        elif event.event_type is NetLogEventType.HTTP2_SESSION_CLOSE:
+            # First close wins (a GOAWAY close precedes the test-end
+            # sweep for the same source).
+            closes.setdefault(event.source_id, event.time)
+        elif event.event_type is NetLogEventType.HTTP2_SESSION_RECV_GOAWAY:
+            goaways.add(event.source_id)
+        elif event.event_type is NetLogEventType.HTTP2_STREAM:
+            streams.setdefault(event.source_id, []).append(
+                {"time": event.time, **event.params}
+            )
+        elif event.event_type is NetLogEventType.HOST_RESOLVER_IMPL_JOB:
+            dns_queries += 1
+
+    records = []
+    for source_id, params in sorted(opens.items()):
+        requests = tuple(
+            RequestSummary(
+                domain=_domain_of(stream["url"]),
+                status=stream["status"],
+                finished_at=stream.get("finished", stream["time"]),
+                with_credentials=stream.get("with_credentials", False),
+                body_size=stream.get("body_size", 0),
+                path=_path_of(stream["url"]),
+                method=stream.get("method", "GET"),
+            )
+            for stream in sorted(
+                streams.get(source_id, []), key=lambda stream: stream["time"]
+            )
+        )
+        records.append(
+            SessionRecord(
+                connection_id=source_id,
+                domain=params["host"],
+                ip=params["peer_address"],
+                port=443,
+                sans=tuple(params.get("cert_sans", ())),
+                issuer=params.get("cert_issuer", ""),
+                start=params["time"],
+                end=closes.get(source_id),
+                protocol=params.get("protocol", "h2"),
+                privacy_mode=params.get("privacy_mode"),
+                requests=requests,
+            )
+        )
+    records.sort(key=lambda record: record.start)
+    return NetLogParseResult(
+        url=url, records=records, goaway_sessions=goaways, dns_queries=dns_queries
+    )
+
+
+def _domain_of(url: str) -> str:
+    without_scheme = url.split("://", 1)[-1]
+    return without_scheme.split("/", 1)[0].lower()
+
+
+def _path_of(url: str) -> str:
+    without_scheme = url.split("://", 1)[-1]
+    slash = without_scheme.find("/")
+    return without_scheme[slash:] if slash >= 0 else "/"
+

@@ -1,0 +1,27 @@
+"""Performance impact models (the paper's stated future work)."""
+
+from repro.perf.congestion import (
+    INITIAL_CWND_SEGMENTS,
+    MSS_BYTES,
+    SlowStartModel,
+    TransferOutcome,
+)
+from repro.perf.corpus import CorpusImpact, corpus_impact
+from repro.perf.estimator import PerfEstimate, estimate_records
+from repro.perf.latency import PathModel
+from repro.perf.whatif import WhatIfResult, coalesce_records, whatif_site
+
+__all__ = [
+    "INITIAL_CWND_SEGMENTS",
+    "MSS_BYTES",
+    "SlowStartModel",
+    "TransferOutcome",
+    "CorpusImpact",
+    "corpus_impact",
+    "PerfEstimate",
+    "estimate_records",
+    "PathModel",
+    "WhatIfResult",
+    "coalesce_records",
+    "whatif_site",
+]

@@ -1,0 +1,74 @@
+"""TCP slow-start model.
+
+Redundant connections each restart congestion control: the first
+~10 packets travel at the initial window, doubling per RTT.  A reused
+connection has already grown its window, so the same bytes need fewer
+round trips — this module quantifies that difference, which is the
+transfer-time side of the paper's §2.2.1 cost argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SlowStartModel", "TransferOutcome", "MSS_BYTES", "INITIAL_CWND_SEGMENTS"]
+
+#: Maximum segment size used for window accounting.
+MSS_BYTES = 1460
+
+#: RFC 6928 initial congestion window.
+INITIAL_CWND_SEGMENTS = 10
+
+
+@dataclass(frozen=True)
+class TransferOutcome:
+    """Result of transferring one response body."""
+
+    rounds: int
+    time_s: float
+    final_cwnd_segments: int
+
+
+@dataclass(frozen=True)
+class SlowStartModel:
+    """Idealised slow start: the window doubles each RTT up to a cap."""
+
+    initial_cwnd_segments: int = INITIAL_CWND_SEGMENTS
+    mss_bytes: int = MSS_BYTES
+
+    def cwnd_cap_segments(self, rtt_s: float, bandwidth_bps: float) -> int:
+        """Window cap from the path's bandwidth-delay product."""
+        bdp_bytes = bandwidth_bps * rtt_s / 8.0
+        return max(self.initial_cwnd_segments,
+                   int(bdp_bytes // self.mss_bytes) or 1)
+
+    def transfer(
+        self,
+        size_bytes: int,
+        *,
+        rtt_s: float,
+        bandwidth_bps: float = 50e6,
+        current_cwnd_segments: int | None = None,
+    ) -> TransferOutcome:
+        """Rounds/time to deliver ``size_bytes`` starting from a window.
+
+        ``current_cwnd_segments`` carries warm-connection state; pass
+        ``None`` for a cold connection.
+        """
+        if size_bytes < 0:
+            raise ValueError(f"negative transfer size: {size_bytes}")
+        cap = self.cwnd_cap_segments(rtt_s, bandwidth_bps)
+        cwnd = current_cwnd_segments or self.initial_cwnd_segments
+        cwnd = min(max(cwnd, 1), cap)
+        remaining = size_bytes
+        rounds = 0
+        while remaining > 0:
+            rounds += 1
+            remaining -= cwnd * self.mss_bytes
+            if remaining > 0:
+                cwnd = min(cwnd * 2, cap)
+        return TransferOutcome(
+            rounds=rounds,
+            time_s=rounds * rtt_s,
+            final_cwnd_segments=cwnd,
+        )

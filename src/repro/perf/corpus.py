@@ -1,0 +1,80 @@
+"""Corpus-level performance impact of redundant connections."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crawl.classify import ClassifiedDataset
+from repro.perf.latency import PathModel
+from repro.perf.whatif import WhatIfResult, whatif_site
+from repro.util.stats import median
+
+__all__ = ["CorpusImpact", "corpus_impact"]
+
+
+@dataclass
+class CorpusImpact:
+    """Aggregated what-if savings over a classified dataset."""
+
+    dataset: str
+    results: list[WhatIfResult] = field(default_factory=list)
+
+    @property
+    def total_connections_saved(self) -> int:
+        return sum(result.connections_saved for result in self.results)
+
+    @property
+    def total_setup_time_saved_s(self) -> float:
+        return sum(result.setup_time_saved_s for result in self.results)
+
+    @property
+    def total_header_bytes_saved(self) -> int:
+        return sum(result.header_bytes_saved for result in self.results)
+
+    def median_relative_saving(self) -> float:
+        savings = [result.relative_saving for result in self.results]
+        return median(savings) if savings else 0.0
+
+    def mean_setup_saving_per_site_s(self) -> float:
+        if not self.results:
+            return 0.0
+        return self.total_setup_time_saved_s / len(self.results)
+
+    def render(self) -> str:
+        lines = [
+            f"Performance impact of redundant connections ({self.dataset})",
+            f"  sites analysed:                 {len(self.results)}",
+            f"  avoidable connections:          {self.total_connections_saved}",
+            f"  handshake time avoidable:       "
+            f"{self.total_setup_time_saved_s:.2f} s total, "
+            f"{self.mean_setup_saving_per_site_s() * 1000:.1f} ms/site",
+            f"  HPACK bytes avoidable:          "
+            f"{self.total_header_bytes_saved} B",
+            f"  median relative cost reduction: "
+            f"{self.median_relative_saving():.1%}",
+        ]
+        return "\n".join(lines)
+
+
+def corpus_impact(
+    dataset: ClassifiedDataset,
+    site_records: dict[str, list],
+    *,
+    path: PathModel | None = None,
+) -> CorpusImpact:
+    """Run the what-if analysis over every classified site.
+
+    ``site_records`` maps site → its session records (the classifier's
+    inputs; the classification objects only retain h2 records, which is
+    also what the estimator consumes).
+    """
+    path = path or PathModel()
+    impact = CorpusImpact(dataset=dataset.name)
+    for site, classification in dataset.classifications.items():
+        records = site_records.get(site)
+        if not records:
+            records = classification.records
+        impact.results.append(
+            whatif_site(site, records, classification, path=path)
+        )
+    return impact

@@ -1,0 +1,123 @@
+"""What-if analysis: the cost of *not* coalescing.
+
+The paper closes with "for future work, we see it as interesting to
+study the exact performance impact of our findings"; this module is
+that study for the synthetic corpus.  Given a site's session records
+and its §4.1 classification, it constructs the *coalesced counterfactual*:
+every redundant connection is merged into the earliest connection that
+HTTP/2 Connection Reuse (or, for CRED, the patched Fetch behaviour)
+would have allowed, transitively.  Both variants are then costed with
+the same latency/slow-start/HPACK models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.classifier import SiteClassification
+from repro.core.session import SessionRecord
+from repro.perf.congestion import SlowStartModel
+from repro.perf.estimator import PerfEstimate, estimate_records
+from repro.perf.latency import PathModel
+
+__all__ = ["WhatIfResult", "coalesce_records", "whatif_site"]
+
+
+@dataclass(frozen=True)
+class WhatIfResult:
+    """Measured vs counterfactual cost for one site."""
+
+    site: str
+    baseline: PerfEstimate
+    coalesced: PerfEstimate
+
+    @property
+    def connections_saved(self) -> int:
+        return self.baseline.connections - self.coalesced.connections
+
+    @property
+    def setup_time_saved_s(self) -> float:
+        return self.baseline.setup_time_s - self.coalesced.setup_time_s
+
+    @property
+    def header_bytes_saved(self) -> int:
+        return self.baseline.header_bytes - self.coalesced.header_bytes
+
+    @property
+    def total_time_saved_s(self) -> float:
+        return self.baseline.total_time_s - self.coalesced.total_time_s
+
+    @property
+    def relative_saving(self) -> float:
+        if self.baseline.total_time_s == 0:
+            return 0.0
+        return self.total_time_saved_s / self.baseline.total_time_s
+
+
+def _find_root(targets: dict[int, int], connection_id: int) -> int:
+    """Union-find style path walk: a merge target may itself be merged."""
+    seen = set()
+    while connection_id in targets and connection_id not in seen:
+        seen.add(connection_id)
+        connection_id = targets[connection_id]
+    return connection_id
+
+
+def coalesce_records(
+    records: list[SessionRecord], classification: SiteClassification
+) -> list[SessionRecord]:
+    """Merge every redundant connection into its reusable witness.
+
+    Requests of merged connections move onto the surviving connection,
+    preserving their order; the surviving record keeps its own identity
+    (IP, certificate, start time).
+    """
+    targets: dict[int, int] = {}
+    for hit in classification.hits:
+        # First cause wins; later hits for the same connection agree on
+        # redundancy, the exact witness only shifts attribution.
+        targets.setdefault(hit.record.connection_id,
+                           hit.previous.connection_id)
+
+    by_id = {record.connection_id: record for record in records}
+    merged_requests: dict[int, list] = {
+        cid: list(record.requests) for cid, record in by_id.items()
+    }
+    for connection_id in list(targets):
+        root = _find_root(targets, connection_id)
+        if root == connection_id:
+            continue
+        merged_requests[root].extend(merged_requests.pop(connection_id, ()))
+
+    survivors = []
+    for record in records:
+        if record.connection_id not in merged_requests:
+            continue
+        requests = tuple(
+            sorted(merged_requests[record.connection_id],
+                   key=lambda request: request.finished_at)
+        )
+        survivors.append(replace(record, requests=requests))
+    return survivors
+
+
+def whatif_site(
+    site: str,
+    records: list[SessionRecord],
+    classification: SiteClassification,
+    *,
+    path: PathModel | None = None,
+    slow_start: SlowStartModel | None = None,
+) -> WhatIfResult:
+    """Cost the site as measured vs perfectly coalesced."""
+    path = path or PathModel()
+    slow_start = slow_start or SlowStartModel()
+    baseline = estimate_records(records, path=path, slow_start=slow_start,
+                                resolved_domains=set())
+    coalesced = estimate_records(
+        coalesce_records(records, classification),
+        path=path,
+        slow_start=slow_start,
+        resolved_domains=set(),
+    )
+    return WhatIfResult(site=site, baseline=baseline, coalesced=coalesced)

@@ -1,0 +1,40 @@
+"""TLS substrate: certificates, SAN verification, issuer registry."""
+
+from repro.tls.certificate import Certificate
+from repro.tls.issuers import (
+    AMAZON_CA,
+    CLOUDFLARE_CA,
+    COMODO,
+    DIGICERT,
+    GLOBALSIGN,
+    GODADDY,
+    GOOGLE_TRUST_SERVICES,
+    LETS_ENCRYPT,
+    MICROSOFT_CA,
+    SECTIGO,
+    WELL_KNOWN_ISSUERS,
+    YANDEX_CA,
+    CertificateAuthority,
+    IssuerRegistry,
+)
+from repro.tls.verify import hostname_matches, is_valid_san_pattern
+
+__all__ = [
+    "Certificate",
+    "CertificateAuthority",
+    "IssuerRegistry",
+    "hostname_matches",
+    "is_valid_san_pattern",
+    "WELL_KNOWN_ISSUERS",
+    "LETS_ENCRYPT",
+    "GOOGLE_TRUST_SERVICES",
+    "DIGICERT",
+    "SECTIGO",
+    "CLOUDFLARE_CA",
+    "GLOBALSIGN",
+    "AMAZON_CA",
+    "GODADDY",
+    "YANDEX_CA",
+    "COMODO",
+    "MICROSOFT_CA",
+]

@@ -1,0 +1,59 @@
+"""X.509-shaped certificate model.
+
+Only the fields the reproduction observes are modelled: serial, subject
+common name, the Subject Alternative Name list (which RFC 7540 §9.1.1
+consults for Connection Reuse), issuer organisation (Tables 3/5/9) and a
+validity window.  There is no key material — trust is modelled, not
+computed — which keeps millions of simulated handshakes cheap while
+preserving every decision the paper's classifier makes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tls.verify import hostname_matches, is_valid_san_pattern
+from repro.util.domains import normalize
+
+__all__ = ["Certificate"]
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """An issued leaf certificate."""
+
+    serial: int
+    subject: str
+    sans: tuple[str, ...]
+    issuer_org: str
+    not_before: float = 0.0
+    not_after: float = float("inf")
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "subject", normalize(self.subject))
+        sans = tuple(dict.fromkeys(normalize(san) for san in self.sans))
+        if not sans:
+            raise ValueError("certificate must carry at least one SAN")
+        for san in sans:
+            if not is_valid_san_pattern(san):
+                raise ValueError(f"invalid SAN pattern: {san!r}")
+        object.__setattr__(self, "sans", sans)
+        if self.not_after <= self.not_before:
+            raise ValueError("certificate validity window is empty")
+
+    def covers(self, hostname: str) -> bool:
+        """True when any SAN matches ``hostname`` (RFC 6125 rules)."""
+        return any(hostname_matches(san, hostname) for san in self.sans)
+
+    def is_valid_at(self, timestamp: float) -> bool:
+        """Validity-window check."""
+        return self.not_before <= timestamp < self.not_after
+
+    def covered_hostnames(self, candidates: list[str]) -> list[str]:
+        """Filter ``candidates`` down to those this certificate covers."""
+        return [name for name in candidates if self.covers(name)]
+
+    @property
+    def fingerprint(self) -> str:
+        """A stable identifier used for grouping in reports."""
+        return f"{self.issuer_org}#{self.serial}"

@@ -1,0 +1,63 @@
+"""Hostname verification (RFC 6125 subset).
+
+HTTP/2 Connection Reuse hinges on whether an existing connection's
+certificate *covers* the new request's hostname, so this matcher is on
+the hot path of both the browser pool and the redundancy classifier.
+
+Implemented rules (the subset browsers actually enforce):
+
+* comparison is case-insensitive on normalised names;
+* a wildcard is only honoured as the complete left-most label
+  (``*.example.com``; ``f*o.example.com`` is rejected);
+* the wildcard matches exactly one label (``*.example.com`` matches
+  ``img.example.com`` but neither ``example.com`` nor
+  ``a.b.example.com``);
+* wildcards never match a public suffix (``*.com`` is rejected).
+"""
+
+from __future__ import annotations
+
+from repro.util.domains import is_valid_hostname, labels, normalize, public_suffix
+
+__all__ = ["hostname_matches", "is_valid_san_pattern"]
+
+
+def is_valid_san_pattern(pattern: str) -> bool:
+    """True when ``pattern`` is a plain hostname or a legal wildcard."""
+    pattern = normalize(pattern)
+    if pattern.startswith("*."):
+        remainder = pattern[2:]
+        if not is_valid_hostname(remainder):
+            return False
+        # A wildcard must not cover an entire public suffix.
+        return public_suffix(remainder) != remainder or "." in remainder.replace(
+            public_suffix(remainder) or "", ""
+        ).strip(".")
+    return is_valid_hostname(pattern)
+
+
+def hostname_matches(pattern: str, hostname: str) -> bool:
+    """Does SAN ``pattern`` cover ``hostname``?
+
+    >>> hostname_matches("*.example.com", "img.example.com")
+    True
+    >>> hostname_matches("*.example.com", "example.com")
+    False
+    >>> hostname_matches("*.example.com", "a.b.example.com")
+    False
+    """
+    pattern = normalize(pattern)
+    hostname = normalize(hostname)
+    if not is_valid_hostname(hostname):
+        return False
+    if not pattern.startswith("*."):
+        return pattern == hostname
+    pattern_rest = labels(pattern[2:])
+    host_parts = labels(hostname)
+    if len(host_parts) != len(pattern_rest) + 1:
+        return False
+    if host_parts[1:] != pattern_rest:
+        return False
+    # The matched parent must not be a bare public suffix.
+    parent = ".".join(host_parts[1:])
+    return public_suffix(parent) != parent

@@ -1,0 +1,20 @@
+"""Shared utilities: deterministic RNG, simulated time, formatting, stats."""
+
+from repro.util.clock import SimClock
+from repro.util.formatting import align_table, pct, si_count
+from repro.util.rng import RngFactory, derive_seed, stable_hash
+from repro.util.stats import ccdf, counter_to_series, median, quantile
+
+__all__ = [
+    "SimClock",
+    "align_table",
+    "pct",
+    "si_count",
+    "RngFactory",
+    "derive_seed",
+    "stable_hash",
+    "ccdf",
+    "counter_to_series",
+    "median",
+    "quantile",
+]

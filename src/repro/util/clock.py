@@ -1,0 +1,49 @@
+"""Simulated time.
+
+All timestamps in the reproduction are simulated seconds since an
+arbitrary epoch; nothing reads the wall clock.  A :class:`SimClock` is
+threaded through the browser, DNS and crawl layers so that connection
+lifetimes, DNS TTL expiry and the multi-day resolver study all share one
+timeline.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SimClock"]
+
+
+class SimClock:
+    """A monotonically advancing simulated clock.
+
+    >>> clock = SimClock()
+    >>> clock.now()
+    0.0
+    >>> clock.advance(1.5)
+    1.5
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Advance the clock by ``seconds`` (must be non-negative)."""
+        if seconds < 0:
+            raise ValueError(f"cannot move time backwards (advance by {seconds})")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Jump forward to ``timestamp`` (must not be in the past)."""
+        if timestamp < self._now:
+            raise ValueError(
+                f"cannot move time backwards (now={self._now}, target={timestamp})"
+            )
+        self._now = float(timestamp)
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock(now={self._now})"

@@ -1,0 +1,114 @@
+"""Domain-name algebra.
+
+A tiny, dependency-free subset of what a public-suffix-list library
+provides, sufficient for the reproduction: normalisation, label access,
+registrable-domain extraction and subdomain tests.
+
+The synthetic ecosystem only mints names under a fixed set of public
+suffixes (see :data:`PUBLIC_SUFFIXES`), mirroring the common suffixes in
+the paper's tables (``.com``, ``.net``, ``.de``, ``.io``, ...), so a full
+PSL is unnecessary; the module nonetheless handles two-level suffixes
+such as ``co.uk`` correctly.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PUBLIC_SUFFIXES",
+    "normalize",
+    "labels",
+    "is_valid_hostname",
+    "public_suffix",
+    "registrable_domain",
+    "is_subdomain_of",
+    "parent_domain",
+]
+
+#: Public suffixes known to the synthetic ecosystem.  Two-level entries
+#: must be listed explicitly.
+PUBLIC_SUFFIXES: frozenset[str] = frozenset(
+    {
+        "com", "net", "org", "io", "de", "fr", "jp", "ru", "br", "cn",
+        "info", "biz", "tv", "me", "co", "app", "dev", "cloud", "shop",
+        "co.uk", "com.au", "co.jp", "com.br",
+    }
+)
+
+_LABEL_CHARS = frozenset("abcdefghijklmnopqrstuvwxyz0123456789-")
+
+
+def normalize(name: str) -> str:
+    """Lower-case ``name`` and strip any trailing root dot."""
+    return name.strip().rstrip(".").lower()
+
+
+def labels(name: str) -> list[str]:
+    """Split a normalised name into its dot-separated labels."""
+    name = normalize(name)
+    if not name:
+        return []
+    return name.split(".")
+
+
+def is_valid_hostname(name: str) -> bool:
+    """LDH-rule hostname validation (letters/digits/hyphens, ≤63/label)."""
+    parts = labels(name)
+    if not parts or len(normalize(name)) > 253:
+        return False
+    for label in parts:
+        if not label or len(label) > 63:
+            return False
+        if label.startswith("-") or label.endswith("-"):
+            return False
+        if not set(label) <= _LABEL_CHARS:
+            return False
+    return True
+
+
+def public_suffix(name: str) -> str | None:
+    """Return the public suffix of ``name``, or ``None`` if unknown."""
+    parts = labels(name)
+    for take in (2, 1):
+        if len(parts) >= take:
+            candidate = ".".join(parts[-take:])
+            if candidate in PUBLIC_SUFFIXES:
+                return candidate
+    return None
+
+
+def registrable_domain(name: str) -> str | None:
+    """The registrable ("second-level") domain, e.g. site of a shard.
+
+    >>> registrable_domain("img.shop.example.co.uk")
+    'example.co.uk'
+    >>> registrable_domain("www.google.com")
+    'google.com'
+
+    Returns ``None`` when ``name`` *is* a bare public suffix or when the
+    suffix is unknown.
+    """
+    suffix = public_suffix(name)
+    if suffix is None:
+        return None
+    parts = labels(name)
+    suffix_len = len(suffix.split("."))
+    if len(parts) <= suffix_len:
+        return None
+    return ".".join(parts[-(suffix_len + 1):])
+
+
+def is_subdomain_of(name: str, ancestor: str) -> bool:
+    """True when ``name`` equals ``ancestor`` or sits below it."""
+    name_parts = labels(name)
+    ancestor_parts = labels(ancestor)
+    if not ancestor_parts or len(name_parts) < len(ancestor_parts):
+        return False
+    return name_parts[-len(ancestor_parts):] == ancestor_parts
+
+
+def parent_domain(name: str) -> str | None:
+    """Drop the left-most label; ``None`` when nothing remains."""
+    parts = labels(name)
+    if len(parts) <= 1:
+        return None
+    return ".".join(parts[1:])

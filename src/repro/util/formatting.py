@@ -1,0 +1,67 @@
+"""Paper-style number and table formatting.
+
+The IMC paper renders counts as ``2.25 M`` / ``52.31 k`` and percentages
+rounded to integers ("For ease of readability, we round percentages to
+integer numbers").  These helpers reproduce that style so our generated
+tables are directly comparable with the paper's.
+"""
+
+from __future__ import annotations
+
+__all__ = ["si_count", "pct", "align_table"]
+
+
+def si_count(value: float) -> str:
+    """Format ``value`` the way the paper prints counts.
+
+    >>> si_count(2_250_000)
+    '2.25 M'
+    >>> si_count(52_310)
+    '52.31 k'
+    >>> si_count(255)
+    '255'
+    """
+    if value < 0:
+        raise ValueError(f"counts are non-negative, got {value!r}")
+    if value >= 1_000_000:
+        return f"{value / 1_000_000:.2f} M"
+    if value >= 1_000:
+        return f"{value / 1_000:.2f} k"
+    if float(value).is_integer():
+        return str(int(value))
+    return f"{value:.2f}"
+
+
+def pct(numerator: float, denominator: float) -> str:
+    """Integer-rounded percentage, paper style (``'76 %'``).
+
+    A zero denominator renders as ``'- %'`` to keep tables printable.
+    """
+    if denominator == 0:
+        return "- %"
+    return f"{round(100 * numerator / denominator)} %"
+
+
+def align_table(rows: list[list[str]], header: list[str] | None = None) -> str:
+    """Render ``rows`` as a monospace table with aligned columns.
+
+    All rows (and the header, if given) must have the same number of
+    columns.  The first column is left-aligned; the rest right-aligned,
+    matching the typography of the paper's count tables.
+    """
+    body = ([header] if header else []) + rows
+    if not body:
+        return ""
+    width = len(body[0])
+    for row in body:
+        if len(row) != width:
+            raise ValueError(f"ragged table: expected {width} columns, got {len(row)}")
+    col_widths = [max(len(row[i]) for row in body) for i in range(width)]
+    lines = []
+    for index, row in enumerate(body):
+        cells = [row[0].ljust(col_widths[0])]
+        cells += [cell.rjust(col_widths[i]) for i, cell in enumerate(row) if i > 0]
+        lines.append("  ".join(cells).rstrip())
+        if header and index == 0:
+            lines.append("  ".join("-" * w for w in col_widths))
+    return "\n".join(lines)

@@ -1,0 +1,226 @@
+"""The synthetic web: everything the crawlers visit.
+
+`Ecosystem.generate` builds, from one seed, a complete and internally
+consistent world: autonomous systems and prefixes, origin servers with
+SNI certificate maps, an authoritative DNS namespace with per-domain
+load balancing, the third-party service catalogue, and N first-party
+websites with popularity ranks and embedded services.
+
+This replaces the live web of the paper's measurements; see DESIGN.md
+§1 for the substitution argument.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.dns.resolver import RecursiveResolver, ResolverInfo
+from repro.dns.zone import DnsNamespace
+from repro.net.address_space import PrefixAllocator
+from repro.net.asdb import AsDatabase
+from repro.tls.issuers import IssuerRegistry
+from repro.util.rng import RngFactory
+from repro.web.hosting import ProviderDirectory
+from repro.web.server import OriginServer
+from repro.web.thirdparty import ThirdPartyCatalog, ThirdPartyService
+from repro.web.website import Website, WebsiteFactory
+
+__all__ = ["EcosystemConfig", "Ecosystem"]
+
+
+def _build_internal_pages(site, services, config, rng: random.Random) -> None:
+    """Attach internal pages that keep a subset of the landing embeds."""
+    from repro.web.resources import Resource, ResourceType
+
+    by_key = {service.key: service for service in services}
+    kept_keys = [
+        key for key in site.embedded_services
+        if rng.random() < config.internal_embed_retention
+    ]
+    for index in range(config.internal_pages_per_site):
+        path = f"/page/{index + 1}"
+        children = [
+            Resource(
+                domain=site.domain,
+                path=f"{path}/asset-{item}",
+                rtype=ResourceType.IMAGE if item % 2 else ResourceType.SCRIPT,
+                size=rng.randint(500, 80_000),
+            )
+            for item in range(rng.randint(2, 8))
+        ]
+        for key in kept_keys:
+            children.extend(by_key[key].embed(random.Random(rng.random())))
+        site.internal_documents[path] = Resource(
+            domain=site.domain,
+            path=path,
+            rtype=ResourceType.DOCUMENT,
+            size=rng.randint(4_000, 90_000),
+            children=children,
+        )
+
+#: Domain rewrites applied by a browser crawling from a given country —
+#: the paper's geolocation effect ("our geolocation seems to affect
+#: Google to redirect us to its German domain", Appendix A.3).
+_GEO_REWRITES: dict[str, dict[str, str]] = {
+    "DE": {
+        "www.google.com": "www.google.de",
+        "adservice.google.com": "adservice.google.de",
+    },
+}
+
+
+@dataclass(frozen=True)
+class EcosystemConfig:
+    """Knobs of the synthetic world.
+
+    The defaults are calibrated so corpus-level shares reproduce the
+    paper's Table 1 shape (see DESIGN.md §4); sizes are scaled down from
+    6.24 M / 100 k sites to something a laptop regenerates in seconds.
+    """
+
+    seed: int = 7
+    n_sites: int = 2000
+    tail_services: int = 60
+    share_sharded: float = 0.45
+    share_h1_only: float = 0.06
+    #: Probability that an HTTP/1-only first party still carries
+    #: third-party embeds (old sites have fewer trackers).
+    h1_embed_damping: float = 0.5
+    shard_font_probability: float = 0.35
+    style_weights: tuple[float, float, float] = (0.64, 0.06, 0.30)
+    #: Internal pages per site (extension beyond the paper's
+    #: landing-page-only crawls).
+    internal_pages_per_site: int = 2
+    #: Probability each landing-page third party also appears on an
+    #: internal page (internal pages are lighter, Aqeel et al. [1]).
+    internal_embed_retention: float = 0.7
+    # ---- mitigation ablations (§5.3.1 / conclusion) ------------------
+    #: Servers advertise their reusable origins via RFC 8336 ORIGIN
+    #: frames (pair with BrowserConfig.honor_origin_frame).
+    advertise_origin_frames: bool = False
+    #: Services coordinate DNS so coalescable domains resolve to the
+    #: same answers (the paper's "point to the same CNAME" fix).
+    coalesce_friendly_dns: bool = False
+    #: Sharding operators merge their per-shard certificates into one
+    #: (the certbot-education fix for the CERT cause).
+    merged_certificates: bool = False
+
+
+@dataclass
+class Ecosystem:
+    """The fully wired synthetic Internet."""
+
+    config: EcosystemConfig
+    namespace: DnsNamespace
+    asdb: AsDatabase
+    allocator: PrefixAllocator
+    providers: ProviderDirectory
+    issuers: IssuerRegistry
+    servers: dict[str, OriginServer]
+    services: list[ThirdPartyService]
+    websites: list[Website]
+    _by_domain: dict[str, Website] = field(default_factory=dict)
+
+    @classmethod
+    def generate(cls, config: EcosystemConfig | None = None) -> "Ecosystem":
+        """Build the world deterministically from ``config.seed``."""
+        config = config or EcosystemConfig()
+        rng = RngFactory(config.seed)
+        namespace = DnsNamespace()
+        asdb = AsDatabase()
+        allocator = PrefixAllocator()
+        providers = ProviderDirectory.with_well_known(allocator, asdb)
+        issuers = IssuerRegistry()
+        servers: dict[str, OriginServer] = {}
+
+        catalog = ThirdPartyCatalog(
+            providers=providers,
+            namespace=namespace,
+            issuers=issuers,
+            servers=servers,
+            rng=rng.stream("thirdparty"),
+            tail_services=config.tail_services,
+            advertise_origin_frames=config.advertise_origin_frames,
+            coalesce_friendly_dns=config.coalesce_friendly_dns,
+            merged_certificates=config.merged_certificates,
+        )
+        services = catalog.build()
+
+        factory = WebsiteFactory(
+            providers=providers,
+            namespace=namespace,
+            issuers=issuers,
+            servers=servers,
+            rng=rng.stream("websites"),
+            share_sharded=config.share_sharded,
+            share_h1_only=config.share_h1_only,
+            shard_font_probability=config.shard_font_probability,
+            style_weights=config.style_weights,
+            merged_certificates=config.merged_certificates,
+        )
+
+        websites: list[Website] = []
+        embed_rng = rng.stream("embeds")
+        for rank in range(1, config.n_sites + 1):
+            site = factory.build_site(rank)
+            percentile = (rank - 1) / max(1, config.n_sites - 1)
+            damping = 1.0
+            if not site.supports_h2:
+                damping = config.h1_embed_damping
+            embedded = []
+            for service in services:
+                probability = service.effective_adoption(percentile) * damping
+                if embed_rng.random() < probability:
+                    site.document.children.extend(
+                        service.embed(random.Random(embed_rng.random()))
+                    )
+                    embedded.append(service.key)
+            site.embedded_services = tuple(embedded)
+            _build_internal_pages(site, services, config, embed_rng)
+            websites.append(site)
+
+        ecosystem = cls(
+            config=config,
+            namespace=namespace,
+            asdb=asdb,
+            allocator=allocator,
+            providers=providers,
+            issuers=issuers,
+            servers=servers,
+            services=services,
+            websites=websites,
+        )
+        ecosystem._by_domain = {site.domain: site for site in websites}
+        return ecosystem
+
+    # ------------------------------------------------------------------
+    def server_for_ip(self, ip: str) -> OriginServer:
+        """The endpoint listening on ``ip`` (KeyError if none)."""
+        return self.servers[ip]
+
+    def website(self, domain: str) -> Website | None:
+        return self._by_domain.get(domain)
+
+    def make_resolver(self, resolver_id: str = "internal") -> RecursiveResolver:
+        """A fresh recursive resolver over this world's namespace."""
+        info = ResolverInfo(
+            resolver_id=resolver_id, ip="0.0.0.0", country="n/a", operator="sim"
+        )
+        return RecursiveResolver(namespace=self.namespace, info=info)
+
+    def geo_rewrites(self, country: str) -> dict[str, str]:
+        """Vantage-dependent domain rewrites for a crawler in ``country``."""
+        return dict(_GEO_REWRITES.get(country.upper(), {}))
+
+    def alexa_list(self, top: int) -> list[str]:
+        """The top-``top`` site domains by rank (the synthetic Alexa list)."""
+        ordered = sorted(self.websites, key=lambda site: site.rank)
+        return [site.domain for site in ordered[:top]]
+
+    def httparchive_sample(self, share: float = 0.75, *, seed: int = 1) -> list[str]:
+        """A deterministic sample of sites (the synthetic CrUX corpus)."""
+        if not 0 < share <= 1:
+            raise ValueError(f"share must be in (0, 1], got {share}")
+        rng = random.Random(seed)
+        return [site.domain for site in self.websites if rng.random() < share]

@@ -1,0 +1,112 @@
+"""Hosting providers: the glue between ASes, prefixes and servers.
+
+Table 6 of the paper attributes IP-cause redundancy to the hosting ASes
+(GOOGLE, AMAZON-02, FACEBOOK, AUTOMATTIC, ...).  A
+:class:`HostingProvider` owns an AS, allocates prefixes from the global
+address space, and registers everything with the AS database so the
+analysis layer can do IP→AS attribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.address_space import Prefix, PrefixAllocator
+from repro.net.asdb import AsDatabase, AutonomousSystem
+
+__all__ = ["HostingProvider", "ProviderDirectory", "WELL_KNOWN_PROVIDERS"]
+
+#: (as name, asn, organisation) — the ASes of the paper's Table 6 plus
+#: generic hosters for the long tail of first-party sites.
+WELL_KNOWN_PROVIDERS: tuple[tuple[str, int, str], ...] = (
+    ("GOOGLE", 15169, "Google LLC"),
+    ("AMAZON-02", 16509, "Amazon.com, Inc."),
+    ("FACEBOOK", 32934, "Meta Platforms, Inc."),
+    ("AUTOMATTIC", 2635, "Automattic, Inc"),
+    ("CLOUDFLARENET", 13335, "Cloudflare, Inc."),
+    ("FASTLY", 54113, "Fastly, Inc."),
+    ("AMAZON-AES", 14618, "Amazon.com, Inc."),
+    ("EDGECAST", 15133, "Edgecast Inc."),
+    ("AKAMAI-ASN1", 20940, "Akamai International B.V."),
+    ("AKAMAI-AS", 16625, "Akamai Technologies, Inc."),
+    ("HETZNER-AS", 24940, "Hetzner Online GmbH"),
+    ("OVH", 16276, "OVH SAS"),
+    ("DIGITALOCEAN-ASN", 14061, "DigitalOcean, LLC"),
+    ("LINODE-AP", 63949, "Linode, LLC"),
+    ("UNIFIEDLAYER-AS-1", 46606, "Unified Layer"),
+    ("GODADDY-SXB", 26496, "GoDaddy.com, LLC"),
+)
+
+
+@dataclass
+class HostingProvider:
+    """One AS's hosting operation: prefixes and address hand-out."""
+
+    system: AutonomousSystem
+    allocator: PrefixAllocator
+    asdb: AsDatabase
+    prefixes: list[Prefix] = field(default_factory=list)
+
+    def new_prefix(self, prefixlen: int = 24) -> Prefix:
+        """Allocate and announce a fresh prefix."""
+        prefix = self.allocator.allocate_prefix(self.system.asn, prefixlen)
+        self.asdb.add_prefix(prefix)
+        self.prefixes.append(prefix)
+        return prefix
+
+    def addresses(self, count: int, *, prefix: Prefix | None = None) -> list[str]:
+        """Allocate ``count`` host addresses (one /24 by default).
+
+        Addresses from one call share a prefix — reproducing the paper's
+        observation that a service's load-balanced endpoints sit in the
+        same /24.
+        """
+        if prefix is None:
+            prefix = self.new_prefix()
+        return [self.allocator.allocate_host(prefix) for _ in range(count)]
+
+
+@dataclass
+class ProviderDirectory:
+    """All providers of the synthetic Internet, keyed by AS name."""
+
+    allocator: PrefixAllocator
+    asdb: AsDatabase
+    providers: dict[str, HostingProvider] = field(default_factory=dict)
+
+    @classmethod
+    def with_well_known(
+        cls, allocator: PrefixAllocator, asdb: AsDatabase
+    ) -> "ProviderDirectory":
+        """Create the directory pre-populated with Table 6's ASes."""
+        directory = cls(allocator=allocator, asdb=asdb)
+        for name, asn, org in WELL_KNOWN_PROVIDERS:
+            directory.add(name, asn, org)
+        return directory
+
+    def add(self, name: str, asn: int, organization: str) -> HostingProvider:
+        system = self.asdb.register(
+            AutonomousSystem(asn=asn, name=name, organization=organization)
+        )
+        provider = HostingProvider(
+            system=system, allocator=self.allocator, asdb=self.asdb
+        )
+        self.providers[name] = provider
+        return provider
+
+    def __getitem__(self, name: str) -> HostingProvider:
+        return self.providers[name]
+
+    def generic_hosters(self) -> list[HostingProvider]:
+        """Providers used for ordinary first-party websites."""
+        names = (
+            "HETZNER-AS",
+            "OVH",
+            "DIGITALOCEAN-ASN",
+            "LINODE-AP",
+            "UNIFIEDLAYER-AS-1",
+            "GODADDY-SXB",
+            "CLOUDFLARENET",
+            "AMAZON-AES",
+        )
+        return [self.providers[name] for name in names if name in self.providers]

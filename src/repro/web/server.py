@@ -1,0 +1,142 @@
+"""Origin servers.
+
+One :class:`OriginServer` is one IP endpoint terminating TLS.  Real
+servers select the presented certificate by SNI, which is how *domain
+sharding with disjunct certificates on the same host* (the paper's CERT
+cause) exists at all: the same IP answers ``static.klaviyo.com`` and
+``fast.a.klaviyo.com`` with two different Let's Encrypt certificates.
+
+Servers can also:
+
+* answer **421 Misdirected Request** for domains their operator has not
+  configured on this endpoint even though a certificate would cover them
+  (the paper's "explicitly excluded domains" exception, filtered by the
+  methodology), and
+* advertise extra origins via the RFC 8336 **ORIGIN frame** (not
+  honoured by Chromium, so off by default in the browser model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.h2.connection import HTTP_MISDIRECTED_REQUEST
+from repro.tls.certificate import Certificate
+from repro.util.domains import normalize
+from repro.util.rng import stable_hash
+
+__all__ = ["OriginServer", "build_fleet"]
+
+
+@dataclass
+class OriginServer:
+    """A TLS endpoint serving one or more domains on a single IP."""
+
+    ip: str
+    name: str
+    cert_map: dict[str, Certificate]
+    default_certificate: Certificate
+    alpn: str = "h2"
+    #: Advertises HTTP/3 support via an alt-svc header; browsers with
+    #: QUIC enabled switch to h3 on subsequent connections (the paper
+    #: disabled QUIC precisely to avoid this, §4.2.2).
+    alt_svc_h3: bool = False
+    origin_frame_origins: tuple[str, ...] = ()
+    excluded_domains: set[str] = field(default_factory=set)
+    requests_served: int = 0
+    misdirected_responses: int = 0
+
+    def __post_init__(self) -> None:
+        self.cert_map = {normalize(k): v for k, v in self.cert_map.items()}
+        self.excluded_domains = {normalize(d) for d in self.excluded_domains}
+
+    # The ServerEndpoint protocol expects a ``certificate`` attribute for
+    # the connection being established; SNI decides which one.
+    @property
+    def certificate(self) -> Certificate:
+        return self.default_certificate
+
+    def certificate_for(self, sni: str) -> Certificate:
+        """The certificate presented when the client sends ``sni``."""
+        sni = normalize(sni)
+        if sni in self.cert_map:
+            return self.cert_map[sni]
+        for cert in self.cert_map.values():
+            if cert.covers(sni):
+                return cert
+        return self.default_certificate
+
+    def serves(self, domain: str) -> bool:
+        """Is ``domain`` configured (vhosted) on this endpoint?"""
+        domain = normalize(domain)
+        if domain in self.excluded_domains:
+            return False
+        if domain in self.cert_map:
+            return True
+        return any(cert.covers(domain) for cert in self.cert_map.values())
+
+    def handle_request(
+        self, domain: str, path: str, *, method: str, credentials: bool
+    ) -> tuple[int, list[tuple[str, str]], int]:
+        """Serve a request for ``https://domain path``.
+
+        Returns 421 when the domain reached this endpoint via connection
+        coalescing but is not configured here (RFC 7540 §9.1.2).
+        """
+        domain = normalize(domain)
+        self.requests_served += 1
+        if not self.serves(domain):
+            self.misdirected_responses += 1
+            return (
+                HTTP_MISDIRECTED_REQUEST,
+                [("content-type", "text/plain"), ("content-length", "0")],
+                0,
+            )
+        body_size = 200 + stable_hash("body", domain, path) % 50_000
+        headers = [
+            ("content-type", "application/octet-stream"),
+            ("content-length", str(body_size)),
+            ("server", self.name),
+        ]
+        if credentials and method == "GET":
+            headers.append(("set-cookie", f"sid={stable_hash('sid', domain) % 10**9}"))
+        return 200, headers, body_size
+
+    def advertised_origins(self) -> tuple[str, ...]:
+        return self.origin_frame_origins
+
+
+def build_fleet(
+    ips: list[str],
+    *,
+    name: str,
+    cert_map: dict[str, Certificate],
+    default_certificate: Certificate | None = None,
+    alpn: str = "h2",
+    alt_svc_h3: bool = False,
+    origin_frame_origins: tuple[str, ...] = (),
+    excluded_domains: set[str] | None = None,
+) -> list[OriginServer]:
+    """Create one interchangeable server per IP with shared config.
+
+    This models a load-balanced service: every endpoint can answer for
+    every configured domain, which is precisely why the paper argues the
+    redundant connections of cause IP were avoidable.
+    """
+    if default_certificate is None:
+        if not cert_map:
+            raise ValueError("fleet needs at least one certificate")
+        default_certificate = next(iter(cert_map.values()))
+    return [
+        OriginServer(
+            ip=ip,
+            name=name,
+            cert_map=dict(cert_map),
+            default_certificate=default_certificate,
+            alpn=alpn,
+            alt_svc_h3=alt_svc_h3,
+            origin_frame_origins=origin_frame_origins,
+            excluded_domains=set(excluded_domains or ()),
+        )
+        for ip in ips
+    ]

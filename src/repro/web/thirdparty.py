@@ -1,0 +1,1272 @@
+"""The third-party service catalogue.
+
+The paper's central empirical finding is that a *small number of
+parties* — tracking and advertising services — cause the majority of
+redundant connections (§5.3).  This module builds synthetic versions of
+exactly those services, with the DNS, certificate and embedding
+structure the paper reverse-engineered:
+
+* **Google Analytics / Tag Manager** — one interchangeable server fleet
+  in one /24, but the two domains are balanced over *disjoint* address
+  subsets, so their answers never overlap (Figure 3) and every GA
+  connection after a GTM connection is IP-redundant (Table 2 rank 1).
+* **Facebook** — ``connect.facebook.net`` and ``www.facebook.com`` in
+  the same /24 with disjoint pools; WFB endpoints can serve CFB content
+  but not vice versa (§5.3.1).
+* **Google ads** — one shared pool for the syndication/doubleclick
+  domains (a big shared certificate → IP cause among themselves), with
+  ``adservice.google.com``/``.de`` carrying *separate* GTS certificates
+  on the same pool (Table 4's CERT heavy-hitters) and
+  ``www.googleadservices.com`` presenting a narrower certificate (the
+  Table 4 ``googleads…`` CERT rows).
+* **gstatic / googleapis** — shared pools with per-domain rotation that
+  overlap *sometimes* (the fluctuating rows of Figure 3); fonts are
+  fetched anonymously, so gstatic also feeds the CRED cause.
+* **Hotjar** (Amazon CloudFront), **wp.com** (Automattic, pools in
+  different /24s), **Klaviyo** (the paper's top CERT domain: two Let's
+  Encrypt certificates on one IP), **Squarespace**, **Unruly**,
+  **Reddit** — per Tables 2/4/6/12.
+* A generated long tail of small widget services covering all four
+  structural patterns, so the issuer/AS distributions have realistic
+  mass outside the heavy hitters.
+
+Each service contributes an ``embed`` template: a function producing the
+resource subtree a website gains by adopting the service (e.g. the GTM
+script that loads the GA script that fires the anonymous beacon —
+which is the paper's same-domain CRED case).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.dns.loadbalancer import RotationPolicy, StaticPolicy
+from repro.dns.zone import AddressEntry, DnsNamespace
+from repro.tls.certificate import Certificate
+from repro.tls.issuers import (
+    AMAZON_CA,
+    DIGICERT,
+    GLOBALSIGN,
+    GODADDY,
+    GOOGLE_TRUST_SERVICES,
+    LETS_ENCRYPT,
+    MICROSOFT_CA as MICROSOFT_CA_ISSUER,
+    SECTIGO,
+    IssuerRegistry,
+)
+from repro.web.hosting import ProviderDirectory
+from repro.web.resources import RequestMode, Resource, ResourceType
+from repro.web.server import OriginServer, build_fleet
+
+__all__ = ["ThirdPartyService", "ThirdPartyCatalog"]
+
+
+@dataclass
+class ThirdPartyService:
+    """A third-party widget/service websites can embed."""
+
+    key: str
+    adoption: float
+    embed: Callable[[random.Random], list[Resource]]
+    domains: tuple[str, ...]
+    rank_boost: float = 1.5
+    tail_factor: float = 0.55
+
+    def effective_adoption(self, rank_percentile: float) -> float:
+        """Adoption probability given a site's popularity.
+
+        ``rank_percentile`` is 0.0 for the most popular site and 1.0 for
+        the least popular; popular sites embed more third parties, which
+        is why the paper's Alexa Top 100k shows notably more redundancy
+        than the HTTP Archive's long tail (Table 1).  Adoption scales
+        linearly from ``adoption * rank_boost`` at the top to
+        ``adoption * tail_factor`` at the bottom.
+        """
+        # Exponential interpolation: adoption decays geometrically from
+        # ``adoption * rank_boost`` at the top of the ranking to
+        # ``adoption * tail_factor`` at the bottom, mimicking the sharp
+        # popularity fall-off of tracker adoption on the real web.
+        if self.rank_boost <= 0 or self.tail_factor <= 0:
+            raise ValueError("rank_boost and tail_factor must be positive")
+        ratio = self.tail_factor / self.rank_boost
+        factor = self.rank_boost * ratio**rank_percentile
+        return min(1.0, max(0.0, self.adoption * factor))
+
+
+def _maybe(rng: random.Random, probability: float) -> bool:
+    return rng.random() < probability
+
+
+def _shuffled(rng: random.Random, items: list[Resource]) -> list[Resource]:
+    out = list(items)
+    rng.shuffle(out)
+    return out
+
+
+@dataclass
+class ThirdPartyCatalog:
+    """Builds every third-party service into the shared substrates."""
+
+    providers: ProviderDirectory
+    namespace: DnsNamespace
+    issuers: IssuerRegistry
+    servers: dict[str, OriginServer]
+    rng: random.Random
+    tail_services: int = 60
+    #: Ablation: fleets advertise reusable origins via ORIGIN frames.
+    advertise_origin_frames: bool = False
+    #: Ablation: coalescable domains share pools and rotation salts.
+    coalesce_friendly_dns: bool = False
+    #: Ablation: sharded services merge their disjunct certificates.
+    merged_certificates: bool = False
+    services: list[ThirdPartyService] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Wiring helpers
+    # ------------------------------------------------------------------
+    def _install_fleet(
+        self,
+        provider_name: str,
+        cert_map: dict[str, Certificate],
+        count: int,
+        *,
+        name: str,
+        alt_svc_h3: bool = False,
+        excluded_domains: set[str] | None = None,
+        origin_frame_origins: tuple[str, ...] = (),
+    ) -> list[str]:
+        """Allocate ``count`` addresses in one /24 and install servers."""
+        ips = self.providers[provider_name].addresses(count)
+        if self.advertise_origin_frames and not origin_frame_origins:
+            served = [
+                domain for domain in cert_map
+                if domain not in (excluded_domains or ())
+            ]
+            origin_frame_origins = tuple(f"https://{d}" for d in served)
+        for server in build_fleet(
+            ips,
+            name=name,
+            cert_map=cert_map,
+            alt_svc_h3=alt_svc_h3,
+            excluded_domains=excluded_domains,
+            origin_frame_origins=origin_frame_origins,
+        ):
+            self.servers[server.ip] = server
+        return ips
+
+    def _dns(
+        self,
+        domain: str,
+        pool: Sequence[str],
+        *,
+        answers: int = 2,
+        period_s: float = 360.0,
+        static: bool = False,
+        salt: str | None = None,
+        ttl: int = 120,
+    ) -> None:
+        """Point ``domain`` at ``pool`` with the chosen balancing."""
+        policy = StaticPolicy() if static else RotationPolicy(
+            answer_count=answers, period_s=period_s
+        )
+        self.namespace.add_address(
+            domain, AddressEntry(pool=tuple(pool), policy=policy, salt=salt, ttl=ttl)
+        )
+
+    # ------------------------------------------------------------------
+    # The named services of the paper
+    # ------------------------------------------------------------------
+    def _build_google_analytics(self) -> ThirdPartyService:
+        cert = self.issuers.issue(
+            GOOGLE_TRUST_SERVICES,
+            ("*.google-analytics.com", "*.googletagmanager.com"),
+        )
+        ips = self._install_fleet(
+            "GOOGLE",
+            {
+                "www.google-analytics.com": cert,
+                "www.googletagmanager.com": cert,
+            },
+            12,
+            name="google-analytics-edge",
+        )
+        if self.coalesce_friendly_dns:
+            # Mitigation: both domains behind one synchronized entry, so
+            # answers always overlap and coalescing succeeds.
+            self._dns("www.googletagmanager.com", ips, salt="ga-pool")
+            self._dns("www.google-analytics.com", ips, salt="ga-pool")
+        else:
+            # Disjoint halves of one /24: interchangeable servers, but
+            # the two domains' DNS answers can never overlap — the
+            # paper's "unsynchronized DNS load-balancing" in its purest
+            # form.
+            self._dns("www.googletagmanager.com", ips[:6])
+            self._dns("www.google-analytics.com", ips[6:])
+
+        def embed(rng: random.Random) -> list[Resource]:
+            beacon = Resource(
+                domain="www.google-analytics.com",
+                path="/j/collect",
+                rtype=ResourceType.BEACON,
+                # Sent without credentials: Chromium flips privacy_mode,
+                # yielding the paper's same-domain CRED case.
+                mode=RequestMode.CORS_ANON,
+                size=35,
+            )
+            analytics = Resource(
+                domain="www.google-analytics.com",
+                path="/analytics.js",
+                rtype=ResourceType.SCRIPT,
+                size=49_000,
+                children=[beacon] if _maybe(rng, 0.95) else [],
+            )
+            if _maybe(rng, 0.92):
+                gtm_children = [analytics]
+                if _maybe(rng, 0.25):
+                    # Container-config fetch without credentials: a
+                    # second same-domain CRED source on the GTM host.
+                    gtm_children.append(
+                        Resource(
+                            domain="www.googletagmanager.com",
+                            path="/container/config.json",
+                            rtype=ResourceType.XHR,
+                            mode=RequestMode.CORS_ANON,
+                            size=900,
+                        )
+                    )
+                return [
+                    Resource(
+                        domain="www.googletagmanager.com",
+                        path=f"/gtm.js?id=GTM-{rng.randint(1000, 9999)}",
+                        rtype=ResourceType.SCRIPT,
+                        size=95_000,
+                        children=gtm_children,
+                    )
+                ]
+            return [analytics]
+
+        return ThirdPartyService(
+            key="google-analytics",
+            adoption=0.55,
+            embed=embed,
+            domains=("www.googletagmanager.com", "www.google-analytics.com"),
+            rank_boost=1.5,
+            tail_factor=0.3,
+        )
+
+    def _build_facebook(self) -> ThirdPartyService:
+        cert = self.issuers.issue(DIGICERT, ("*.facebook.com", "*.facebook.net"))
+        cfb = "connect.facebook.net"
+        wfb = "www.facebook.com"
+        ips = self._install_fleet(
+            "FACEBOOK",
+            {cfb: cert, wfb: cert},
+            8,
+            name="facebook-edge",
+        )
+        if self.coalesce_friendly_dns:
+            # Mitigation ("resolving CFB to WFB would reduce
+            # redundancy"): both names point at the WFB half, which can
+            # serve both resources.
+            self._dns(cfb, ips[4:], salt="fb-pool")
+            self._dns(wfb, ips[4:], salt="fb-pool")
+        else:
+            # WFB endpoints can serve the CFB script, but not vice versa
+            # ("there seems to be a real resource distribution in the
+            # background in that direction", §5.3.1).
+            for ip in ips[:4]:
+                self.servers[ip].excluded_domains.add(wfb)
+            self._dns(cfb, ips[:4])
+            self._dns(wfb, ips[4:])
+
+        def embed(rng: random.Random) -> list[Resource]:
+            pixel = Resource(
+                domain=wfb, path="/tr/", rtype=ResourceType.IMAGE, size=44
+            )
+            children = [pixel]
+            if _maybe(rng, 0.25):
+                children.append(
+                    Resource(
+                        domain=wfb,
+                        path="/plugins/like.php",
+                        rtype=ResourceType.IFRAME,
+                        size=12_000,
+                    )
+                )
+            if _maybe(rng, 0.3):
+                # Uncredentialed signals fetch back to the SDK host:
+                # same-domain CRED, mirroring the GA beacon pattern.
+                children.append(
+                    Resource(
+                        domain=cfb,
+                        path="/signals/config.json",
+                        rtype=ResourceType.XHR,
+                        mode=RequestMode.CORS_ANON,
+                        size=1_100,
+                    )
+                )
+            return [
+                Resource(
+                    domain=cfb,
+                    path="/en_US/fbevents.js",
+                    rtype=ResourceType.SCRIPT,
+                    size=82_000,
+                    children=children,
+                )
+            ]
+
+        return ThirdPartyService(
+            key="facebook",
+            adoption=0.25,
+            embed=embed,
+            domains=(cfb, wfb),
+            rank_boost=1.6,
+            tail_factor=0.3,
+        )
+
+    def _build_google_ads(self) -> ThirdPartyService:
+        big_cert = self.issuers.issue(
+            GOOGLE_TRUST_SERVICES,
+            (
+                "*.googlesyndication.com",
+                "*.doubleclick.net",
+                "*.googletagservices.com",
+                "*.googleadservices.com",
+                "*.g.doubleclick.net",
+            ),
+        )
+        if self.merged_certificates:
+            # Mitigation: Google changes its issuing policy so the big
+            # certificate covers the adservice/adwords names too.
+            adwords_cert = adservice_com_cert = adservice_de_cert = (
+                self.issuers.issue(
+                    GOOGLE_TRUST_SERVICES,
+                    big_cert.sans
+                    + ("adservice.google.com", "adservice.google.de"),
+                )
+            )
+        else:
+            adwords_cert = self.issuers.issue(
+                GOOGLE_TRUST_SERVICES,
+                ("www.googleadservices.com", "partner.googleadservices.com"),
+            )
+            adservice_com_cert = self.issuers.issue(
+                GOOGLE_TRUST_SERVICES, ("adservice.google.com",)
+            )
+            adservice_de_cert = self.issuers.issue(
+                GOOGLE_TRUST_SERVICES, ("adservice.google.de",)
+            )
+        pagead2 = "pagead2.googlesyndication.com"
+        googleads = "googleads.g.doubleclick.net"
+        cert_map = {
+            pagead2: big_cert,
+            "tpc.googlesyndication.com": big_cert,
+            googleads: big_cert,
+            "stats.g.doubleclick.net": big_cert,
+            "securepubads.g.doubleclick.net": big_cert,
+            "cm.g.doubleclick.net": big_cert,
+            "www.googletagservices.com": big_cert,
+            "www.googleadservices.com": adwords_cert,
+            "partner.googleadservices.com": adwords_cert,
+            "adservice.google.com": adservice_com_cert,
+            "adservice.google.de": adservice_de_cert,
+        }
+        ips = self._install_fleet("GOOGLE", cert_map, 16, name="google-ads-edge")
+        # One shared pool, per-domain unsynchronized rotation: answers
+        # overlap *sometimes*, producing both IP redundancy (different
+        # IPs, covering certificate) and CERT redundancy (same IP, the
+        # adservice/adwords certificates do not cover the other names).
+        shared_salt = "ads-pool" if self.coalesce_friendly_dns else None
+        for domain in cert_map:
+            self._dns(domain, ips, answers=2, salt=shared_salt)
+
+        def embed(rng: random.Random) -> list[Resource]:
+            stats = Resource(
+                domain="stats.g.doubleclick.net",
+                path="/r/collect",
+                rtype=ResourceType.BEACON,
+                size=35,
+            )
+            googleads_children = [stats] if _maybe(rng, 0.7) else []
+            if _maybe(rng, 0.3):
+                googleads_children.append(
+                    Resource(
+                        domain="cm.g.doubleclick.net",
+                        path="/cm",
+                        rtype=ResourceType.XHR,
+                        mode=RequestMode.NO_CORS,
+                        size=120,
+                    )
+                )
+            children = [
+                Resource(
+                    domain=googleads,
+                    path="/pagead/id",
+                    rtype=ResourceType.SCRIPT,
+                    size=22_000,
+                    children=googleads_children,
+                )
+            ]
+            if _maybe(rng, 0.6):
+                children.append(
+                    Resource(
+                        domain="adservice.google.com",
+                        path="/adsid/integrator.js",
+                        rtype=ResourceType.SCRIPT,
+                        size=4_000,
+                    )
+                )
+            if _maybe(rng, 0.7):
+                children.append(
+                    Resource(
+                        domain="tpc.googlesyndication.com",
+                        path="/simgad/main.png",
+                        rtype=ResourceType.IMAGE,
+                        size=30_000,
+                    )
+                )
+            if _maybe(rng, 0.6):
+                children.append(
+                    Resource(
+                        domain="www.googletagservices.com",
+                        path="/tag/js/gpt.js",
+                        rtype=ResourceType.SCRIPT,
+                        size=60_000,
+                    )
+                )
+            if _maybe(rng, 0.4):
+                children.append(
+                    Resource(
+                        domain="securepubads.g.doubleclick.net",
+                        path="/gpt/pubads_impl.js",
+                        rtype=ResourceType.SCRIPT,
+                        size=200_000,
+                    )
+                )
+            if _maybe(rng, 0.5):
+                children.append(
+                    Resource(
+                        domain="www.googleadservices.com",
+                        path="/pagead/conversion.js",
+                        rtype=ResourceType.SCRIPT,
+                        size=30_000,
+                        children=[
+                            Resource(
+                                domain="partner.googleadservices.com",
+                                path="/gampad/cookie.js",
+                                rtype=ResourceType.SCRIPT,
+                                size=3_000,
+                            )
+                        ]
+                        if _maybe(rng, 0.6)
+                        else [],
+                    )
+                )
+            return [
+                Resource(
+                    domain=pagead2,
+                    path="/pagead/js/adsbygoogle.js",
+                    rtype=ResourceType.SCRIPT,
+                    size=250_000,
+                    children=_shuffled(rng, children),
+                )
+            ]
+
+        return ThirdPartyService(
+            key="google-ads",
+            adoption=0.28,
+            embed=embed,
+            domains=tuple(cert_map),
+            rank_boost=2.0,
+            tail_factor=0.15,
+        )
+
+    def _build_gstatic(self) -> ThirdPartyService:
+        cert = self.issuers.issue(
+            GOOGLE_TRUST_SERVICES,
+            (
+                "*.gstatic.com",
+                "www.google.com",
+                "www.google.de",
+                "apis.google.com",
+                "ogs.google.com",
+                "*.youtube.com",
+                "*.ytimg.com",
+            ),
+        )
+        gstatic_ips = self._install_fleet(
+            "GOOGLE",
+            {
+                "www.gstatic.com": cert,
+                "fonts.gstatic.com": cert,
+                "i.ytimg.com": cert,
+            },
+            8,
+            name="gstatic-edge",
+            alt_svc_h3=True,
+        )
+        self._dns("www.gstatic.com", gstatic_ips, answers=2)
+        self._dns("fonts.gstatic.com", gstatic_ips, answers=2)
+        self._dns("i.ytimg.com", gstatic_ips, answers=2)
+
+        web_ips = self._install_fleet(
+            "GOOGLE",
+            {
+                "www.google.com": cert,
+                "www.google.de": cert,
+                "apis.google.com": cert,
+                "ogs.google.com": cert,
+            },
+            6,
+            name="google-web-edge",
+        )
+        for domain in ("www.google.com", "www.google.de", "apis.google.com",
+                       "ogs.google.com"):
+            self._dns(domain, web_ips, answers=2)
+
+        yt_ips = self._install_fleet(
+            "GOOGLE", {"www.youtube.com": cert}, 4, name="youtube-edge"
+        )
+        self._dns("www.youtube.com", yt_ips, answers=2)
+
+        def embed(rng: random.Random) -> list[Resource]:
+            children = []
+            if _maybe(rng, 0.75):
+                children.append(
+                    Resource(
+                        domain="apis.google.com",
+                        path="/js/platform.js",
+                        rtype=ResourceType.SCRIPT,
+                        size=30_000,
+                    )
+                )
+            if _maybe(rng, 0.55):
+                children.append(
+                    Resource(
+                        domain="ogs.google.com",
+                        path="/widget/app",
+                        rtype=ResourceType.XHR,
+                        mode=RequestMode.NO_CORS,
+                        size=8_000,
+                    )
+                )
+            if _maybe(rng, 0.6):
+                # The crawler's geo rewrite turns this into
+                # www.google.de from the German vantage point.
+                children.append(
+                    Resource(
+                        domain="www.google.com",
+                        path="/recaptcha/api.js",
+                        rtype=ResourceType.SCRIPT,
+                        size=1_500,
+                    )
+                )
+            return [
+                Resource(
+                    domain="www.gstatic.com",
+                    path="/firebasejs/app.js",
+                    rtype=ResourceType.SCRIPT,
+                    size=90_000,
+                    children=_shuffled(rng, children),
+                )
+            ]
+
+        return ThirdPartyService(
+            key="google-platform",
+            adoption=0.16,
+            embed=embed,
+            domains=(
+                "www.gstatic.com",
+                "fonts.gstatic.com",
+                "apis.google.com",
+                "ogs.google.com",
+                "www.google.com",
+                "www.google.de",
+            ),
+            rank_boost=2.2,
+            tail_factor=0.2,
+        )
+
+    def _build_google_fonts(self) -> ThirdPartyService:
+        cert = self.issuers.issue(GOOGLE_TRUST_SERVICES, ("*.googleapis.com",))
+        ips = self._install_fleet(
+            "GOOGLE",
+            {
+                "fonts.googleapis.com": cert,
+                "ajax.googleapis.com": cert,
+                "maps.googleapis.com": cert,
+            },
+            8,
+            name="googleapis-edge",
+            alt_svc_h3=True,
+        )
+        for domain in ("fonts.googleapis.com", "ajax.googleapis.com",
+                       "maps.googleapis.com"):
+            self._dns(domain, ips, answers=2)
+
+        def embed(rng: random.Random) -> list[Resource]:
+            font_count = rng.randint(1, 3)
+            fonts = [
+                Resource(
+                    domain="fonts.gstatic.com",
+                    path=f"/s/font{index}.woff2",
+                    rtype=ResourceType.FONT,
+                    size=28_000,
+                )
+                for index in range(font_count)
+            ]
+            resources = [
+                Resource(
+                    domain="fonts.googleapis.com",
+                    path="/css?family=Roboto",
+                    rtype=ResourceType.STYLESHEET,
+                    size=1_200,
+                    children=fonts,
+                )
+            ]
+            if _maybe(rng, 0.25):
+                # A credentialed gstatic fetch alongside the anonymous
+                # fonts: same pool, so same-IP collisions become CRED
+                # and misses become IP (both observed in Table 12).
+                resources.append(
+                    Resource(
+                        domain="www.gstatic.com",
+                        path="/images/branding/logo.png",
+                        rtype=ResourceType.IMAGE,
+                        size=6_000,
+                    )
+                )
+            return resources
+
+        return ThirdPartyService(
+            key="google-fonts",
+            adoption=0.45,
+            embed=embed,
+            domains=("fonts.googleapis.com", "fonts.gstatic.com"),
+            rank_boost=1.3,
+            tail_factor=0.5,
+        )
+
+    def _build_ajax_libs(self) -> ThirdPartyService:
+        def embed(rng: random.Random) -> list[Resource]:
+            resources = [
+                Resource(
+                    domain="ajax.googleapis.com",
+                    path="/ajax/libs/jquery/3.6.0/jquery.min.js",
+                    rtype=ResourceType.SCRIPT,
+                    size=90_000,
+                )
+            ]
+            if _maybe(rng, 0.5):
+                resources.append(
+                    Resource(
+                        domain="fonts.googleapis.com",
+                        path="/icon?family=Material+Icons",
+                        rtype=ResourceType.STYLESHEET,
+                        size=900,
+                        children=[
+                            Resource(
+                                domain="fonts.gstatic.com",
+                                path="/s/materialicons.woff2",
+                                rtype=ResourceType.FONT,
+                                size=60_000,
+                            )
+                        ],
+                    )
+                )
+            return resources
+
+        return ThirdPartyService(
+            key="ajax-libs",
+            adoption=0.18,
+            embed=embed,
+            domains=("ajax.googleapis.com",),
+            rank_boost=1.2,
+            tail_factor=0.6,
+        )
+
+    def _build_google_maps(self) -> ThirdPartyService:
+        def embed(rng: random.Random) -> list[Resource]:
+            return [
+                Resource(
+                    domain="fonts.googleapis.com",
+                    path="/css?family=Google+Sans",
+                    rtype=ResourceType.STYLESHEET,
+                    size=800,
+                ),
+                Resource(
+                    domain="maps.googleapis.com",
+                    path="/maps/api/js",
+                    rtype=ResourceType.SCRIPT,
+                    size=120_000,
+                ),
+            ]
+
+        return ThirdPartyService(
+            key="google-maps",
+            adoption=0.05,
+            embed=embed,
+            domains=("maps.googleapis.com",),
+            rank_boost=1.2,
+            tail_factor=0.5,
+        )
+
+    def _build_youtube(self) -> ThirdPartyService:
+        def embed(rng: random.Random) -> list[Resource]:
+            thumbs = [
+                Resource(
+                    domain="i.ytimg.com",
+                    path=f"/vi/{rng.randint(0, 10**6)}/hqdefault.jpg",
+                    rtype=ResourceType.IMAGE,
+                    size=25_000,
+                )
+            ]
+            return [
+                Resource(
+                    domain="www.gstatic.com",
+                    path="/youtube/img/promos.js",
+                    rtype=ResourceType.SCRIPT,
+                    size=12_000,
+                ),
+                Resource(
+                    domain="www.youtube.com",
+                    path="/embed/player",
+                    rtype=ResourceType.IFRAME,
+                    size=500_000,
+                    children=thumbs,
+                ),
+            ]
+
+        return ThirdPartyService(
+            key="youtube",
+            adoption=0.07,
+            embed=embed,
+            domains=("www.youtube.com", "i.ytimg.com"),
+            rank_boost=1.3,
+            tail_factor=0.5,
+        )
+
+    def _build_hotjar(self) -> ThirdPartyService:
+        cert = self.issuers.issue(AMAZON_CA, ("*.hotjar.com",))
+        domains = (
+            "static.hotjar.com",
+            "script.hotjar.com",
+            "vars.hotjar.com",
+            "in.hotjar.com",
+        )
+        ips = self._install_fleet(
+            "AMAZON-02", {domain: cert for domain in domains}, 6,
+            name="hotjar-cloudfront",
+        )
+        for domain in domains:
+            self._dns(domain, ips, answers=2)
+
+        def embed(rng: random.Random) -> list[Resource]:
+            children = [
+                Resource(
+                    domain="script.hotjar.com",
+                    path="/modules.js",
+                    rtype=ResourceType.SCRIPT,
+                    size=180_000,
+                    children=[
+                        Resource(
+                            domain="in.hotjar.com",
+                            path="/api/v2/sites",
+                            rtype=ResourceType.XHR,
+                            mode=RequestMode.CORS_CREDENTIALED,
+                            size=500,
+                        )
+                    ]
+                    if _maybe(rng, 0.6)
+                    else [],
+                ),
+                Resource(
+                    domain="vars.hotjar.com",
+                    path="/box.html",
+                    rtype=ResourceType.IFRAME,
+                    size=2_000,
+                ),
+            ]
+            return [
+                Resource(
+                    domain="static.hotjar.com",
+                    path="/c/hotjar.js",
+                    rtype=ResourceType.SCRIPT,
+                    size=4_000,
+                    children=_shuffled(rng, children),
+                )
+            ]
+
+        return ThirdPartyService(
+            key="hotjar",
+            adoption=0.07,
+            embed=embed,
+            domains=domains,
+            rank_boost=1.4,
+            tail_factor=0.3,
+        )
+
+    def _build_wordpress(self) -> ThirdPartyService:
+        cert = self.issuers.issue(LETS_ENCRYPT, ("*.wp.com",))
+        c0_ips = self._install_fleet(
+            "AUTOMATTIC", {"c0.wp.com": cert, "stats.wp.com": cert}, 4,
+            name="wp-c0",
+        )
+        stats_ips = self._install_fleet(
+            "AUTOMATTIC", {"c0.wp.com": cert, "stats.wp.com": cert}, 4,
+            name="wp-stats",
+        )
+        # Pools in *different* /24s that are not interchangeable — the
+        # paper's counter-example of genuinely distributed resources.
+        self._dns("c0.wp.com", c0_ips, answers=2)
+        self._dns("stats.wp.com", stats_ips, answers=2)
+
+        def embed(rng: random.Random) -> list[Resource]:
+            return [
+                Resource(
+                    domain="c0.wp.com",
+                    path="/c/5.7/wp-includes/js/jquery.js",
+                    rtype=ResourceType.SCRIPT,
+                    size=96_000,
+                ),
+                Resource(
+                    domain="stats.wp.com",
+                    path="/e-202123.js",
+                    rtype=ResourceType.SCRIPT,
+                    size=10_000,
+                ),
+            ]
+
+        return ThirdPartyService(
+            key="wordpress",
+            adoption=0.05,
+            embed=embed,
+            domains=("c0.wp.com", "stats.wp.com"),
+            rank_boost=0.9,
+            tail_factor=0.8,
+        )
+
+    def _build_klaviyo(self) -> ThirdPartyService:
+        if self.merged_certificates:
+            static_cert = fast_cert = self.issuers.issue(
+                LETS_ENCRYPT, ("static.klaviyo.com", "fast.a.klaviyo.com")
+            )
+        else:
+            static_cert = self.issuers.issue(LETS_ENCRYPT, ("static.klaviyo.com",))
+            fast_cert = self.issuers.issue(LETS_ENCRYPT, ("fast.a.klaviyo.com",))
+        ips = self._install_fleet(
+            "AMAZON-02",
+            {"static.klaviyo.com": static_cert, "fast.a.klaviyo.com": fast_cert},
+            1,
+            name="klaviyo-edge",
+        )
+        # A single shared IP with two disjoint Let's Encrypt
+        # certificates: the paper's #1 CERT-cause domain (Table 4).
+        self._dns("static.klaviyo.com", ips, static=True)
+        self._dns("fast.a.klaviyo.com", ips, static=True)
+
+        def embed(rng: random.Random) -> list[Resource]:
+            return [
+                Resource(
+                    domain="static.klaviyo.com",
+                    path="/onsite/js/klaviyo.js",
+                    rtype=ResourceType.SCRIPT,
+                    size=30_000,
+                    children=[
+                        Resource(
+                            domain="fast.a.klaviyo.com",
+                            path="/media/api/identify",
+                            rtype=ResourceType.SCRIPT,
+                            size=15_000,
+                        )
+                    ],
+                )
+            ]
+
+        return ThirdPartyService(
+            key="klaviyo",
+            adoption=0.025,
+            embed=embed,
+            domains=("static.klaviyo.com", "fast.a.klaviyo.com"),
+            rank_boost=0.9,
+            tail_factor=0.7,
+        )
+
+    def _build_squarespace(self) -> ThirdPartyService:
+        if self.merged_certificates:
+            static_cert = images_cert = self.issuers.issue(
+                DIGICERT,
+                ("static1.squarespace.com", "images.squarespace-cdn.com"),
+            )
+        else:
+            static_cert = self.issuers.issue(DIGICERT, ("static1.squarespace.com",))
+            images_cert = self.issuers.issue(DIGICERT, ("images.squarespace-cdn.com",))
+        ips = self._install_fleet(
+            "FASTLY",
+            {
+                "static1.squarespace.com": static_cert,
+                "images.squarespace-cdn.com": images_cert,
+            },
+            1,
+            name="squarespace-edge",
+        )
+        self._dns("static1.squarespace.com", ips, static=True)
+        self._dns("images.squarespace-cdn.com", ips, static=True)
+
+        def embed(rng: random.Random) -> list[Resource]:
+            images = [
+                Resource(
+                    domain="images.squarespace-cdn.com",
+                    path=f"/content/img{index}.jpg",
+                    rtype=ResourceType.IMAGE,
+                    size=80_000,
+                )
+                for index in range(rng.randint(1, 4))
+            ]
+            return [
+                Resource(
+                    domain="static1.squarespace.com",
+                    path="/static/vta/site.js",
+                    rtype=ResourceType.SCRIPT,
+                    size=120_000,
+                    children=images,
+                )
+            ]
+
+        return ThirdPartyService(
+            key="squarespace",
+            adoption=0.02,
+            embed=embed,
+            domains=("static1.squarespace.com", "images.squarespace-cdn.com"),
+            rank_boost=0.8,
+            tail_factor=0.9,
+        )
+
+    def _build_unruly(self) -> ThirdPartyService:
+        rx_cert = self.issuers.issue(DIGICERT, ("sync.1rx.io",))
+        unruly_cert = self.issuers.issue(DIGICERT, ("sync.targeting.unrulymedia.com",))
+        ips = self._install_fleet(
+            "EDGECAST",
+            {
+                "sync.1rx.io": rx_cert,
+                "sync.targeting.unrulymedia.com": unruly_cert,
+            },
+            1,
+            name="unruly-edge",
+        )
+        self._dns("sync.1rx.io", ips, static=True)
+        self._dns("sync.targeting.unrulymedia.com", ips, static=True)
+
+        def embed(rng: random.Random) -> list[Resource]:
+            return [
+                Resource(
+                    domain="sync.1rx.io",
+                    path="/usync",
+                    rtype=ResourceType.IMAGE,
+                    size=43,
+                    children=[
+                        Resource(
+                            domain="sync.targeting.unrulymedia.com",
+                            path="/match",
+                            rtype=ResourceType.IMAGE,
+                            size=43,
+                        )
+                    ],
+                )
+            ]
+
+        return ThirdPartyService(
+            key="unruly",
+            adoption=0.01,
+            embed=embed,
+            domains=("sync.1rx.io", "sync.targeting.unrulymedia.com"),
+            rank_boost=1.8,
+            tail_factor=0.3,
+        )
+
+    def _build_reddit(self) -> ThirdPartyService:
+        static_cert = self.issuers.issue(DIGICERT, ("www.redditstatic.com",))
+        alb_cert = self.issuers.issue(DIGICERT, ("alb.reddit.com",))
+        ips = self._install_fleet(
+            "FASTLY",
+            {"www.redditstatic.com": static_cert, "alb.reddit.com": alb_cert},
+            1,
+            name="reddit-edge",
+        )
+        self._dns("www.redditstatic.com", ips, static=True)
+        self._dns("alb.reddit.com", ips, static=True)
+
+        def embed(rng: random.Random) -> list[Resource]:
+            return [
+                Resource(
+                    domain="www.redditstatic.com",
+                    path="/ads/pixel.js",
+                    rtype=ResourceType.SCRIPT,
+                    size=8_000,
+                    children=[
+                        Resource(
+                            domain="alb.reddit.com",
+                            path="/rp.gif",
+                            rtype=ResourceType.IMAGE,
+                            size=43,
+                        )
+                    ],
+                )
+            ]
+
+        return ThirdPartyService(
+            key="reddit-pixel",
+            adoption=0.008,
+            embed=embed,
+            domains=("www.redditstatic.com", "alb.reddit.com"),
+            rank_boost=1.2,
+            tail_factor=0.5,
+        )
+
+    def _build_megacdn(self) -> ThirdPartyService:
+        """A CDN that answers 421 for a coalesced-but-unserved domain.
+
+        Exercises the paper's "explicitly excluded domains" exception:
+        the wildcard certificate covers ``api.megacdn.net``, the browser
+        coalesces onto the assets connection, the edge answers 421, the
+        browser retries on a dedicated connection, and the classifier
+        must *ignore* the domain (§4.1).
+        """
+        cert = self.issuers.issue(SECTIGO, ("*.megacdn.net",))
+        ips = self._install_fleet(
+            "CLOUDFLARENET",
+            {"assets.megacdn.net": cert, "api.megacdn.net": cert},
+            2,
+            name="megacdn-edge",
+        )
+        # Config drift: one edge endpoint is not configured for the API
+        # vhost, so coalesced requests landing there get 421 and the
+        # browser retries on the other endpoint.
+        self.servers[ips[0]].excluded_domains.add("api.megacdn.net")
+        self._dns("assets.megacdn.net", ips, static=True)
+        self._dns("api.megacdn.net", ips, static=True)
+
+        def embed(rng: random.Random) -> list[Resource]:
+            return [
+                Resource(
+                    domain="assets.megacdn.net",
+                    path="/bundle.js",
+                    rtype=ResourceType.SCRIPT,
+                    size=150_000,
+                    children=[
+                        Resource(
+                            domain="api.megacdn.net",
+                            path="/v1/config",
+                            rtype=ResourceType.XHR,
+                            mode=RequestMode.NO_CORS,
+                            size=700,
+                        )
+                    ],
+                )
+            ]
+
+        return ThirdPartyService(
+            key="megacdn",
+            adoption=0.04,
+            embed=embed,
+            domains=("assets.megacdn.net", "api.megacdn.net"),
+            rank_boost=1.0,
+            tail_factor=0.8,
+        )
+
+    # ------------------------------------------------------------------
+    # Well-configured single-domain services
+    # ------------------------------------------------------------------
+    #: (key, domain, provider, issuer, resource type, adoption, boost).
+    #: These open exactly one well-reused connection each — the
+    #: "unknown third party" mass that is not redundant (§3) and keeps
+    #: the corpus' redundant-connection *share* at the paper's level.
+    _CLEAN_SERVICES: tuple[tuple[str, str, str, str, ResourceType, float, float], ...] = (
+        ("consent", "cdn.consentbanner.com", "CLOUDFLARENET", DIGICERT,
+         ResourceType.SCRIPT, 0.30, 1.4),
+        ("jsdelivr", "cdn.jsdelivr.net", "FASTLY", SECTIGO,
+         ResourceType.SCRIPT, 0.22, 1.2),
+        ("cdnjs", "cdnjs.cloudflare.com", "CLOUDFLARENET", DIGICERT,
+         ResourceType.SCRIPT, 0.18, 1.2),
+        ("unpkg", "unpkg.com", "CLOUDFLARENET", DIGICERT,
+         ResourceType.SCRIPT, 0.10, 1.1),
+        ("newrelic", "js-agent.newrelic.com", "FASTLY", DIGICERT,
+         ResourceType.SCRIPT, 0.12, 1.8),
+        ("sentry", "browser.sentry-cdn.com", "AMAZON-02", AMAZON_CA,
+         ResourceType.SCRIPT, 0.10, 1.6),
+        ("stripe", "js.stripe.com", "CLOUDFLARENET", DIGICERT,
+         ResourceType.SCRIPT, 0.08, 1.4),
+        ("twitter", "platform.twitter.com", "EDGECAST", DIGICERT,
+         ResourceType.SCRIPT, 0.10, 1.5),
+        ("linkedin", "snap.licdn.com", "AKAMAI-AS", DIGICERT,
+         ResourceType.SCRIPT, 0.07, 1.6),
+        ("pinterest", "ct.pinterest.com", "AMAZON-02", AMAZON_CA,
+         ResourceType.IMAGE, 0.06, 1.4),
+        ("tiktok", "analytics.tiktok.com", "AKAMAI-ASN1", GLOBALSIGN,
+         ResourceType.SCRIPT, 0.07, 1.8),
+        ("yandex", "mc.yandex.ru", "AMAZON-AES", DIGICERT,
+         ResourceType.SCRIPT, 0.06, 1.0),
+        ("cfinsights", "static.cloudflareinsights.com", "CLOUDFLARENET",
+         DIGICERT, ResourceType.SCRIPT, 0.14, 1.0),
+        ("osano", "cmp.osano.com", "AMAZON-02", AMAZON_CA,
+         ResourceType.SCRIPT, 0.05, 1.2),
+        ("bing", "bat.bing.com", "AKAMAI-AS", MICROSOFT_CA_ISSUER,
+         ResourceType.SCRIPT, 0.07, 1.5),
+    )
+
+    def _build_clean_service(
+        self,
+        key: str,
+        domain: str,
+        provider: str,
+        issuer: str,
+        rtype: ResourceType,
+        adoption: float,
+        boost: float,
+    ) -> ThirdPartyService:
+        cert = self.issuers.issue(issuer, (domain,))
+        ips = self._install_fleet(provider, {domain: cert}, 2, name=f"{key}-edge")
+        # One answer, synchronized across the pool's single salt: repeat
+        # fetches always reuse — the well-behaved baseline.
+        self._dns(domain, ips, answers=1, salt=domain)
+
+        def embed(rng: random.Random) -> list[Resource]:
+            return [
+                Resource(
+                    domain=domain,
+                    path=f"/{key}.js" if rtype is ResourceType.SCRIPT else f"/{key}.gif",
+                    rtype=rtype,
+                    size=rng.randint(1_000, 80_000),
+                )
+            ]
+
+        return ThirdPartyService(
+            key=key,
+            adoption=adoption,
+            embed=embed,
+            domains=(domain,),
+            rank_boost=boost,
+            tail_factor=1.0,
+        )
+
+    # ------------------------------------------------------------------
+    # Generated long tail
+    # ------------------------------------------------------------------
+    def _build_tail_service(self, index: int) -> ThirdPartyService:
+        rng = random.Random(self.rng.random())
+        kind = rng.choices(
+            ["ip", "cert", "cred", "clean"], weights=[0.2, 0.03, 0.18, 0.59], k=1
+        )[0]
+        base = f"widget{index:03d}"
+        tld = rng.choice(["net", "com", "io", "co"])
+        provider = rng.choice(
+            ["AMAZON-02", "CLOUDFLARENET", "FASTLY", "AKAMAI-AS",
+             "AKAMAI-ASN1", "EDGECAST", "AMAZON-AES"]
+        )
+        issuer = rng.choices(
+            [LETS_ENCRYPT, SECTIGO, GLOBALSIGN, AMAZON_CA, GODADDY, DIGICERT],
+            weights=[0.45, 0.15, 0.1, 0.12, 0.08, 0.1],
+            k=1,
+        )[0]
+        cdn = f"cdn.{base}.{tld}"
+        api = f"api.{base}.{tld}"
+        adoption = 0.01 + 0.22 / (1 + index * 0.35)
+
+        if kind == "ip":
+            cert = self.issuers.issue(issuer, (f"*.{base}.{tld}",))
+            ips = self._install_fleet(
+                provider, {cdn: cert, api: cert}, 6, name=f"{base}-edge"
+            )
+            self._dns(cdn, ips[:3])
+            self._dns(api, ips[3:])
+        elif kind == "cert":
+            cdn_cert = self.issuers.issue(issuer, (cdn,))
+            api_cert = self.issuers.issue(issuer, (api,))
+            ips = self._install_fleet(
+                provider, {cdn: cdn_cert, api: api_cert}, 1, name=f"{base}-edge"
+            )
+            self._dns(cdn, ips, static=True)
+            self._dns(api, ips, static=True)
+        else:  # cred / clean: one domain, one cert
+            cert = self.issuers.issue(issuer, (f"*.{base}.{tld}",))
+            ips = self._install_fleet(
+                provider, {cdn: cert}, 2, name=f"{base}-edge"
+            )
+            self._dns(cdn, ips, answers=1)
+            api = cdn
+
+        def embed(
+            rng: random.Random, *, kind=kind, cdn=cdn, api=api
+        ) -> list[Resource]:
+            script = Resource(
+                domain=cdn,
+                path="/widget.js",
+                rtype=ResourceType.SCRIPT,
+                size=rng.randint(5_000, 120_000),
+            )
+            if kind == "clean":
+                return [script]
+            if kind == "cred":
+                # Mixed-credentials fetch to the *same* domain: the
+                # dominant same-domain CRED shape of §5.3.3.
+                script.children.append(
+                    Resource(
+                        domain=cdn,
+                        path="/telemetry",
+                        rtype=ResourceType.XHR,
+                        mode=RequestMode.CORS_ANON,
+                        size=200,
+                    )
+                )
+                return [script]
+            script.children.append(
+                Resource(
+                    domain=api,
+                    path="/v1/data",
+                    rtype=ResourceType.XHR,
+                    mode=RequestMode.NO_CORS,
+                    size=1_500,
+                )
+            )
+            return [script]
+
+        return ThirdPartyService(
+            key=f"tail-{base}",
+            adoption=adoption,
+            embed=embed,
+            domains=(cdn, api) if api != cdn else (cdn,),
+            rank_boost=rng.uniform(0.8, 1.6),
+        )
+
+    # ------------------------------------------------------------------
+    def build(self) -> list[ThirdPartyService]:
+        """Construct the full catalogue (idempotent per instance)."""
+        if self.services:
+            return self.services
+        builders = [
+            self._build_google_analytics,
+            self._build_facebook,
+            self._build_google_ads,
+            self._build_gstatic,
+            self._build_google_fonts,
+            self._build_ajax_libs,
+            self._build_google_maps,
+            self._build_youtube,
+            self._build_hotjar,
+            self._build_wordpress,
+            self._build_klaviyo,
+            self._build_squarespace,
+            self._build_unruly,
+            self._build_reddit,
+            self._build_megacdn,
+        ]
+        self.services = [build() for build in builders]
+        self.services.extend(
+            self._build_clean_service(*spec) for spec in self._CLEAN_SERVICES
+        )
+        self.services.extend(
+            self._build_tail_service(index) for index in range(self.tail_services)
+        )
+        return self.services

@@ -1,0 +1,87 @@
+"""Tests for figure renderers and the headline statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.figures import ccdf_complement, figure2, figure3
+from repro.analysis.headline import headline
+
+
+class TestCcdfComplement:
+    def test_fills_gaps(self):
+        points = ccdf_complement([0, 3])
+        assert points == [(0, 1.0), (1, 0.5), (2, 0.5), (3, 0.5)]
+
+    def test_empty(self):
+        assert ccdf_complement([]) == []
+
+
+class TestFigure2:
+    def test_series_present(self, small_study):
+        figure = figure2(small_study)
+        assert set(figure.series) == {"har-endless", "alexa", "alexa-nofetch"}
+
+    def test_monotone_decreasing(self, small_study):
+        figure = figure2(small_study)
+        for points in figure.series.values():
+            shares = [share for _, share in points]
+            assert all(a >= b for a, b in zip(shares, shares[1:]))
+
+    def test_alexa_dominates_har(self, small_study):
+        """Top sites open more redundant connections (paper Figure 2)."""
+        figure = figure2(small_study)
+        assert figure.share_with_at_least("alexa", 3) >= (
+            figure.share_with_at_least("har-endless", 3)
+        )
+
+    def test_nofetch_below_fetch(self, small_study):
+        figure = figure2(small_study)
+        assert figure.share_with_at_least("alexa-nofetch", 2) <= (
+            figure.share_with_at_least("alexa", 2) + 1e-9
+        )
+
+    def test_renders(self, small_study):
+        text = figure2(small_study).render(max_x=5)
+        assert "Figure 2" in text
+        assert ">=  0" in text
+
+
+class TestFigure3:
+    def test_classifications(self, small_study):
+        figure = figure3(small_study)
+        classes = figure.classifications()
+        assert classes[
+            "www.google-analytics.com / prev: www.googletagmanager.com"
+        ] == "never"
+        values = set(classes.values())
+        assert "sometimes" in values
+
+    def test_renders_heatmap(self, small_study):
+        text = figure3(small_study).render(max_slots=20)
+        assert "Figure 3" in text
+        assert "www.google-analytics.com" in text
+
+
+class TestHeadline:
+    def test_shapes(self, small_study):
+        stats = headline(small_study)
+        # Ordering constraints straight from the paper's Table 1 logic.
+        assert stats.har_endless_redundant_share >= (
+            stats.har_immediate_redundant_share
+        )
+        assert stats.alexa_redundant_share >= 0.8
+        assert stats.cred_connections_without_fetch == 0
+        assert stats.cred_connections_with_fetch > 0
+        assert 0.05 <= stats.redundant_reduction_share <= 0.5
+
+    def test_lifetime_stats(self, small_study):
+        stats = headline(small_study)
+        assert 0.0 < stats.closed_connection_share < 0.2
+        if stats.median_closed_lifetime_s is not None:
+            assert 30.0 < stats.median_closed_lifetime_s < 300.0
+
+    def test_renders(self, small_study):
+        text = headline(small_study).render()
+        assert "Headline statistics" in text
+        assert "privacy-mode-patched" in text

@@ -1,0 +1,89 @@
+"""Tests for the internal-pages extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.internal import compare_landing_vs_internal
+from repro.web.ecosystem import Ecosystem, EcosystemConfig
+
+
+class TestInternalDocuments:
+    def test_sites_have_internal_pages(self, small_ecosystem):
+        site = small_ecosystem.websites[0]
+        assert len(site.internal_paths) == (
+            small_ecosystem.config.internal_pages_per_site
+        )
+        for path in site.internal_paths:
+            document = site.document_for(path)
+            assert document is not None
+            assert document.domain == site.domain
+            assert document.path == path
+
+    def test_document_for_landing(self, small_ecosystem):
+        site = small_ecosystem.websites[0]
+        assert site.document_for("/") is site.document
+        assert site.document_for("") is site.document
+        assert site.document_for("/missing") is None
+
+    def test_internal_embeds_subset_of_landing(self):
+        eco = Ecosystem.generate(EcosystemConfig(seed=3, n_sites=60))
+        landing_domains_union = set()
+        internal_only = set()
+        for site in eco.websites:
+            landing_domains = site.document.domains()
+            landing_domains_union |= landing_domains
+            for path in site.internal_paths:
+                internal = site.document_for(path).domains()
+                third_party_internal = {
+                    d for d in internal if not d.endswith(site.domain)
+                }
+                third_party_landing = {
+                    d for d in landing_domains if not d.endswith(site.domain)
+                }
+                internal_only |= third_party_internal - third_party_landing
+        # Internal pages only reuse landing-page services (retention
+        # model), so cross-page-only third parties must be rare;
+        # geo-independent domains from re-rolled embeds are allowed.
+        assert len(internal_only) <= len(landing_domains_union)
+
+    def test_browser_visits_internal_page(self, browser, small_ecosystem):
+        site = small_ecosystem.websites[0]
+        path = site.internal_paths[0]
+        visit = browser.visit(f"{site.domain}{path}")
+        assert visit.ok
+        assert visit.load.url.endswith(path)
+        assert visit.connections[0].sni == site.domain
+
+    def test_unknown_internal_path_unreachable(self, browser, small_ecosystem):
+        site = small_ecosystem.websites[0]
+        visit = browser.visit(f"{site.domain}/definitely/not/there")
+        assert visit.unreachable
+
+
+class TestComparison:
+    @pytest.fixture(scope="class")
+    def comparison(self, small_ecosystem):
+        return compare_landing_vs_internal(small_ecosystem, top=40, seed=5)
+
+    def test_both_reports_populated(self, comparison):
+        assert comparison.landing.h2_sites > 10
+        assert comparison.internal.h2_sites > 10
+
+    def test_internal_pages_are_lighter(self, comparison):
+        """Retention < 1 → internal pages carry fewer third parties."""
+        landing_rate = (
+            comparison.landing.h2_connections / comparison.landing.h2_sites
+        )
+        internal_rate = (
+            comparison.internal.h2_connections / comparison.internal.h2_sites
+        )
+        assert internal_rate < landing_rate
+
+    def test_bias_is_bounded(self, comparison):
+        assert -0.5 <= comparison.landing_bias() <= 0.5
+
+    def test_render(self, comparison):
+        text = comparison.render()
+        assert "landing" in text and "internal" in text
+        assert "bias" in text

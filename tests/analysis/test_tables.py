@@ -1,0 +1,112 @@
+"""Tests for the table renderers against the shared small study."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import ALL_TABLES, table1, table2, table3, table4, \
+    table5, table6, table7, table11, table12
+
+
+class TestTable1:
+    def test_layout(self, small_study):
+        result = table1(small_study)
+        assert [row[0] for row in result.rows] == [
+            "CERT", "IP", "CRED", "Redund.", "Total"
+        ]
+        # 1 label + 5 datasets × 2 columns.
+        assert all(len(row) == 11 for row in result.rows)
+        assert "HAR Endless Sites" in result.header
+
+    def test_no_fetch_column_has_zero_cred(self, small_study):
+        result = table1(small_study)
+        cred_row = result.rows[2]
+        assert cred_row[-1] == "0" and cred_row[-2] == "0"
+
+    def test_renders(self, small_study):
+        text = table1(small_study).render()
+        assert "Table 1" in text
+        assert "CERT" in text
+
+
+class TestOriginTables:
+    def test_table2_top_origin_is_analytics(self, small_study):
+        result = table2(small_study)
+        assert result.rows[0][0] == "www.google-analytics.com"
+        assert result.rows[1][0].strip().startswith("prev: www.googletagmanager")
+
+    def test_table2_limits_to_four_origins(self, small_study):
+        origins = [row for row in table2(small_study).rows
+                   if not row[0].strip().startswith("prev:")]
+        assert len(origins) <= 4
+
+    def test_table12_is_superset_of_table2(self, small_study):
+        t2 = {row[0] for row in table2(small_study).rows}
+        t12 = {row[0] for row in table12(small_study).rows}
+        assert t2 <= t12
+
+    def test_ranks_are_consistent(self, small_study):
+        result = table12(small_study)
+        ranks = [
+            int(row[1]) for row in result.rows
+            if not row[0].strip().startswith("prev:") and row[1] not in ("", "-")
+        ]
+        assert ranks == sorted(ranks)
+
+
+class TestIssuerTables:
+    def test_table3_contains_lets_encrypt_and_gts(self, small_study):
+        issuers = {row[0] for row in table3(small_study).rows}
+        assert "Let's Encrypt" in issuers or "Google Trust Services" in issuers
+
+    def test_table5_covers_all_connections(self, small_study):
+        result = table5(small_study)
+        assert len(result.rows) >= 5
+        # Issuer market share: GTS leads connections, as in the paper.
+        assert result.rows[0][0] in ("Google Trust Services", "Let's Encrypt",
+                                     "DigiCert Inc", "Cloudflare, Inc.")
+
+    def test_table4_shows_issuer_abbreviations(self, small_study):
+        issuer_cells = {
+            row[3] for row in table4(small_study).rows
+            if not row[0].strip().startswith("prev:") and row[3]
+        }
+        assert issuer_cells <= {"LE", "GTS", "DCI", "Sectigo Limited",
+                                "GlobalSign nv-sa", "Amazon",
+                                "GoDaddy.com, Inc."}
+
+
+class TestTable6:
+    def test_google_dominates_ip_cause(self, small_study):
+        result = table6(small_study)
+        assert result.rows[0][0] == "GOOGLE"
+
+    def test_facebook_present(self, small_study):
+        names = {row[0] for row in table6(small_study).rows}
+        assert "FACEBOOK" in names
+
+
+class TestTable7:
+    def test_overlap_counts_bounded_by_full_datasets(self, small_study):
+        full = small_study.dataset("har-endless").report
+        overlap = small_study.dataset("har-overlap").report
+        assert overlap.h2_sites <= full.h2_sites
+        assert overlap.redundant_connections <= full.redundant_connections
+        result = table7(small_study)
+        assert all(len(row) == 5 for row in result.rows)
+
+
+class TestTable11:
+    def test_fleet_listing(self, small_study):
+        result = table11(small_study)
+        assert len(result.rows) == 14
+        assert ["internal", "Germany", "RWTH Aachen University"] in result.rows
+
+
+class TestAllTables:
+    @pytest.mark.parametrize("name", sorted(ALL_TABLES))
+    def test_every_table_renders(self, small_study, name):
+        result = ALL_TABLES[name](small_study)
+        text = result.render()
+        assert result.table_id in text
+        assert result.rows, f"{name} produced no rows"

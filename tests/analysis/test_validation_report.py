@@ -1,0 +1,54 @@
+"""Tests for the validation scorecard and the report generator."""
+
+from __future__ import annotations
+
+from repro.analysis.report import generate_report, write_report
+from repro.analysis.validation import validate_study
+
+
+class TestValidation:
+    def test_scorecard_passes_on_calibrated_study(self, small_study):
+        scorecard = validate_study(small_study)
+        assert scorecard.all_passed, scorecard.render()
+        assert scorecard.passed == len(scorecard.checks)
+        assert len(scorecard.checks) >= 15
+
+    def test_every_check_cites_a_claim(self, small_study):
+        scorecard = validate_study(small_study)
+        for check in scorecard.checks:
+            assert "§" in check.claim or "Table" in check.claim or (
+                "Figure" in check.claim
+            ), check.name
+
+    def test_render_contains_status(self, small_study):
+        text = validate_study(small_study).render()
+        assert "PASS" in text
+        assert "scorecard" in text
+
+
+class TestReport:
+    def test_report_contains_all_artifacts(self, small_study):
+        report = generate_report(small_study)
+        for i in range(1, 13):
+            assert f"Table {i}:" in report
+        assert "Figure 2" in report
+        assert "Figure 3" in report
+        assert "Headline statistics" in report
+        assert "scorecard" in report
+
+    def test_report_is_valid_markdown_tables(self, small_study):
+        report = generate_report(small_study)
+        # Every markdown table header row is followed by a rule row.
+        lines = report.splitlines()
+        for index, line in enumerate(lines):
+            if line.startswith("**Table"):
+                assert lines[index + 2].startswith("| ")
+                assert set(lines[index + 3]) <= {"|", "-"}
+
+    def test_write_report(self, small_study, tmp_path):
+        path = write_report(small_study, tmp_path / "out" / "report.md",
+                            include_dns_study=False)
+        assert path.exists()
+        content = path.read_text()
+        assert "Table 1:" in content
+        assert "Figure 3" not in content

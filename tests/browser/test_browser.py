@@ -1,0 +1,122 @@
+"""Tests for the browser facade and page loader behaviour."""
+
+from __future__ import annotations
+
+from repro.browser.browser import BrowserConfig
+from repro.core.session import records_from_visit
+
+
+def _site_with(small_ecosystem, service_key):
+    for site in small_ecosystem.websites:
+        if service_key in site.embedded_services:
+            return site
+    return None
+
+
+class TestVisit:
+    def test_visit_produces_connections_and_netlog(self, browser, small_ecosystem):
+        visit = browser.visit(small_ecosystem.websites[0].domain)
+        assert visit.ok
+        assert visit.connections
+        assert len(visit.netlog) > 0
+        assert visit.load.requests
+
+    def test_unknown_domain_unreachable(self, browser):
+        visit = browser.visit("does-not-exist.example")
+        assert visit.unreachable
+        assert visit.connections == []
+
+    def test_first_connection_is_document(self, browser, small_ecosystem):
+        site = small_ecosystem.websites[0]
+        visit = browser.visit(site.domain)
+        assert visit.connections[0].sni == site.domain
+
+    def test_requests_covered_by_connections(self, browser, small_ecosystem):
+        visit = browser.visit(small_ecosystem.websites[1].domain)
+        for loaded in visit.load.requests:
+            assert loaded.connection in visit.connections
+
+    def test_ga_chain_opens_redundant_connection(self, browser_factory,
+                                                 small_ecosystem):
+        site = _site_with(small_ecosystem, "google-analytics")
+        assert site is not None, "fixture world should embed GA somewhere"
+        visit = browser_factory().visit(site.domain)
+        snis = [c.sni for c in visit.h2_connections()]
+        if "www.google-analytics.com" in snis:
+            gtm = [c for c in visit.h2_connections()
+                   if c.sni == "www.googletagmanager.com"]
+            ga = [c for c in visit.h2_connections()
+                  if c.sni == "www.google-analytics.com"]
+            if gtm and ga:
+                # Disjoint pools: the GA connection never lands on the
+                # GTM address even though the certificate would allow
+                # reuse — the paper's flagship IP case.
+                assert ga[0].remote_ip != gtm[0].remote_ip
+                assert gtm[0].certificate.covers("www.google-analytics.com")
+
+    def test_privacy_mode_partition_produces_same_domain_duplicate(
+        self, browser_factory, small_ecosystem
+    ):
+        site = _site_with(small_ecosystem, "google-analytics")
+        visit = browser_factory().visit(site.domain)
+        ga_conns = [c for c in visit.h2_connections()
+                    if c.sni == "www.google-analytics.com"]
+        if len(ga_conns) >= 2:
+            assert {c.privacy_mode for c in ga_conns} == {True, False}
+
+    def test_patched_browser_merges_partitions(self, browser_factory,
+                                               small_ecosystem):
+        site = _site_with(small_ecosystem, "google-analytics")
+        patched = browser_factory(BrowserConfig(ignore_privacy_mode=True))
+        visit = patched.visit(site.domain)
+        for conn in visit.h2_connections():
+            assert conn.privacy_mode is False
+
+    def test_421_retry_path(self, browser_factory, small_ecosystem):
+        site = _site_with(small_ecosystem, "megacdn")
+        if site is None:
+            return  # not embedded in this small world
+        visit = browser_factory().visit(site.domain)
+        if "api.megacdn.net" in visit.load.misdirected:
+            records = records_from_visit(visit)
+            api_conns = [r for r in records if r.domain == "api.megacdn.net"]
+            # The retry opened a dedicated connection.
+            assert api_conns
+            statuses = [
+                req.status
+                for record in records
+                for req in record.requests
+                if req.domain == "api.megacdn.net"
+            ]
+            assert 421 in statuses and 200 in statuses
+
+    def test_observation_closes_everything(self, browser, small_ecosystem):
+        visit = browser.visit(small_ecosystem.websites[2].domain)
+        assert all(not c.is_open for c in visit.connections)
+        assert visit.observed_until >= visit.load.finished_at
+
+    def test_geo_rewrite_applied_from_german_vantage(self, browser_factory,
+                                                     small_ecosystem):
+        site = _site_with(small_ecosystem, "google-platform")
+        if site is None:
+            return
+        de_visit = browser_factory(BrowserConfig(vantage_country="DE")).visit(
+            site.domain
+        )
+        domains = {r.record.domain for r in de_visit.load.requests}
+        assert "www.google.com" not in domains
+        us_visit = browser_factory(BrowserConfig(vantage_country="US")).visit(
+            site.domain
+        )
+        us_domains = {r.record.domain for r in us_visit.load.requests}
+        assert "www.google.de" not in us_domains
+
+
+class TestDeterminism:
+    def test_same_seed_same_visit(self, browser_factory, small_ecosystem):
+        domain = small_ecosystem.websites[3].domain
+        a = browser_factory(seed=77).visit(domain)
+        b = browser_factory(seed=77).visit(domain)
+        assert [(c.sni, c.remote_ip) for c in a.connections] == [
+            (c.sni, c.remote_ip) for c in b.connections
+        ]

@@ -1,0 +1,45 @@
+"""Tests for the cookie jar."""
+
+from __future__ import annotations
+
+from repro.browser.cookies import CookieJar
+
+
+class TestCookieJar:
+    def test_set_and_get(self):
+        jar = CookieJar()
+        jar.set_cookie("www.example.com", "sid", "1")
+        assert jar.cookies_for("www.example.com") == {"sid": "1"}
+
+    def test_site_scoped(self):
+        jar = CookieJar()
+        jar.set_cookie("www.example.com", "sid", "1")
+        # Same registrable domain shares the cookie...
+        assert jar.cookies_for("img.example.com") == {"sid": "1"}
+        # ...other sites do not.
+        assert jar.cookies_for("other.com") == {}
+
+    def test_overwrite(self):
+        jar = CookieJar()
+        jar.set_cookie("example.com", "sid", "1")
+        jar.set_cookie("example.com", "sid", "2")
+        assert jar.cookies_for("example.com") == {"sid": "2"}
+
+    def test_len_counts_cookies(self):
+        jar = CookieJar()
+        jar.set_cookie("a.com", "x", "1")
+        jar.set_cookie("a.com", "y", "2")
+        jar.set_cookie("b.com", "x", "3")
+        assert len(jar) == 3
+
+    def test_clear(self):
+        jar = CookieJar()
+        jar.set_cookie("a.com", "x", "1")
+        jar.clear()
+        assert len(jar) == 0
+
+    def test_returned_dict_is_copy(self):
+        jar = CookieJar()
+        jar.set_cookie("a.com", "x", "1")
+        jar.cookies_for("a.com")["x"] = "tampered"
+        assert jar.cookies_for("a.com") == {"x": "1"}

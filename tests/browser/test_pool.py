@@ -1,0 +1,224 @@
+"""Tests for the Chromium-like session pool — the decision procedure the
+paper measures."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.browser.pool import ConnectionPool
+from repro.netlog.events import NetLog, NetLogEventType
+from repro.tls.certificate import Certificate
+from repro.web.server import OriginServer
+
+
+def _world():
+    """Two hosts: shared-cert service on .1/.2, separate-cert on .3."""
+    shared = Certificate(serial=1, subject="a.example.com",
+                         sans=("a.example.com", "b.example.com"),
+                         issuer_org="CA")
+    other = Certificate(serial=2, subject="c.example.com",
+                        sans=("c.example.com",), issuer_org="CA")
+    servers = {}
+    for ip in ("10.0.0.1", "10.0.0.2"):
+        servers[ip] = OriginServer(
+            ip=ip, name="shared",
+            cert_map={"a.example.com": shared, "b.example.com": shared},
+            default_certificate=shared,
+        )
+    servers["10.0.0.3"] = OriginServer(
+        ip="10.0.0.3", name="other",
+        cert_map={"c.example.com": other, "a.example.com": shared},
+        default_certificate=other,
+    )
+    return servers
+
+
+def _pool(servers=None, **kwargs):
+    servers = servers or _world()
+    return ConnectionPool(
+        server_lookup=servers.__getitem__, rng=random.Random(1), **kwargs
+    )
+
+
+class TestExactKeyReuse:
+    def test_same_key_reuses(self):
+        pool = _pool()
+        first = pool.get_connection("a.example.com", ("10.0.0.1",),
+                                    privacy_mode=False, now=0.0)
+        second = pool.get_connection("a.example.com", ("10.0.0.1",),
+                                     privacy_mode=False, now=1.0)
+        assert first.created and not second.created
+        assert second.connection is first.connection
+
+    def test_closed_session_not_reused(self):
+        pool = _pool()
+        first = pool.get_connection("a.example.com", ("10.0.0.1",),
+                                    privacy_mode=False, now=0.0)
+        first.connection.close(now=1.0)
+        second = pool.get_connection("a.example.com", ("10.0.0.1",),
+                                     privacy_mode=False, now=2.0)
+        assert second.created
+
+
+class TestIpPooling:
+    def test_coalesces_on_ip_and_san(self):
+        pool = _pool()
+        pool.get_connection("a.example.com", ("10.0.0.1",),
+                            privacy_mode=False, now=0.0)
+        decision = pool.get_connection("b.example.com", ("10.0.0.1",),
+                                       privacy_mode=False, now=1.0)
+        assert decision.coalesced and not decision.created
+
+    def test_no_coalescing_on_different_ip(self):
+        """Cause IP: SAN covers, but DNS gave a different address."""
+        pool = _pool()
+        pool.get_connection("a.example.com", ("10.0.0.1",),
+                            privacy_mode=False, now=0.0)
+        decision = pool.get_connection("b.example.com", ("10.0.0.2",),
+                                       privacy_mode=False, now=1.0)
+        assert decision.created
+
+    def test_no_coalescing_without_san(self):
+        """Cause CERT: same IP, certificate does not cover the host."""
+        pool = _pool()
+        pool.get_connection("c.example.com", ("10.0.0.3",),
+                            privacy_mode=False, now=0.0)
+        decision = pool.get_connection("a.example.com", ("10.0.0.3",),
+                                       privacy_mode=False, now=1.0)
+        assert decision.created
+
+    def test_coalescing_checks_any_announced_ip(self):
+        pool = _pool()
+        pool.get_connection("a.example.com", ("10.0.0.1",),
+                            privacy_mode=False, now=0.0)
+        decision = pool.get_connection(
+            "b.example.com", ("10.0.0.2", "10.0.0.1"), privacy_mode=False, now=1.0
+        )
+        assert decision.coalesced
+
+    def test_misdirected_domain_not_coalesced_again(self):
+        pool = _pool()
+        first = pool.get_connection("a.example.com", ("10.0.0.1",),
+                                    privacy_mode=False, now=0.0)
+        first.connection.misdirected_domains.add("b.example.com")
+        decision = pool.get_connection("b.example.com", ("10.0.0.1",),
+                                       privacy_mode=False, now=1.0)
+        assert decision.created
+
+
+class TestPrivacyModePartition:
+    def test_partitions_split_pool(self):
+        """Cause CRED: IP and SAN match, credentials partition differs."""
+        pool = _pool()
+        credentialed = pool.get_connection("a.example.com", ("10.0.0.1",),
+                                           privacy_mode=False, now=0.0)
+        anonymous = pool.get_connection("a.example.com", ("10.0.0.1",),
+                                        privacy_mode=True, now=1.0)
+        assert anonymous.created
+        assert anonymous.connection is not credentialed.connection
+        assert anonymous.connection.privacy_mode
+
+    def test_ignore_privacy_mode_patch_merges_partitions(self):
+        """The paper's patched-Chromium run (§5.3.3)."""
+        pool = _pool(ignore_privacy_mode=True)
+        credentialed = pool.get_connection("a.example.com", ("10.0.0.1",),
+                                           privacy_mode=False, now=0.0)
+        anonymous = pool.get_connection("a.example.com", ("10.0.0.1",),
+                                        privacy_mode=True, now=1.0)
+        assert not anonymous.created
+        assert anonymous.connection is credentialed.connection
+
+    def test_coalescing_respects_partition(self):
+        pool = _pool()
+        pool.get_connection("a.example.com", ("10.0.0.1",),
+                            privacy_mode=False, now=0.0)
+        decision = pool.get_connection("b.example.com", ("10.0.0.1",),
+                                       privacy_mode=True, now=1.0)
+        assert decision.created
+
+
+class TestOriginFrame:
+    def test_ignored_by_default_like_chromium(self):
+        servers = _world()
+        servers["10.0.0.1"].origin_frame_origins = ("https://b.example.com",)
+        pool = _pool(servers)
+        pool.get_connection("a.example.com", ("10.0.0.1",),
+                            privacy_mode=False, now=0.0)
+        decision = pool.get_connection("b.example.com", ("10.0.0.2",),
+                                       privacy_mode=False, now=1.0)
+        assert decision.created  # Chromium does not implement RFC 8336
+
+    def test_honored_when_enabled(self):
+        servers = _world()
+        servers["10.0.0.1"].origin_frame_origins = ("https://b.example.com",)
+        pool = _pool(servers, honor_origin_frame=True)
+        pool.get_connection("a.example.com", ("10.0.0.1",),
+                            privacy_mode=False, now=0.0)
+        decision = pool.get_connection("b.example.com", ("10.0.0.2",),
+                                       privacy_mode=False, now=1.0)
+        assert decision.coalesced
+        assert decision.via_origin_frame
+
+
+class TestPoolMechanics:
+    def test_force_new_skips_reuse(self):
+        pool = _pool()
+        pool.get_connection("a.example.com", ("10.0.0.1",),
+                            privacy_mode=False, now=0.0)
+        decision = pool.get_connection("a.example.com", ("10.0.0.1",),
+                                       privacy_mode=False, now=1.0,
+                                       force_new=True)
+        assert decision.created
+
+    def test_empty_ips_rejected(self):
+        pool = _pool()
+        with pytest.raises(ValueError):
+            pool.get_connection("a.example.com", (), privacy_mode=False, now=0.0)
+
+    def test_ip_choice_among_answers(self):
+        pool = _pool()
+        seen = set()
+        for i in range(20):
+            decision = pool.get_connection(
+                "a.example.com", ("10.0.0.1", "10.0.0.2"),
+                privacy_mode=False, now=float(i), force_new=True,
+            )
+            seen.add(decision.connection.remote_ip)
+        assert seen == {"10.0.0.1", "10.0.0.2"}
+
+    def test_netlog_events_emitted(self):
+        netlog = NetLog()
+        servers = _world()
+        pool = ConnectionPool(server_lookup=servers.__getitem__,
+                              rng=random.Random(1), netlog=netlog)
+        pool.get_connection("a.example.com", ("10.0.0.1",),
+                            privacy_mode=False, now=0.0)
+        pool.get_connection("b.example.com", ("10.0.0.1",),
+                            privacy_mode=False, now=1.0)
+        assert len(netlog.of_type(NetLogEventType.HTTP2_SESSION)) == 1
+        assert len(netlog.of_type(
+            NetLogEventType.HTTP2_SESSION_POOL_FOUND_EXISTING_SESSION)) == 1
+
+    def test_close_all(self):
+        netlog = NetLog()
+        servers = _world()
+        pool = ConnectionPool(server_lookup=servers.__getitem__,
+                              rng=random.Random(1), netlog=netlog)
+        pool.get_connection("a.example.com", ("10.0.0.1",),
+                            privacy_mode=False, now=0.0)
+        pool.get_connection("c.example.com", ("10.0.0.3",),
+                            privacy_mode=False, now=0.5)
+        pool.close_all(now=10.0)
+        assert all(not session.is_open for session in pool.sessions)
+        assert len(netlog.of_type(NetLogEventType.HTTP2_SESSION_CLOSE)) == 2
+
+    def test_counters(self):
+        pool = _pool()
+        pool.get_connection("a.example.com", ("10.0.0.1",),
+                            privacy_mode=False, now=0.0)
+        pool.get_connection("b.example.com", ("10.0.0.1",),
+                            privacy_mode=False, now=1.0)
+        assert pool.created_count == 1
+        assert pool.coalesced_count == 1

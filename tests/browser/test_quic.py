@@ -1,0 +1,79 @@
+"""Tests for alt-svc / QUIC handling (§4.2.2)."""
+
+from __future__ import annotations
+
+from repro.browser.browser import BrowserConfig
+from repro.core.classifier import classify_site
+from repro.core.session import LifetimeModel, records_from_visit
+from repro.har.reader import read_sessions
+from repro.har.writer import HarNoiseConfig, write_har
+
+
+def _fonts_site(small_ecosystem):
+    for site in small_ecosystem.websites:
+        if "google-fonts" in site.embedded_services:
+            return site
+    return None
+
+
+class TestQuicDisabled:
+    def test_default_crawl_has_no_h3(self, browser, small_ecosystem):
+        """The paper disables QUIC; every session must be h2/h1."""
+        for site in small_ecosystem.websites[:10]:
+            visit = browser.visit(site.domain)
+            assert all(c.protocol in ("h2", "http/1.1")
+                       for c in visit.connections)
+
+
+class TestQuicEnabled:
+    def test_alt_svc_endpoints_negotiate_h3(self, browser_factory,
+                                            small_ecosystem):
+        site = _fonts_site(small_ecosystem)
+        assert site is not None
+        visit = browser_factory(BrowserConfig(disable_quic=False)).visit(
+            site.domain
+        )
+        protocols = {c.sni: c.protocol for c in visit.connections}
+        assert protocols.get("fonts.gstatic.com", "h3") == "h3" or (
+            "h3" in protocols.values()
+        )
+
+    def test_h3_sessions_excluded_from_classification(self, browser_factory,
+                                                      small_ecosystem):
+        site = _fonts_site(small_ecosystem)
+        visit = browser_factory(BrowserConfig(disable_quic=False)).visit(
+            site.domain
+        )
+        records = records_from_visit(visit)
+        h3_count = sum(1 for r in records if r.protocol == "h3")
+        verdict = classify_site(site.domain, records,
+                                model=LifetimeModel.ACTUAL)
+        assert verdict.h2_connections == len(records) - h3_count - sum(
+            1 for r in records if r.protocol == "http/1.1"
+        )
+
+    def test_h3_requests_get_socket_zero_in_har(self, browser_factory,
+                                                small_ecosystem):
+        """'We ignore HTTP/3 / QUIC requests as these all have socket
+        ID 0' (§4.2.1)."""
+        site = _fonts_site(small_ecosystem)
+        visit = browser_factory(BrowserConfig(disable_quic=False)).visit(
+            site.domain
+        )
+        har = write_har(visit, noise=HarNoiseConfig.none())
+        h3_entries = [e for e in har.entries if e.http_version == "h3"]
+        if h3_entries:
+            assert all(entry.connection == "0" for entry in h3_entries)
+            result = read_sessions(har)
+            assert result.stats.socket_id_zero == len(h3_entries)
+
+    def test_quic_does_not_break_h2_coalescing(self, browser_factory,
+                                               small_ecosystem):
+        """h3 sessions never serve as coalescing targets for h2."""
+        site = _fonts_site(small_ecosystem)
+        visit = browser_factory(BrowserConfig(disable_quic=False)).visit(
+            site.domain
+        )
+        for loaded in visit.load.requests:
+            if loaded.coalesced:
+                assert loaded.connection.protocol == "h2"

@@ -1,0 +1,56 @@
+"""Shared fixtures.
+
+Expensive artefacts (the ecosystem, a full small study) are
+session-scoped: they are deterministic, read-only for tests, and take a
+few seconds to build.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.study import Study, StudyConfig
+from repro.browser.browser import BrowserConfig, ChromiumBrowser
+from repro.util.clock import SimClock
+from repro.web.ecosystem import Ecosystem, EcosystemConfig
+
+
+@pytest.fixture(scope="session")
+def small_ecosystem() -> Ecosystem:
+    """A compact but fully wired world (120 sites)."""
+    return Ecosystem.generate(EcosystemConfig(seed=7, n_sites=120))
+
+
+@pytest.fixture(scope="session")
+def small_study() -> Study:
+    """A complete study over a 200-site universe."""
+    return Study.run(StudyConfig(seed=7, n_sites=200, dns_study_days=0.25))
+
+
+@pytest.fixture()
+def browser(small_ecosystem: Ecosystem) -> ChromiumBrowser:
+    """A fresh browser over the shared world (own clock/resolver)."""
+    return ChromiumBrowser(
+        ecosystem=small_ecosystem,
+        resolver=small_ecosystem.make_resolver(),
+        clock=SimClock(),
+        rng=random.Random(1234),
+    )
+
+
+@pytest.fixture()
+def browser_factory(small_ecosystem: Ecosystem):
+    """Factory for browsers with custom configs over the shared world."""
+
+    def make(config: BrowserConfig | None = None, seed: int = 1234) -> ChromiumBrowser:
+        return ChromiumBrowser(
+            ecosystem=small_ecosystem,
+            resolver=small_ecosystem.make_resolver(),
+            clock=SimClock(),
+            rng=random.Random(seed),
+            config=config or BrowserConfig(),
+        )
+
+    return make

@@ -1,0 +1,106 @@
+"""Tests for origin/issuer/AS attribution."""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.core.attribution import AttributionIndex
+from repro.core.classifier import classify_site
+from repro.core.session import LifetimeModel, SessionRecord
+from repro.net.address_space import PrefixAllocator
+from repro.net.asdb import AsDatabase, AutonomousSystem
+
+_IDS = itertools.count(1)
+
+
+def _record(domain, ip, sans, start, issuer="CA"):
+    return SessionRecord(
+        connection_id=next(_IDS), domain=domain, ip=ip, port=443,
+        sans=tuple(sans), issuer=issuer, start=start, end=None,
+    )
+
+
+def _index(records):
+    index = AttributionIndex()
+    index.add_site(classify_site("s", records, model=LifetimeModel.ENDLESS))
+    return index
+
+
+class TestIpAttribution:
+    def test_counts_and_prev(self):
+        index = _index([
+            _record("gtm.x.com", "10.0.0.1", ["*.x.com"], 1.0),
+            _record("ga.x.com", "10.0.0.2", ["*.x.com"], 2.0),
+            _record("ga.x.com", "10.0.0.3", ["*.x.com"], 3.0),
+        ])
+        # Second ga conn: same-domain corner case → CRED, not IP.
+        attribution = index.ip_origins["ga.x.com"]
+        assert attribution.connections == 2
+        assert attribution.previous["gtm.x.com"] == 2
+        assert index.ip_origin_rank("ga.x.com") == 1
+        assert index.ip_origin_rank("missing.com") is None
+
+    def test_top_ordering(self):
+        index = _index([
+            _record("seed.x.com", "10.0.0.1", ["*.x.com"], 0.0),
+            _record("a.x.com", "10.0.1.1", ["*.x.com"], 1.0),
+            _record("b.x.com", "10.0.2.1", ["*.x.com"], 2.0),
+            _record("b.x.com", "10.0.3.1", ["*.x.com"], 3.0),
+        ])
+        top = index.top_ip_origins(2)
+        assert top[0].origin in ("a.x.com", "b.x.com")
+
+
+class TestCertAttribution:
+    def test_issuer_and_domain_tables(self):
+        index = _index([
+            _record("a.x.com", "10.0.0.1", ["a.x.com"], 1.0, issuer="LE"),
+            _record("b.x.com", "10.0.0.1", ["b.x.com"], 2.0, issuer="GTS"),
+            _record("c.x.com", "10.0.0.1", ["c.x.com"], 3.0, issuer="GTS"),
+        ])
+        gts = index.cert_issuers["GTS"]
+        assert gts.connections == 2
+        assert gts.domains == {"b.x.com", "c.x.com"}
+        assert index.cert_domains["b.x.com"].previous["a.x.com"] == 1
+        assert index.cert_domain_issuer["b.x.com"] == "GTS"
+        assert "LE" not in index.cert_issuers  # first conn not redundant
+
+    def test_all_issuer_market_share(self):
+        index = _index([
+            _record("a.x.com", "10.0.0.1", ["a.x.com"], 1.0, issuer="LE"),
+            _record("z.y.com", "10.0.9.1", ["z.y.com"], 2.0, issuer="DCI"),
+        ])
+        assert index.all_issuers["LE"].connections == 1
+        assert index.all_issuers["DCI"].connections == 1
+        assert len(index.top_all_issuers(10)) == 2
+
+
+class TestAsAttribution:
+    def test_ip_cause_mapped_to_as(self):
+        asdb = AsDatabase()
+        allocator = PrefixAllocator()
+        asdb.register(AutonomousSystem(asn=15169, name="GOOGLE",
+                                       organization="Google"))
+        prefix = allocator.allocate_prefix(asn=15169)
+        asdb.add_prefix(prefix)
+        ip_a = allocator.allocate_host(prefix)
+        ip_b = allocator.allocate_host(prefix)
+        records = [
+            _record("gtm.x.com", ip_a, ["*.x.com"], 1.0),
+            _record("ga.x.com", ip_b, ["*.x.com"], 2.0),
+        ]
+        classification = classify_site("s", records, model=LifetimeModel.ENDLESS)
+        index = AttributionIndex()
+        index.add_site(classification)
+        index.attribute_ases(asdb, classification)
+        assert index.top_ip_ases(5) == [("GOOGLE", 1, 1)]
+
+    def test_unknown_as_bucket(self):
+        records = [
+            _record("gtm.x.com", "10.0.0.1", ["*.x.com"], 1.0),
+            _record("ga.x.com", "10.0.0.2", ["*.x.com"], 2.0),
+        ]
+        classification = classify_site("s", records, model=LifetimeModel.ENDLESS)
+        index = AttributionIndex()
+        index.attribute_ases(AsDatabase(), classification)
+        assert index.top_ip_ases(5)[0][0] == "UNKNOWN"

@@ -1,0 +1,53 @@
+"""Tests for the RFC 7540 §9.1.1 reuse predicate."""
+
+from __future__ import annotations
+
+from repro.core.reuse import could_reuse, reuse_blockers
+from repro.core.session import SessionRecord
+
+
+def _record(**kwargs):
+    defaults = dict(
+        connection_id=1,
+        domain="a.example.com",
+        ip="10.0.0.1",
+        port=443,
+        sans=("*.example.com",),
+        issuer="CA",
+        start=0.0,
+        end=None,
+    )
+    defaults.update(kwargs)
+    return SessionRecord(**defaults)
+
+
+class TestCouldReuse:
+    def test_ip_and_san_match(self):
+        assert could_reuse(_record(), "b.example.com", "10.0.0.1")
+
+    def test_different_ip_blocks(self):
+        assert not could_reuse(_record(), "b.example.com", "10.0.0.2")
+
+    def test_missing_san_blocks(self):
+        assert not could_reuse(_record(), "other.com", "10.0.0.1")
+
+    def test_port_mismatch_blocks(self):
+        assert not could_reuse(_record(), "b.example.com", "10.0.0.1", port=8443)
+
+    def test_http1_blocks(self):
+        record = _record(protocol="http/1.1")
+        assert not could_reuse(record, "b.example.com", "10.0.0.1")
+
+
+class TestReuseBlockers:
+    def test_empty_when_allowed(self):
+        assert reuse_blockers(_record(), "b.example.com", "10.0.0.1") == []
+
+    def test_lists_every_blocker(self):
+        record = _record(protocol="http/1.1")
+        blockers = reuse_blockers(record, "other.com", "10.0.0.9", port=80)
+        assert len(blockers) == 4
+        assert any("HTTP/2" in blocker for blocker in blockers)
+        assert any("IP differs" in blocker for blocker in blockers)
+        assert any("port differs" in blocker for blocker in blockers)
+        assert any("SANs" in blocker for blocker in blockers)

@@ -1,0 +1,93 @@
+"""Tests for session records and lifetime models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.session import (
+    LifetimeModel,
+    RequestSummary,
+    SessionRecord,
+    records_from_visit,
+)
+
+
+def _record(**kwargs):
+    defaults = dict(
+        connection_id=1,
+        domain="a.example.com",
+        ip="10.0.0.1",
+        port=443,
+        sans=("a.example.com", "*.example.com"),
+        issuer="CA",
+        start=0.0,
+        end=None,
+    )
+    defaults.update(kwargs)
+    return SessionRecord(**defaults)
+
+
+class TestCovers:
+    def test_san_match(self):
+        record = _record()
+        assert record.covers("a.example.com")
+        assert record.covers("b.example.com")
+        assert not record.covers("other.com")
+
+
+class TestAliveAt:
+    def test_never_alive_before_start(self):
+        record = _record(start=10.0)
+        for model in LifetimeModel:
+            assert not record.alive_at(9.9, model)
+
+    def test_endless_is_forever(self):
+        record = _record(end=5.0)
+        assert record.alive_at(1e9, LifetimeModel.ENDLESS)
+
+    def test_immediate_dies_after_last_request(self):
+        record = _record(
+            requests=(
+                RequestSummary(domain="a.example.com", status=200, finished_at=2.0),
+                RequestSummary(domain="a.example.com", status=200, finished_at=4.0),
+            )
+        )
+        assert record.alive_at(4.0, LifetimeModel.IMMEDIATE)
+        assert not record.alive_at(4.01, LifetimeModel.IMMEDIATE)
+
+    def test_immediate_without_requests_dies_at_start(self):
+        record = _record()
+        assert record.alive_at(0.0, LifetimeModel.IMMEDIATE)
+        assert not record.alive_at(0.1, LifetimeModel.IMMEDIATE)
+
+    def test_actual_uses_recorded_end(self):
+        record = _record(end=7.0)
+        assert record.alive_at(6.99, LifetimeModel.ACTUAL)
+        assert not record.alive_at(7.0, LifetimeModel.ACTUAL)
+
+    def test_actual_open_record_is_alive(self):
+        record = _record(end=None)
+        assert record.alive_at(1e9, LifetimeModel.ACTUAL)
+
+
+class TestLifetime:
+    def test_known_end(self):
+        assert _record(start=1.0, end=5.5).lifetime() == 4.5
+
+    def test_unknown_end(self):
+        assert _record().lifetime() is None
+
+
+class TestRecordsFromVisit:
+    def test_matches_browser_connections(self, browser, small_ecosystem):
+        visit = browser.visit(small_ecosystem.websites[0].domain)
+        records = records_from_visit(visit)
+        assert len(records) == len(visit.connections)
+        by_id = {record.connection_id: record for record in records}
+        for connection in visit.connections:
+            record = by_id[connection.connection_id]
+            assert record.domain == connection.sni
+            assert record.ip == connection.remote_ip
+            assert record.sans == connection.certificate.sans
+            assert record.privacy_mode == connection.privacy_mode
+            assert len(record.requests) == len(connection.requests)

@@ -1,0 +1,69 @@
+"""Tests for EDNS Client Subnet handling (RFC 7871)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dns.loadbalancer import RotationPolicy
+from repro.dns.resolver import RecursiveResolver, ResolverInfo
+from repro.dns.zone import AddressEntry, DnsNamespace
+
+
+@pytest.fixture()
+def namespace():
+    ns = DnsNamespace()
+    ns.add_address(
+        "lb.example.com",
+        AddressEntry(
+            pool=tuple(f"10.0.0.{i}" for i in range(1, 17)),
+            policy=RotationPolicy(answer_count=1),
+            ttl=120,
+        ),
+    )
+    return ns
+
+
+def _resolver(ns, *, ecs: bool):
+    return RecursiveResolver(
+        namespace=ns,
+        info=ResolverInfo(resolver_id="r-ecs" if ecs else "r-plain",
+                          ip="0.0.0.0", country="X", operator="t",
+                          supports_ecs=ecs),
+    )
+
+
+class TestEcs:
+    def test_non_ecs_resolver_ignores_client_subnet(self, namespace):
+        resolver = _resolver(namespace, ecs=False)
+        answers = {
+            resolver.resolve("lb.example.com", now=0.0,
+                             client_subnet=f"192.0.{i}.0/24").ips
+            for i in range(10)
+        }
+        # All clients share one cached answer — the paper's fleet.
+        assert len(answers) == 1
+        assert resolver.cache_hits == 9
+
+    def test_ecs_resolver_varies_per_subnet(self, namespace):
+        resolver = _resolver(namespace, ecs=True)
+        answers = {
+            resolver.resolve("lb.example.com", now=0.0,
+                             client_subnet=f"192.0.{i}.0/24").ips
+            for i in range(10)
+        }
+        assert len(answers) > 1
+
+    def test_ecs_caches_per_subnet(self, namespace):
+        resolver = _resolver(namespace, ecs=True)
+        first = resolver.resolve("lb.example.com", now=0.0,
+                                 client_subnet="192.0.2.0/24")
+        again = resolver.resolve("lb.example.com", now=1.0,
+                                 client_subnet="192.0.2.0/24")
+        assert first.ips == again.ips
+        assert resolver.cache_hits == 1
+
+    def test_ecs_without_subnet_falls_back(self, namespace):
+        resolver = _resolver(namespace, ecs=True)
+        plain = resolver.resolve("lb.example.com", now=0.0)
+        cached = resolver.resolve("lb.example.com", now=1.0)
+        assert plain.ips == cached.ips

@@ -1,0 +1,124 @@
+"""Tests for load-balancing policies."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dns.loadbalancer import AnycastPolicy, RotationPolicy, StaticPolicy
+
+POOL = tuple(f"10.0.0.{i}" for i in range(1, 9))
+
+
+class TestStaticPolicy:
+    def test_returns_full_pool_in_order(self):
+        policy = StaticPolicy()
+        assert policy.select(POOL, salt="x", now=0, resolver_id="r") == POOL
+
+    def test_time_invariant(self):
+        policy = StaticPolicy()
+        assert policy.select(POOL, salt="x", now=0, resolver_id="r") == policy.select(
+            POOL, salt="x", now=99999, resolver_id="other"
+        )
+
+
+class TestAnycastPolicy:
+    def test_single_stable_answer(self):
+        policy = AnycastPolicy()
+        answers = {
+            policy.select(POOL, salt=s, now=t, resolver_id=r)
+            for s in ("a", "b")
+            for t in (0, 5000)
+            for r in ("r1", "r2")
+        }
+        assert answers == {(POOL[0],)}
+
+    def test_empty_pool(self):
+        assert AnycastPolicy().select((), salt="x", now=0, resolver_id="r") == ()
+
+
+class TestRotationPolicy:
+    def test_answer_count(self):
+        policy = RotationPolicy(answer_count=3)
+        answers = policy.select(POOL, salt="a", now=0, resolver_id="r")
+        assert len(answers) == 3
+        assert len(set(answers)) == 3
+
+    def test_answers_subset_of_pool(self):
+        policy = RotationPolicy(answer_count=2)
+        answers = policy.select(POOL, salt="a", now=123, resolver_id="r")
+        assert set(answers) <= set(POOL)
+
+    def test_stable_within_period(self):
+        policy = RotationPolicy(answer_count=2, period_s=360)
+        a = policy.select(POOL, salt="s", now=0, resolver_id="r")
+        b = policy.select(POOL, salt="s", now=359.9, resolver_id="r")
+        assert a == b
+
+    def test_rotates_across_periods(self):
+        policy = RotationPolicy(answer_count=1, period_s=360)
+        answers = {
+            policy.select(POOL, salt="s", now=360 * slot, resolver_id="r")
+            for slot in range(30)
+        }
+        assert len(answers) > 1
+
+    def test_unsynchronized_salts_differ(self):
+        """Two domains over the same pool usually get different answers."""
+        policy = RotationPolicy(answer_count=1)
+        differing = sum(
+            policy.select(POOL, salt="domain-a", now=360 * slot, resolver_id="r")
+            != policy.select(POOL, salt="domain-b", now=360 * slot, resolver_id="r")
+            for slot in range(50)
+        )
+        assert differing > 25
+
+    def test_shared_salt_synchronizes(self):
+        """The mitigation: same salt → identical answers, always."""
+        policy = RotationPolicy(answer_count=2)
+        for slot in range(50):
+            assert policy.select(
+                POOL, salt="shared", now=360 * slot, resolver_id="r"
+            ) == policy.select(POOL, salt="shared", now=360 * slot, resolver_id="r")
+
+    def test_per_resolver_variation(self):
+        policy = RotationPolicy(answer_count=1)
+        answers = {
+            policy.select(POOL, salt="s", now=0, resolver_id=f"r{i}")
+            for i in range(10)
+        }
+        assert len(answers) > 1
+
+    def test_global_rotation_ignores_resolver(self):
+        policy = RotationPolicy(answer_count=1, per_resolver=False)
+        answers = {
+            policy.select(POOL, salt="s", now=0, resolver_id=f"r{i}")
+            for i in range(10)
+        }
+        assert len(answers) == 1
+
+    def test_answer_count_capped_at_pool(self):
+        policy = RotationPolicy(answer_count=20)
+        answers = policy.select(POOL, salt="s", now=0, resolver_id="r")
+        assert len(answers) == len(POOL)
+
+    def test_empty_pool(self):
+        policy = RotationPolicy()
+        assert policy.select((), salt="s", now=0, resolver_id="r") == ()
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            RotationPolicy(answer_count=0)
+        with pytest.raises(ValueError):
+            RotationPolicy(period_s=0)
+
+    @given(
+        st.integers(min_value=0, max_value=10**6),
+        st.text(min_size=1, max_size=8),
+    )
+    def test_deterministic(self, now, salt):
+        policy = RotationPolicy(answer_count=2)
+        assert policy.select(POOL, salt=salt, now=now, resolver_id="r") == (
+            policy.select(POOL, salt=salt, now=now, resolver_id="r")
+        )

@@ -1,0 +1,85 @@
+"""Tests for caching recursive resolvers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dns.loadbalancer import RotationPolicy
+from repro.dns.resolver import RecursiveResolver, ResolverInfo, default_fleet
+from repro.dns.zone import AddressEntry, DnsNamespace
+
+
+@pytest.fixture()
+def namespace():
+    ns = DnsNamespace()
+    ns.add_address(
+        "rot.example.com",
+        AddressEntry(
+            pool=tuple(f"10.0.0.{i}" for i in range(1, 9)),
+            policy=RotationPolicy(answer_count=1, period_s=100),
+            ttl=120,
+        ),
+    )
+    return ns
+
+
+def _resolver(ns, rid="r1"):
+    return RecursiveResolver(
+        namespace=ns,
+        info=ResolverInfo(resolver_id=rid, ip="0.0.0.0", country="X", operator="t"),
+    )
+
+
+class TestRecursiveResolver:
+    def test_cache_hit_within_ttl(self, namespace):
+        resolver = _resolver(namespace)
+        first = resolver.resolve("rot.example.com", now=0.0)
+        # The rotation would give a different answer at t=110 (period
+        # 100), but the cache (TTL 120) still serves the old one.
+        second = resolver.resolve("rot.example.com", now=110.0)
+        assert first.ips == second.ips
+        assert resolver.cache_hits == 1
+
+    def test_cache_expires_after_ttl(self, namespace):
+        resolver = _resolver(namespace)
+        resolver.resolve("rot.example.com", now=0.0)
+        resolver.resolve("rot.example.com", now=121.0)
+        assert resolver.cache_hits == 0
+        assert resolver.queries == 2
+
+    def test_flush_clears_cache(self, namespace):
+        resolver = _resolver(namespace)
+        resolver.resolve("rot.example.com", now=0.0)
+        resolver.flush()
+        resolver.resolve("rot.example.com", now=1.0)
+        assert resolver.cache_hits == 0
+
+    def test_vantage_points_can_disagree(self, namespace):
+        answers = {
+            _resolver(namespace, rid=f"r{i}").resolve("rot.example.com", now=0.0).ips
+            for i in range(10)
+        }
+        assert len(answers) > 1
+
+
+class TestDefaultFleet:
+    def test_fourteen_resolvers(self, namespace):
+        fleet = default_fleet(namespace)
+        assert len(fleet) == 14
+
+    def test_contains_papers_vantage_points(self, namespace):
+        fleet = default_fleet(namespace)
+        operators = {resolver.info.operator for resolver in fleet}
+        assert "RWTH Aachen University" in operators
+        assert "KT Corporation" in operators
+        countries = [resolver.info.country for resolver in fleet]
+        assert countries.count("Germany") == 3
+
+    def test_no_ecs_support(self, namespace):
+        # The paper "checked that ECS is not supported" for its fleet.
+        assert not any(r.info.supports_ecs for r in default_fleet(namespace))
+
+    def test_unique_ids(self, namespace):
+        fleet = default_fleet(namespace)
+        ids = [resolver.resolver_id for resolver in fleet]
+        assert len(set(ids)) == len(ids)

@@ -1,0 +1,141 @@
+"""Tests for the HTTP/2 frame codec."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.h2.frames import (
+    DataFrame,
+    FrameError,
+    FrameHeader,
+    FrameType,
+    GoawayFrame,
+    HeadersFrame,
+    OriginFrame,
+    PingFrame,
+    RstStreamFrame,
+    SettingsFrame,
+    UnknownFrame,
+    WindowUpdateFrame,
+    decode_frames,
+    encode_frame,
+)
+
+
+class TestFrameHeader:
+    def test_pack_unpack(self):
+        header = FrameHeader(length=1234, frame_type=1, flags=5, stream_id=77)
+        assert FrameHeader.unpack(header.pack()) == header
+
+    def test_header_is_nine_octets(self):
+        assert len(FrameHeader(0, 0, 0, 0).pack()) == 9
+
+    def test_length_bounds(self):
+        with pytest.raises(FrameError):
+            FrameHeader(length=1 << 24, frame_type=0, flags=0, stream_id=0)
+
+    def test_stream_id_bounds(self):
+        with pytest.raises(FrameError):
+            FrameHeader(length=0, frame_type=0, flags=0, stream_id=1 << 31)
+
+    def test_reserved_bit_masked_on_unpack(self):
+        header = FrameHeader(length=0, frame_type=0, flags=0, stream_id=7)
+        raw = bytearray(header.pack())
+        raw[5] |= 0x80  # set the reserved bit
+        assert FrameHeader.unpack(bytes(raw)).stream_id == 7
+
+    def test_truncated(self):
+        with pytest.raises(FrameError):
+            FrameHeader.unpack(b"\x00\x00\x00")
+
+
+_ROUNDTRIP_FRAMES = [
+    DataFrame(stream_id=1, flags=1, data=b"hello"),
+    HeadersFrame(stream_id=3, flags=4, header_block=b"\x82\x87"),
+    RstStreamFrame(stream_id=5, error_code=8),
+    SettingsFrame(pairs=((1, 4096), (4, 65535))),
+    SettingsFrame(flags=1),  # ACK
+    PingFrame(opaque=b"12345678"),
+    GoawayFrame(last_stream_id=9, error_code=0, debug_data=b"bye"),
+    WindowUpdateFrame(stream_id=1, increment=1000),
+    OriginFrame(origins=("https://a.example.com", "https://b.example.com")),
+    OriginFrame(origins=()),
+]
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("frame", _ROUNDTRIP_FRAMES, ids=lambda f: type(f).__name__)
+    def test_single_frame(self, frame):
+        assert decode_frames(encode_frame(frame)) == [frame]
+
+    def test_frame_sequence(self):
+        stream = b"".join(encode_frame(frame) for frame in _ROUNDTRIP_FRAMES)
+        assert decode_frames(stream) == _ROUNDTRIP_FRAMES
+
+    def test_unknown_frame_carried_opaquely(self):
+        frame = UnknownFrame(raw_payload=b"\x01\x02", raw_type=0xAB)
+        decoded = decode_frames(encode_frame(frame))[0]
+        assert isinstance(decoded, UnknownFrame)
+        assert decoded.raw_payload == b"\x01\x02"
+        assert decoded.raw_type == 0xAB
+
+    @given(st.binary(max_size=64), st.integers(min_value=0, max_value=255))
+    def test_data_roundtrip_property(self, payload, flags):
+        frame = DataFrame(stream_id=1, flags=flags, data=payload)
+        assert decode_frames(encode_frame(frame)) == [frame]
+
+    @given(st.lists(st.text(alphabet=st.characters(min_codepoint=33,
+                                                   max_codepoint=126),
+                            min_size=1, max_size=30), max_size=5))
+    def test_origin_roundtrip_property(self, origins):
+        frame = OriginFrame(origins=tuple(origins))
+        assert decode_frames(encode_frame(frame)) == [frame]
+
+
+class TestValidation:
+    def test_rst_stream_payload_length(self):
+        raw = FrameHeader(length=3, frame_type=FrameType.RST_STREAM,
+                          flags=0, stream_id=1).pack() + b"\x00\x00\x00"
+        with pytest.raises(FrameError):
+            decode_frames(raw)
+
+    def test_settings_multiple_of_six(self):
+        raw = FrameHeader(length=5, frame_type=FrameType.SETTINGS,
+                          flags=0, stream_id=0).pack() + b"\x00" * 5
+        with pytest.raises(FrameError):
+            decode_frames(raw)
+
+    def test_ping_needs_eight_octets(self):
+        with pytest.raises(FrameError):
+            encode_frame(PingFrame(opaque=b"short"))
+
+    def test_origin_must_be_stream_zero(self):
+        raw = FrameHeader(length=0, frame_type=FrameType.ORIGIN,
+                          flags=0, stream_id=3).pack()
+        with pytest.raises(FrameError):
+            decode_frames(raw)
+
+    def test_origin_truncated_entry(self):
+        payload = b"\x00\x10https"  # claims 16 bytes, has 5
+        raw = FrameHeader(length=len(payload), frame_type=FrameType.ORIGIN,
+                          flags=0, stream_id=0).pack() + payload
+        with pytest.raises(FrameError):
+            decode_frames(raw)
+
+    def test_window_update_increment_bounds(self):
+        with pytest.raises(FrameError):
+            encode_frame(WindowUpdateFrame(increment=0))
+
+    def test_truncated_payload(self):
+        raw = FrameHeader(length=10, frame_type=FrameType.DATA,
+                          flags=0, stream_id=1).pack() + b"abc"
+        with pytest.raises(FrameError):
+            decode_frames(raw)
+
+    def test_goaway_too_short(self):
+        raw = FrameHeader(length=4, frame_type=FrameType.GOAWAY,
+                          flags=0, stream_id=0).pack() + b"\x00" * 4
+        with pytest.raises(FrameError):
+            decode_frames(raw)

@@ -1,0 +1,48 @@
+"""Tests for HTTP/2 settings."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.h2.settings import Http2Settings, SettingId
+
+
+class TestHttp2Settings:
+    def test_rfc_defaults(self):
+        settings = Http2Settings()
+        assert settings.header_table_size == 4096
+        assert settings.enable_push is True
+        assert settings.max_concurrent_streams is None
+        assert settings.initial_window_size == 65_535
+        assert settings.max_frame_size == 16_384
+
+    def test_frame_size_bounds(self):
+        with pytest.raises(ValueError):
+            Http2Settings(max_frame_size=16_383)
+        with pytest.raises(ValueError):
+            Http2Settings(max_frame_size=1 << 24)
+
+    def test_window_size_bounds(self):
+        with pytest.raises(ValueError):
+            Http2Settings(initial_window_size=2**31)
+
+    def test_pairs_roundtrip(self):
+        settings = Http2Settings(
+            max_concurrent_streams=100, max_header_list_size=8192
+        )
+        rebuilt = Http2Settings().apply_pairs(settings.to_pairs())
+        assert rebuilt == settings
+
+    def test_unknown_identifier_ignored(self):
+        settings = Http2Settings().apply_pairs([(0x99, 42)])
+        assert settings == Http2Settings()
+
+    def test_enable_push_validation(self):
+        with pytest.raises(ValueError):
+            Http2Settings().apply_pairs([(SettingId.ENABLE_PUSH, 2)])
+
+    def test_apply_is_copy(self):
+        original = Http2Settings()
+        updated = original.apply_pairs([(SettingId.MAX_CONCURRENT_STREAMS, 5)])
+        assert original.max_concurrent_streams is None
+        assert updated.max_concurrent_streams == 5

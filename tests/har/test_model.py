@@ -1,0 +1,82 @@
+"""Tests for the HAR object model."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.har.model import HarEntry, HarFile, HarPage, HarSecurityDetails
+
+
+def _entry(**kwargs):
+    defaults = dict(
+        pageref="page_1",
+        started_date_time=1.0,
+        time_ms=50.0,
+        method="GET",
+        url="https://www.example.com/a.js",
+        http_version="HTTP/2",
+        status=200,
+        body_size=1000,
+        server_ip_address="10.0.0.1",
+        connection="3",
+        request_id="req_1",
+        security=HarSecurityDetails(
+            subject_name="example.com",
+            san_list=("example.com", "*.example.com"),
+            issuer="CA",
+        ),
+    )
+    defaults.update(kwargs)
+    return HarEntry(**defaults)
+
+
+class TestHarEntry:
+    def test_domain_extraction(self):
+        assert _entry().domain == "www.example.com"
+
+    def test_domain_lowercased(self):
+        assert _entry(url="https://WWW.Example.COM/x").domain == "www.example.com"
+
+
+class TestHarFileSerialization:
+    def test_roundtrip(self):
+        har = HarFile(
+            page=HarPage(page_id="page_1", started_date_time=0.5,
+                         title="https://example.com/", on_load_ms=1234.0),
+            entries=[_entry(), _entry(connection="4", security=None)],
+        )
+        rebuilt = HarFile.from_dict(har.to_dict())
+        assert rebuilt.page == har.page
+        assert rebuilt.entries == har.entries
+
+    def test_json_serializable(self):
+        har = HarFile(
+            page=HarPage(page_id="page_1", started_date_time=0.0,
+                         title="t", on_load_ms=1.0),
+            entries=[_entry()],
+        )
+        text = json.dumps(har.to_dict())
+        assert HarFile.from_dict(json.loads(text)).entries == har.entries
+
+    def test_standard_layout_keys(self):
+        har = HarFile(
+            page=HarPage(page_id="p", started_date_time=0.0, title="t",
+                         on_load_ms=0.0),
+            entries=[_entry()],
+        )
+        data = har.to_dict()
+        assert data["log"]["version"] == "1.2"
+        entry = data["log"]["entries"][0]
+        assert entry["request"]["method"] == "GET"
+        assert entry["response"]["status"] == 200
+        assert entry["serverIPAddress"] == "10.0.0.1"
+        assert entry["_securityDetails"]["sanList"] == [
+            "example.com", "*.example.com"
+        ]
+
+    def test_pageless_file_rejected(self):
+        with pytest.raises(ValueError):
+            HarFile.from_dict({"log": {"version": "1.2", "pages": [],
+                                       "entries": []}})

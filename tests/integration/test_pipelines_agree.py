@@ -1,0 +1,70 @@
+"""Integration: the three record sources must agree.
+
+The browser's in-memory truth, the HAR pipeline (written without noise,
+then sanitised) and the NetLog pipeline all describe the same visit; the
+classifier must reach identical verdicts from each.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.causes import Cause
+from repro.core.classifier import classify_site
+from repro.core.session import LifetimeModel, records_from_visit
+from repro.har.reader import read_sessions
+from repro.har.writer import HarNoiseConfig, write_har
+from repro.netlog.parser import parse_sessions
+
+
+@pytest.fixture(scope="module")
+def visits(small_ecosystem):
+    import random
+
+    from repro.browser.browser import ChromiumBrowser
+    from repro.util.clock import SimClock
+
+    browser = ChromiumBrowser(
+        ecosystem=small_ecosystem,
+        resolver=small_ecosystem.make_resolver(),
+        clock=SimClock(),
+        rng=random.Random(99),
+    )
+    return [browser.visit(site.domain) for site in small_ecosystem.websites[:25]]
+
+
+def _summary(classification):
+    return (
+        classification.redundant_count,
+        {cause: classification.count(cause) for cause in Cause},
+    )
+
+
+class TestPipelineAgreement:
+    def test_netlog_matches_browser_truth(self, visits):
+        for visit in visits:
+            truth = classify_site(visit.domain, records_from_visit(visit),
+                                  model=LifetimeModel.ACTUAL)
+            netlog = classify_site(visit.domain,
+                                   parse_sessions(visit.netlog).records,
+                                   model=LifetimeModel.ACTUAL)
+            assert _summary(netlog) == _summary(truth), visit.domain
+
+    def test_har_matches_browser_truth_under_endless(self, visits):
+        for visit in visits:
+            truth = classify_site(visit.domain, records_from_visit(visit),
+                                  model=LifetimeModel.ENDLESS)
+            har = write_har(visit, noise=HarNoiseConfig.none())
+            har_cls = classify_site(visit.domain, read_sessions(har).records,
+                                    model=LifetimeModel.ENDLESS)
+            assert _summary(har_cls) == _summary(truth), visit.domain
+
+    def test_har_and_netlog_agree_under_endless(self, visits):
+        for visit in visits:
+            har = write_har(visit, noise=HarNoiseConfig.none())
+            har_cls = classify_site(visit.domain, read_sessions(har).records,
+                                    model=LifetimeModel.ENDLESS)
+            netlog_cls = classify_site(visit.domain,
+                                       parse_sessions(visit.netlog).records,
+                                       model=LifetimeModel.ENDLESS)
+            assert _summary(har_cls) == _summary(netlog_cls), visit.domain

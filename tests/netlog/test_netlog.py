@@ -1,0 +1,97 @@
+"""Tests for NetLog events and session stitching."""
+
+from __future__ import annotations
+
+from repro.netlog.events import NetLog, NetLogEventType
+from repro.netlog.parser import parse_sessions
+
+
+class TestNetLog:
+    def test_emit_and_filter(self):
+        netlog = NetLog()
+        netlog.emit(NetLogEventType.PAGE_LOAD_START, time=0.0, source_id=0,
+                    url="https://x.com/")
+        netlog.emit(NetLogEventType.HTTP2_SESSION, time=1.0, source_id=1,
+                    host="x.com", peer_address="10.0.0.1")
+        assert len(netlog) == 2
+        assert len(netlog.of_type(NetLogEventType.HTTP2_SESSION)) == 1
+
+    def test_events_are_frozen(self):
+        netlog = NetLog()
+        event = netlog.emit(NetLogEventType.PAGE_LOAD_END, time=0.0, source_id=0)
+        try:
+            event.time = 5.0
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised
+
+
+class TestParseSessions:
+    def _sample_netlog(self):
+        netlog = NetLog()
+        netlog.emit(NetLogEventType.PAGE_LOAD_START, time=0.0, source_id=0,
+                    url="https://site.com/")
+        netlog.emit(
+            NetLogEventType.HTTP2_SESSION, time=1.0, source_id=1,
+            host="site.com", peer_address="10.0.0.1", privacy_mode=False,
+            protocol="h2", cert_sans=["site.com"], cert_issuer="LE",
+        )
+        netlog.emit(
+            NetLogEventType.HTTP2_STREAM, time=1.1, source_id=1,
+            url="https://site.com/", method="GET", status=200,
+            with_credentials=True, finished=1.2,
+        )
+        netlog.emit(
+            NetLogEventType.HTTP2_SESSION, time=2.0, source_id=2,
+            host="cdn.site.com", peer_address="10.0.0.2", privacy_mode=True,
+            protocol="h2", cert_sans=["*.site.com"], cert_issuer="LE",
+        )
+        netlog.emit(NetLogEventType.HTTP2_SESSION_RECV_GOAWAY, time=50.0,
+                    source_id=2)
+        netlog.emit(NetLogEventType.HTTP2_SESSION_CLOSE, time=50.0,
+                    source_id=2, reason="goaway")
+        netlog.emit(NetLogEventType.HTTP2_SESSION_CLOSE, time=300.0,
+                    source_id=1, reason="test-end")
+        netlog.emit(NetLogEventType.HTTP2_SESSION_CLOSE, time=300.0,
+                    source_id=2, reason="test-end")
+        return netlog
+
+    def test_stitches_lifecycle(self):
+        result = parse_sessions(self._sample_netlog())
+        assert result.url == "https://site.com/"
+        assert len(result.records) == 2
+        first = result.records[0]
+        assert first.domain == "site.com"
+        assert first.start == 1.0
+        assert first.end == 300.0
+        assert first.privacy_mode is False
+        assert len(first.requests) == 1
+        assert first.requests[0].finished_at == 1.2
+
+    def test_first_close_wins(self):
+        """A GOAWAY close precedes the end-of-test sweep."""
+        result = parse_sessions(self._sample_netlog())
+        second = next(r for r in result.records if r.connection_id == 2)
+        assert second.end == 50.0
+        assert second.lifetime() == 48.0
+        assert result.goaway_sessions == {2}
+
+    def test_roundtrip_with_browser(self, browser, small_ecosystem):
+        visit = browser.visit(small_ecosystem.websites[0].domain)
+        result = parse_sessions(visit.netlog)
+        truth = {c.connection_id: c for c in visit.connections}
+        assert {r.connection_id for r in result.records} == set(truth)
+        for record in result.records:
+            connection = truth[record.connection_id]
+            assert record.domain == connection.sni
+            assert record.ip == connection.remote_ip
+            assert record.privacy_mode == connection.privacy_mode
+            assert record.start == connection.created_at
+            assert record.end == connection.closed_at
+            assert len(record.requests) == len(connection.requests)
+
+    def test_dns_queries_counted(self, browser, small_ecosystem):
+        visit = browser.visit(small_ecosystem.websites[0].domain)
+        result = parse_sessions(visit.netlog)
+        assert result.dns_queries >= len(result.records) - 1

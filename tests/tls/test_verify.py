@@ -1,0 +1,59 @@
+"""Tests for RFC 6125-subset hostname verification."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.tls.verify import hostname_matches, is_valid_san_pattern
+
+
+class TestHostnameMatches:
+    @pytest.mark.parametrize(
+        "pattern, host, expected",
+        [
+            ("example.com", "example.com", True),
+            ("Example.COM", "example.com", True),
+            ("example.com", "www.example.com", False),
+            ("*.example.com", "img.example.com", True),
+            ("*.example.com", "example.com", False),
+            ("*.example.com", "a.b.example.com", False),
+            ("*.b.example.com", "a.b.example.com", True),
+            ("*.google-analytics.com", "www.google-analytics.com", True),
+            ("*.com", "example.com", False),  # wildcard over a public suffix
+            ("*.co.uk", "example.co.uk", False),
+            ("example.com", "exampleXcom", False),
+        ],
+    )
+    def test_cases(self, pattern, host, expected):
+        assert hostname_matches(pattern, host) is expected
+
+    def test_invalid_hostname_never_matches(self):
+        assert not hostname_matches("*.example.com", "bad_host.example.com")
+
+    @given(
+        st.lists(
+            st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=6),
+            min_size=2,
+            max_size=4,
+        )
+    )
+    def test_wildcard_matches_exactly_one_extra_label(self, parts):
+        base = ".".join(parts) + ".com"
+        pattern = f"*.{base}"
+        assert hostname_matches(pattern, f"x.{base}")
+        assert not hostname_matches(pattern, base)
+        assert not hostname_matches(pattern, f"x.y.{base}")
+
+
+class TestSanPatternValidity:
+    @pytest.mark.parametrize(
+        "pattern", ["example.com", "*.example.com", "a.b.c.example.io"]
+    )
+    def test_valid(self, pattern):
+        assert is_valid_san_pattern(pattern)
+
+    @pytest.mark.parametrize("pattern", ["", "bad_host.com", "*.-x.com"])
+    def test_invalid(self, pattern):
+        assert not is_valid_san_pattern(pattern)

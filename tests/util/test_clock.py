@@ -1,0 +1,41 @@
+"""Tests for the simulated clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.clock import SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now() == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(100.5).now() == 100.5
+
+    def test_advance(self):
+        clock = SimClock()
+        assert clock.advance(2.5) == 2.5
+        assert clock.now() == 2.5
+
+    def test_advance_zero_allowed(self):
+        clock = SimClock(1.0)
+        assert clock.advance(0.0) == 1.0
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-0.1)
+
+    def test_advance_to(self):
+        clock = SimClock(5.0)
+        assert clock.advance_to(9.0) == 9.0
+
+    def test_advance_to_past_rejected(self):
+        clock = SimClock(5.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(4.999)
+
+    def test_advance_to_now_allowed(self):
+        clock = SimClock(5.0)
+        assert clock.advance_to(5.0) == 5.0

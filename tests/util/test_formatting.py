@@ -1,0 +1,74 @@
+"""Tests for paper-style formatting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.formatting import align_table, pct, si_count
+
+
+class TestSiCount:
+    @pytest.mark.parametrize(
+        "value, expected",
+        [
+            (0, "0"),
+            (255, "255"),
+            (999, "999"),
+            (1_000, "1.00 k"),
+            (52_310, "52.31 k"),
+            (999_999, "1000.00 k"),
+            (1_000_000, "1.00 M"),
+            (2_250_000, "2.25 M"),
+            (63_550_000, "63.55 M"),
+        ],
+    )
+    def test_paper_style(self, value, expected):
+        assert si_count(value) == expected
+
+    def test_fractional_below_thousand(self):
+        assert si_count(12.5) == "12.50"
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            si_count(-1)
+
+    @given(st.integers(min_value=0, max_value=10**12))
+    def test_never_raises_for_counts(self, value):
+        assert isinstance(si_count(value), str)
+
+
+class TestPct:
+    def test_rounds_to_integer(self):
+        assert pct(76.4, 100) == "76 %"
+        assert pct(76.6, 100) == "77 %"
+
+    def test_zero_denominator(self):
+        assert pct(5, 0) == "- %"
+
+    def test_full(self):
+        assert pct(10, 10) == "100 %"
+
+
+class TestAlignTable:
+    def test_empty(self):
+        assert align_table([]) == ""
+
+    def test_alignment(self):
+        rendered = align_table(
+            [["a", "1"], ["long-name", "22"]], header=["Name", "N"]
+        )
+        lines = rendered.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        # Right-aligned numeric column.
+        assert lines[2].endswith(" 1")
+        assert lines[3].endswith("22")
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            align_table([["a", "b"], ["only-one"]])
+
+    def test_no_header(self):
+        rendered = align_table([["x", "y"]])
+        assert rendered == "x  y"

@@ -1,0 +1,113 @@
+"""Tests for origin servers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.h2.connection import HTTP_MISDIRECTED_REQUEST
+from repro.tls.certificate import Certificate
+from repro.web.server import OriginServer, build_fleet
+
+
+def _cert(serial, sans):
+    return Certificate(serial=serial, subject=sans[0].lstrip("*."),
+                       sans=tuple(sans), issuer_org="CA")
+
+
+@pytest.fixture()
+def sni_server():
+    cert_a = _cert(1, ["static.example.com"])
+    cert_b = _cert(2, ["fast.example.com"])
+    return OriginServer(
+        ip="10.0.0.1",
+        name="sni-host",
+        cert_map={"static.example.com": cert_a, "fast.example.com": cert_b},
+        default_certificate=cert_a,
+    )
+
+
+class TestSniSelection:
+    def test_exact_match(self, sni_server):
+        assert sni_server.certificate_for("fast.example.com").serial == 2
+
+    def test_wildcard_match(self):
+        cert = _cert(1, ["*.example.com"])
+        server = OriginServer(ip="10.0.0.1", name="w",
+                              cert_map={"www.example.com": cert},
+                              default_certificate=cert)
+        assert server.certificate_for("img.example.com") is cert
+
+    def test_unknown_sni_gets_default(self, sni_server):
+        assert sni_server.certificate_for("unknown.example.org").serial == 1
+
+
+class TestServes:
+    def test_serves_configured_domains(self, sni_server):
+        assert sni_server.serves("static.example.com")
+        assert sni_server.serves("fast.example.com")
+        assert not sni_server.serves("other.example.com")
+
+    def test_excluded_domain_not_served(self):
+        cert = _cert(1, ["*.example.com"])
+        server = OriginServer(
+            ip="10.0.0.1", name="x",
+            cert_map={"a.example.com": cert},
+            default_certificate=cert,
+            excluded_domains={"b.example.com"},
+        )
+        # Certificate covers b., but the operator has not configured it.
+        assert server.serves("a.example.com")
+        assert not server.serves("b.example.com")
+
+
+class TestHandleRequest:
+    def test_success(self, sni_server):
+        status, headers, size = sni_server.handle_request(
+            "static.example.com", "/x", method="GET", credentials=False
+        )
+        assert status == 200
+        assert size > 0
+        assert dict(headers)["content-length"] == str(size)
+
+    def test_misdirected(self, sni_server):
+        status, _, size = sni_server.handle_request(
+            "other.example.org", "/x", method="GET", credentials=False
+        )
+        assert status == HTTP_MISDIRECTED_REQUEST
+        assert size == 0
+        assert sni_server.misdirected_responses == 1
+
+    def test_deterministic_body_size(self, sni_server):
+        sizes = {
+            sni_server.handle_request("static.example.com", "/same",
+                                      method="GET", credentials=False)[2]
+            for _ in range(3)
+        }
+        assert len(sizes) == 1
+
+    def test_credentialed_get_sets_cookie(self, sni_server):
+        _, headers, _ = sni_server.handle_request(
+            "static.example.com", "/", method="GET", credentials=True
+        )
+        assert "set-cookie" in dict(headers)
+
+
+class TestBuildFleet:
+    def test_one_server_per_ip(self):
+        cert = _cert(1, ["*.example.com"])
+        fleet = build_fleet(["10.0.0.1", "10.0.0.2"], name="f",
+                            cert_map={"www.example.com": cert})
+        assert [server.ip for server in fleet] == ["10.0.0.1", "10.0.0.2"]
+        assert all(server.serves("www.example.com") for server in fleet)
+
+    def test_requires_certificates(self):
+        with pytest.raises(ValueError):
+            build_fleet(["10.0.0.1"], name="f", cert_map={})
+
+    def test_fleet_servers_independent(self):
+        cert = _cert(1, ["x.example.com"])
+        fleet = build_fleet(["10.0.0.1", "10.0.0.2"], name="f",
+                            cert_map={"x.example.com": cert},
+                            excluded_domains={"y.example.com"})
+        fleet[0].excluded_domains.add("z.example.com")
+        assert "z.example.com" not in fleet[1].excluded_domains

@@ -1,0 +1,150 @@
+"""Tests for the third-party catalogue (against the shared ecosystem)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.web.ecosystem import Ecosystem
+from repro.web.resources import RequestMode
+from repro.web.thirdparty import ThirdPartyService
+
+
+def _service(eco: Ecosystem, key: str) -> ThirdPartyService:
+    for service in eco.services:
+        if service.key == key:
+            return service
+    raise KeyError(key)
+
+
+class TestGoogleAnalytics:
+    def test_pools_disjoint_but_interchangeable(self, small_ecosystem):
+        resolver = small_ecosystem.make_resolver("t")
+        ga = resolver.resolve("www.google-analytics.com", now=0.0)
+        gtm = resolver.resolve("www.googletagmanager.com", now=0.0)
+        assert not set(ga.ips) & set(gtm.ips)
+        # Any GTM endpoint can serve GA content: the connection was
+        # avoidable, which is exactly the paper's IP-cause finding.
+        server = small_ecosystem.server_for_ip(gtm.primary_ip)
+        assert server.serves("www.google-analytics.com")
+
+    def test_certificates_cover_both_domains(self, small_ecosystem):
+        resolver = small_ecosystem.make_resolver("t")
+        gtm_ip = resolver.resolve("www.googletagmanager.com", now=0.0).primary_ip
+        cert = small_ecosystem.server_for_ip(gtm_ip).certificate_for(
+            "www.googletagmanager.com"
+        )
+        assert cert.covers("www.google-analytics.com")
+
+    def test_embed_chain(self, small_ecosystem):
+        service = _service(small_ecosystem, "google-analytics")
+        resources = service.embed(random.Random(1))
+        domains = {r.domain for root in resources for r in root.walk()}
+        assert "www.google-analytics.com" in domains
+
+    def test_beacon_is_anonymous(self, small_ecosystem):
+        service = _service(small_ecosystem, "google-analytics")
+        for seed in range(10):
+            for root in service.embed(random.Random(seed)):
+                for resource in root.walk():
+                    if resource.path == "/j/collect":
+                        assert resource.mode is RequestMode.CORS_ANON
+                        return
+        pytest.fail("no beacon generated in 10 seeds")
+
+
+class TestKlaviyo:
+    def test_same_ip_disjoint_lets_encrypt_certs(self, small_ecosystem):
+        resolver = small_ecosystem.make_resolver("t")
+        static = resolver.resolve("static.klaviyo.com", now=0.0)
+        fast = resolver.resolve("fast.a.klaviyo.com", now=0.0)
+        assert static.ips == fast.ips  # single shared endpoint
+        server = small_ecosystem.server_for_ip(static.primary_ip)
+        static_cert = server.certificate_for("static.klaviyo.com")
+        fast_cert = server.certificate_for("fast.a.klaviyo.com")
+        assert static_cert.issuer_org == "Let's Encrypt"
+        assert fast_cert.issuer_org == "Let's Encrypt"
+        assert not static_cert.covers("fast.a.klaviyo.com")
+        assert not fast_cert.covers("static.klaviyo.com")
+
+
+class TestGoogleAds:
+    def test_adservice_cert_disjoint_from_big_cert(self, small_ecosystem):
+        resolver = small_ecosystem.make_resolver("t")
+        ip = resolver.resolve("pagead2.googlesyndication.com", now=0.0).primary_ip
+        server = small_ecosystem.server_for_ip(ip)
+        big = server.certificate_for("pagead2.googlesyndication.com")
+        adservice = server.certificate_for("adservice.google.com")
+        assert big.covers("googleads.g.doubleclick.net")
+        assert big.covers("partner.googleadservices.com")
+        assert not big.covers("adservice.google.com")
+        assert not adservice.covers("pagead2.googlesyndication.com")
+
+    def test_shared_pool(self, small_ecosystem):
+        resolver = small_ecosystem.make_resolver("t")
+        pools = set()
+        for domain in ("pagead2.googlesyndication.com",
+                       "googleads.g.doubleclick.net",
+                       "adservice.google.com"):
+            pools.update(resolver.resolve(domain, now=0.0).ips)
+        # All in Google's ads /24.
+        assert len({ip.rsplit(".", 1)[0] for ip in pools}) == 1
+
+
+class TestFacebook:
+    def test_asymmetric_serving(self, small_ecosystem):
+        resolver = small_ecosystem.make_resolver("t")
+        cfb_ip = resolver.resolve("connect.facebook.net", now=0.0).primary_ip
+        wfb_ip = resolver.resolve("www.facebook.com", now=0.0).primary_ip
+        cfb_server = small_ecosystem.server_for_ip(cfb_ip)
+        wfb_server = small_ecosystem.server_for_ip(wfb_ip)
+        # "The script from CFB can also be requested on WFB's IP,
+        # however not vice-versa."
+        assert wfb_server.serves("connect.facebook.net")
+        assert not cfb_server.serves("www.facebook.com")
+
+
+class TestMegaCdn:
+    def test_api_domain_answers_421_when_coalesced(self, small_ecosystem):
+        resolver = small_ecosystem.make_resolver("t")
+        ip = resolver.resolve("assets.megacdn.net", now=0.0).primary_ip
+        server = small_ecosystem.server_for_ip(ip)
+        assert server.certificate_for("assets.megacdn.net").covers(
+            "api.megacdn.net"
+        )
+        status, _, _ = server.handle_request(
+            "api.megacdn.net", "/v1/config", method="GET", credentials=True
+        )
+        assert status == 421
+
+
+class TestAdoptionModel:
+    def test_rank_boost_monotonic(self):
+        service = ThirdPartyService(
+            key="t", adoption=0.4, embed=lambda rng: [], domains=("x.com",),
+            rank_boost=2.0, tail_factor=0.5,
+        )
+        values = [service.effective_adoption(p / 10) for p in range(11)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+        assert values[0] == pytest.approx(0.8)
+        assert values[-1] == pytest.approx(0.2)
+
+    def test_probability_clamped(self):
+        service = ThirdPartyService(
+            key="t", adoption=0.9, embed=lambda rng: [], domains=("x.com",),
+            rank_boost=5.0,
+        )
+        assert service.effective_adoption(0.0) == 1.0
+
+    def test_catalog_has_all_named_services(self, small_ecosystem):
+        keys = {service.key for service in small_ecosystem.services}
+        for expected in ("google-analytics", "facebook", "google-ads",
+                         "google-platform", "google-fonts", "hotjar",
+                         "wordpress", "klaviyo", "squarespace", "unruly",
+                         "reddit-pixel", "megacdn", "youtube"):
+            assert expected in keys
+
+    def test_tail_services_generated(self, small_ecosystem):
+        tail = [s for s in small_ecosystem.services if s.key.startswith("tail-")]
+        assert len(tail) == small_ecosystem.config.tail_services
