@@ -14,9 +14,11 @@ import pytest
 from repro.browser.browser import ChromiumBrowser
 from repro.core.classifier import classify_site
 from repro.core.session import LifetimeModel, records_from_visit
+from repro.crawl.classify import classify_dataset
 from repro.har.reader import read_sessions
 from repro.har.writer import HarNoiseConfig, write_har
 from repro.netlog.parser import parse_sessions
+from repro.runtime import SerialExecutor, ThreadExecutor
 from repro.util.clock import SimClock
 
 
@@ -87,3 +89,33 @@ def test_classifier_throughput(benchmark, visits):
 
     result = benchmark(classify_one)
     assert result.h2_connections >= 0
+
+
+def test_corpus_classification_serial(benchmark, visits):
+    """Whole-corpus classification through the serial executor."""
+    site_records = {
+        visit.domain: records_from_visit(visit) for visit in visits
+    }
+
+    dataset = benchmark(
+        lambda: classify_dataset(
+            "bench", site_records, model=LifetimeModel.ENDLESS,
+            executor=SerialExecutor(),
+        )
+    )
+    assert dataset.report.total_sites == len(site_records)
+
+
+def test_corpus_classification_threaded(benchmark, visits):
+    """Same fold through a thread pool (measures map_sites overhead)."""
+    site_records = {
+        visit.domain: records_from_visit(visit) for visit in visits
+    }
+    with ThreadExecutor(4) as executor:
+        dataset = benchmark(
+            lambda: classify_dataset(
+                "bench", site_records, model=LifetimeModel.ENDLESS,
+                executor=executor,
+            )
+        )
+    assert dataset.report.total_sites == len(site_records)

@@ -1,0 +1,78 @@
+"""Serial vs. parallel study wall time.
+
+Runs the same full study (crawls + classification) through each
+executor and reports wall-clock time per stage plus the study digest,
+proving the speedup changes nothing:
+
+    PYTHONPATH=src python benchmarks/bench_runtime.py --sites 1200
+    PYTHONPATH=src python benchmarks/bench_runtime.py --sites 300 \
+        --executors serial process:4
+
+Not a pytest-benchmark module on purpose: process pools inside a
+benchmark's inner loop measure pool startup, not pipeline throughput.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+
+from repro.analysis.digest import study_digest
+from repro.analysis.study import Study, StudyConfig
+from repro.runtime import StageTimings, make_executor
+
+
+def run_one(spec: str, sites: int, seed: int) -> tuple[float, str, StageTimings]:
+    config = StudyConfig(seed=seed, n_sites=sites, dns_study_days=0.25)
+    timings = StageTimings()
+    started = time.perf_counter()
+    with make_executor(spec) as executor:
+        study = Study.run(config, executor=executor, timings=timings)
+    elapsed = time.perf_counter() - started
+    return elapsed, study_digest(study), timings
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sites", type=int, default=1200)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--executors", nargs="+",
+        default=["serial", "thread:4", "process:4"],
+        help="executor specs to compare (first is the baseline)",
+    )
+    parser.add_argument("--per-stage", action="store_true",
+                        help="print the per-stage breakdown for each run")
+    args = parser.parse_args(argv)
+
+    available = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") \
+        else (os.cpu_count() or 1)
+    print(f"host CPUs available: {available}")
+    if available < 2:
+        print("note: pool executors cannot beat the serial baseline on a "
+              "single-CPU host; expect <1x with identical digests")
+
+    results: list[tuple[str, float, str]] = []
+    for spec in args.executors:
+        elapsed, digest, timings = run_one(spec, args.sites, args.seed)
+        results.append((spec, elapsed, digest))
+        print(f"{spec:<12} {elapsed:8.2f} s   digest {digest}")
+        if args.per_stage:
+            print(timings.render())
+            print()
+
+    baseline_spec, baseline_time, baseline_digest = results[0]
+    ok = True
+    for spec, elapsed, digest in results[1:]:
+        if digest != baseline_digest:
+            print(f"DIGEST MISMATCH: {spec} != {baseline_spec}")
+            ok = False
+        else:
+            print(f"{spec}: {baseline_time / elapsed:.2f}x vs {baseline_spec}"
+                  f" (digest identical)")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

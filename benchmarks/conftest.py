@@ -11,14 +11,24 @@ reproduces the paper's full evaluation output.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.analysis.study import Study, StudyConfig
 
 #: Scale of the benchmark corpus.  ~300 site universe: large enough for
 #: every table to have its heavy hitters, small enough to build in
-#: seconds.
-BENCH_CONFIG = StudyConfig(seed=7, n_sites=300, dns_study_days=0.5)
+#: seconds.  The executor is switchable from the environment
+#: (results are executor-independent; only build time changes):
+#:
+#:     REPRO_BENCH_EXECUTOR=process:8 pytest benchmarks/ --benchmark-only
+BENCH_CONFIG = StudyConfig(
+    seed=7,
+    n_sites=300,
+    dns_study_days=0.5,
+    executor=os.environ.get("REPRO_BENCH_EXECUTOR", "serial"),
+)
 
 
 @pytest.fixture(scope="session")

@@ -11,16 +11,20 @@ Quickstart::
 
 The public surface re-exports the layers a downstream user needs:
 
-* :mod:`repro.web` — the synthetic web ecosystem (substitute for the
-  live web; see DESIGN.md);
+* :mod:`repro.web` — the synthetic web ecosystem (the substitute for
+  the live web the paper measured);
 * :mod:`repro.browser` — the Chromium-like browser model whose
   connection decisions the study measures;
 * :mod:`repro.core` — the Connection Reuse predicate and the §4.1
   redundancy classifier (the paper's core contribution);
 * :mod:`repro.crawl` — the HTTP Archive and Alexa measurement
   harnesses;
+* :mod:`repro.runtime` — the pluggable serial/thread/process execution
+  substrate the crawl and classification stages map over;
 * :mod:`repro.analysis` — the study driver plus renderers for every
   table and figure of the paper.
+
+See README.md for the quickstart and the runtime/parallelism knobs.
 """
 
 from repro.analysis.internal import (
@@ -54,8 +58,17 @@ from repro.analysis import (
     table10,
     table11,
     table12,
+    study_digest,
 )
 from repro.browser import BrowserConfig, ChromiumBrowser, ConnectionPool, Visit
+from repro.runtime import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    StageTimings,
+    ThreadExecutor,
+    make_executor,
+)
 from repro.core import (
     Cause,
     CorpusReport,
@@ -97,6 +110,9 @@ __all__ = [
     # crawl / dns study / web
     "AlexaCrawler", "HttpArchiveCrawler", "DnsLoadBalancingStudy",
     "Ecosystem", "EcosystemConfig",
+    # runtime
+    "Executor", "SerialExecutor", "ThreadExecutor", "ProcessExecutor",
+    "StageTimings", "make_executor", "study_digest",
     # extensions
     "InternalPagesComparison", "compare_landing_vs_internal",
     "generate_report", "write_report", "Scorecard", "validate_study",

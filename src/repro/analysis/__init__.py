@@ -5,6 +5,7 @@ from repro.analysis.ablation import (
     MitigationOutcome,
     compare_mitigations,
 )
+from repro.analysis.digest import dataset_digest, study_digest
 from repro.analysis.figures import Figure2Result, Figure3Result, figure2, figure3
 from repro.analysis.headline import HeadlineStats, headline
 from repro.analysis.study import DATASET_LABELS, Study, StudyConfig
@@ -29,6 +30,8 @@ __all__ = [
     "MitigationComparison",
     "MitigationOutcome",
     "compare_mitigations",
+    "dataset_digest",
+    "study_digest",
     "Figure2Result",
     "Figure3Result",
     "figure2",

@@ -1,0 +1,92 @@
+"""Content digests over study results.
+
+``study_digest`` hashes every classified dataset down to the individual
+session-record level, so two studies digest equal **iff** their
+measurement outputs are identical.  This is the anchor of the
+determinism suite: serial, thread and process executors must produce
+the same digest for the same seed, and different seeds must diverge.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING
+
+from repro.core.classifier import SiteClassification
+from repro.core.session import SessionRecord
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.study import Study
+    from repro.crawl.classify import ClassifiedDataset
+
+__all__ = ["study_digest", "dataset_digest"]
+
+
+def _record_key(record: SessionRecord) -> tuple:
+    return (
+        record.connection_id,
+        record.domain,
+        record.ip,
+        record.port,
+        record.sans,
+        record.issuer,
+        record.start,
+        record.end,
+        record.protocol,
+        record.privacy_mode,
+        tuple(
+            (
+                request.domain,
+                request.status,
+                request.finished_at,
+                request.with_credentials,
+                request.body_size,
+                request.path,
+                request.method,
+            )
+            for request in record.requests
+        ),
+    )
+
+
+def _classification_key(classification: SiteClassification) -> tuple:
+    return (
+        classification.site,
+        tuple(_record_key(record) for record in classification.records),
+        tuple(
+            (
+                hit.cause.value,
+                hit.record.connection_id,
+                hit.previous.connection_id,
+            )
+            for hit in classification.hits
+        ),
+    )
+
+
+def _feed(hasher, dataset: "ClassifiedDataset") -> None:
+    hasher.update(repr((dataset.name, dataset.model.value)).encode())
+    for site in sorted(dataset.classifications):
+        key = _classification_key(dataset.classifications[site])
+        hasher.update(repr(key).encode())
+
+
+def dataset_digest(dataset: "ClassifiedDataset") -> str:
+    """Hex digest of one dataset's full classified content."""
+    hasher = hashlib.blake2b(digest_size=16)
+    _feed(hasher, dataset)
+    return hasher.hexdigest()
+
+
+def study_digest(study: "Study") -> str:
+    """Hex digest over all of a study's classified datasets.
+
+    Byte-identical datasets — every record of every site of every
+    dataset, plus the classifier's verdicts — produce the same digest;
+    any divergence (ordering, timing, RNG drift) changes it.
+    """
+    hasher = hashlib.blake2b(digest_size=16)
+    for key in sorted(study.datasets):
+        hasher.update(repr(key).encode())
+        _feed(hasher, study.datasets[key])
+    return hasher.hexdigest()

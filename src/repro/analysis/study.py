@@ -29,6 +29,7 @@ from repro.crawl.httparchive import HarCorpus, HttpArchiveCrawler
 from repro.crawl.overlap import overlap_datasets
 from repro.core.session import LifetimeModel
 from repro.dnsstudy.study import DnsLoadBalancingStudy, DnsStudyResult
+from repro.runtime import Executor, StageTimings, make_executor, null_timings
 from repro.web.ecosystem import Ecosystem, EcosystemConfig
 
 __all__ = ["StudyConfig", "Study", "DATASET_LABELS"]
@@ -58,6 +59,16 @@ class StudyConfig:
     #: Simulated duration of the DNS study.
     dns_study_days: float = 2.0
     ecosystem_overrides: dict = field(default_factory=dict)
+    #: Execution substrate for the per-site pipeline stages: "serial",
+    #: "thread" or "process", optionally with a worker count
+    #: ("process:8").  Results are executor-independent by construction;
+    #: only wall-clock time changes.
+    executor: str = "serial"
+    #: Worker count for pool executors (None: picked per machine).
+    parallelism: int | None = None
+
+    def make_executor(self) -> "Executor":
+        return make_executor(self.executor, self.parallelism)
 
     def ecosystem_config(self) -> EcosystemConfig:
         return EcosystemConfig(
@@ -73,6 +84,8 @@ class StudyConfig:
             ha_sample_share=self.ha_sample_share,
             dns_study_days=0.25,
             ecosystem_overrides=dict(self.ecosystem_overrides),
+            executor=self.executor,
+            parallelism=self.parallelism,
         )
 
 
@@ -87,59 +100,96 @@ class Study:
     alexa_nofetch_run: AlexaRun
     alexa_common_sites: list[str]
     datasets: dict[str, ClassifiedDataset]
+    timings: StageTimings = field(default_factory=null_timings)
 
     @classmethod
-    def run(cls, config: StudyConfig | None = None) -> "Study":
-        """Execute the full pipeline for ``config``."""
+    def run(
+        cls,
+        config: StudyConfig | None = None,
+        *,
+        executor: Executor | None = None,
+        timings: StageTimings | None = None,
+    ) -> "Study":
+        """Execute the full pipeline for ``config``.
+
+        ``executor`` overrides the config's executor spec; ``timings``
+        (see :mod:`repro.runtime.profile`) records per-stage wall time.
+        """
         config = config or StudyConfig()
-        ecosystem = Ecosystem.generate(config.ecosystem_config())
+        owns_executor = executor is None
+        executor = executor if executor is not None else config.make_executor()
+        timings = timings if timings is not None else null_timings()
+        try:
+            return cls._run(config, executor, timings)
+        finally:
+            if owns_executor:
+                executor.close()
+
+    @classmethod
+    def _run(
+        cls, config: StudyConfig, executor: Executor, timings: StageTimings
+    ) -> "Study":
+        with timings.stage("generate-ecosystem", items=config.n_sites):
+            ecosystem = Ecosystem.generate(config.ecosystem_config())
         asdb = ecosystem.asdb
 
         ha_crawler = HttpArchiveCrawler(ecosystem=ecosystem, seed=config.seed + 100)
         ha_domains = ecosystem.httparchive_sample(
             config.ha_sample_share, seed=config.seed + 1
         )
-        har_corpus = ha_crawler.crawl(ha_domains)
+        with timings.stage("crawl-httparchive", items=len(ha_domains)):
+            har_corpus = ha_crawler.crawl(ha_domains, executor=executor)
 
         alexa_count = max(1, int(config.n_sites * config.alexa_share))
         alexa_domains = ecosystem.alexa_list(alexa_count)
         alexa_crawler = AlexaCrawler(ecosystem=ecosystem, seed=config.seed + 200)
-        alexa_run = alexa_crawler.run(alexa_domains, run_name="alexa-fetch")
-        alexa_nofetch = alexa_crawler.run(
-            alexa_domains,
-            run_name="alexa-nofetch",
-            ignore_privacy_mode=True,
-            run_offset=500_000.0,
-        )
+        with timings.stage("crawl-alexa-fetch", items=len(alexa_domains)):
+            alexa_run = alexa_crawler.run(
+                alexa_domains, run_name="alexa-fetch", executor=executor
+            )
+        with timings.stage("crawl-alexa-nofetch", items=len(alexa_domains)):
+            alexa_nofetch = alexa_crawler.run(
+                alexa_domains,
+                run_name="alexa-nofetch",
+                ignore_privacy_mode=True,
+                run_offset=500_000.0,
+                executor=executor,
+            )
         # "We review the intersection of websites for comparability."
         common = sorted(
             set(alexa_run.reachable_sites) & set(alexa_nofetch.reachable_sites)
         )
 
-        datasets = {
-            "har-endless": har_corpus.classify(
-                model=LifetimeModel.ENDLESS, asdb=asdb, name="har-endless"
-            ),
-            "har-immediate": har_corpus.classify(
-                model=LifetimeModel.IMMEDIATE, asdb=asdb, name="har-immediate"
-            ),
-            "alexa-endless": alexa_run.classify(
-                model=LifetimeModel.ENDLESS, asdb=asdb,
-                name="alexa-endless", sites=common,
-            ),
-            "alexa": alexa_run.classify(
-                model=LifetimeModel.ACTUAL, asdb=asdb, name="alexa", sites=common
-            ),
-            "alexa-nofetch": alexa_nofetch.classify(
-                model=LifetimeModel.ACTUAL, asdb=asdb,
-                name="alexa-nofetch", sites=common,
-            ),
-        }
-        har_overlap, alexa_overlap = overlap_datasets(
-            datasets["har-endless"], datasets["alexa-endless"]
-        )
-        datasets["har-overlap"] = har_overlap
-        datasets["alexa-overlap"] = alexa_overlap
+        n_classified = 2 * len(har_corpus.hars) + 3 * len(common)
+        with timings.stage("classify-datasets", items=n_classified):
+            datasets = {
+                "har-endless": har_corpus.classify(
+                    model=LifetimeModel.ENDLESS, asdb=asdb,
+                    name="har-endless", executor=executor,
+                ),
+                "har-immediate": har_corpus.classify(
+                    model=LifetimeModel.IMMEDIATE, asdb=asdb,
+                    name="har-immediate", executor=executor,
+                ),
+                "alexa-endless": alexa_run.classify(
+                    model=LifetimeModel.ENDLESS, asdb=asdb,
+                    name="alexa-endless", sites=common, executor=executor,
+                ),
+                "alexa": alexa_run.classify(
+                    model=LifetimeModel.ACTUAL, asdb=asdb,
+                    name="alexa", sites=common, executor=executor,
+                ),
+                "alexa-nofetch": alexa_nofetch.classify(
+                    model=LifetimeModel.ACTUAL, asdb=asdb,
+                    name="alexa-nofetch", sites=common, executor=executor,
+                ),
+            }
+        with timings.stage("overlap"):
+            har_overlap, alexa_overlap = overlap_datasets(
+                datasets["har-endless"], datasets["alexa-endless"]
+            )
+            datasets["har-overlap"] = har_overlap
+            datasets["alexa-overlap"] = alexa_overlap
 
         return cls(
             config=config,
@@ -149,6 +199,7 @@ class Study:
             alexa_nofetch_run=alexa_nofetch,
             alexa_common_sites=common,
             datasets=datasets,
+            timings=timings,
         )
 
     # ------------------------------------------------------------------
@@ -182,13 +233,11 @@ class Study:
         lifetimes = []
         for domain in self.alexa_common_sites:
             measurement = self.alexa_run.measurements[domain]
-            if measurement.netlog is None:
+            goaway_ids = set(measurement.goaway_connection_ids)
+            if not goaway_ids:
                 continue
-            from repro.netlog.parser import parse_sessions
-
-            parsed = parse_sessions(measurement.netlog)
-            for record in parsed.records:
-                if record.connection_id in parsed.goaway_sessions:
+            for record in measurement.records:
+                if record.connection_id in goaway_ids:
                     lifetime = record.lifetime()
                     if lifetime is not None:
                         lifetimes.append(lifetime)

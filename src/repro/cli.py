@@ -4,12 +4,15 @@ Usage (after ``pip install -e .``)::
 
     python -m repro study --sites 400 --table 1 --headline
     python -m repro study --sites 400 --table all --figure 2
+    python -m repro study --sites 2000 --executor process --jobs 8 --profile
     python -m repro audit site000004.com --sites 150
     python -m repro dnsstudy --days 2
     python -m repro mitigations --sites 200
     python -m repro perf --sites 300
 
-Every command is deterministic given ``--seed``.
+Every command is deterministic given ``--seed`` — including under
+``--executor thread`` / ``--executor process``, which change only
+wall-clock time (see :mod:`repro.runtime`).
 """
 
 from __future__ import annotations
@@ -19,6 +22,42 @@ import random
 import sys
 
 __all__ = ["build_parser", "main"]
+
+
+def _add_runtime_args(parser: argparse.ArgumentParser) -> None:
+    """Executor knobs shared by every study-running command."""
+    parser.add_argument(
+        "--executor", default="serial",
+        help="execution substrate: serial, thread or process, "
+             "optionally with workers (e.g. process:8)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker count for thread/process executors",
+    )
+
+
+def _study_from_args(args):
+    """Run the full study as configured by the common CLI flags."""
+    from repro.analysis.study import Study, StudyConfig
+    from repro.runtime import StageTimings, null_timings
+
+    timings = (
+        StageTimings() if getattr(args, "profile", False) else null_timings()
+    )
+    config = StudyConfig(
+        seed=args.seed,
+        n_sites=args.sites,
+        executor=args.executor,
+        parallelism=args.jobs,
+    )
+    try:
+        executor = config.make_executor()
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        raise SystemExit(2)
+    with executor:
+        return Study.run(config, executor=executor, timings=timings)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -36,6 +75,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="table number 1-12, or 'all'")
     study.add_argument("--figure", type=int, choices=(2, 3), default=None)
     study.add_argument("--headline", action="store_true")
+    study.add_argument("--profile", action="store_true",
+                       help="print per-stage wall-clock timings")
+    _add_runtime_args(study)
 
     audit = commands.add_parser("audit", help="audit one site's connections")
     audit.add_argument("domain", nargs="?", default=None)
@@ -52,25 +94,27 @@ def build_parser() -> argparse.ArgumentParser:
     perf = commands.add_parser("perf",
                                help="performance impact of redundancy")
     perf.add_argument("--sites", type=int, default=300)
+    _add_runtime_args(perf)
 
     report = commands.add_parser(
         "report", help="write the full evaluation report (Markdown)"
     )
     report.add_argument("output", help="output .md path")
     report.add_argument("--sites", type=int, default=400)
+    _add_runtime_args(report)
 
     validate = commands.add_parser(
         "validate", help="check the study against the paper's claims"
     )
     validate.add_argument("--sites", type=int, default=400)
+    _add_runtime_args(validate)
     return parser
 
 
 def _cmd_study(args) -> int:
-    from repro.analysis import ALL_TABLES, Study, StudyConfig, figure2, \
-        figure3, headline
+    from repro.analysis import ALL_TABLES, figure2, figure3, headline
 
-    study = Study.run(StudyConfig(seed=args.seed, n_sites=args.sites))
+    study = _study_from_args(args)
     shown = False
     if args.table:
         names = sorted(ALL_TABLES) if args.table == "all" else [
@@ -91,6 +135,9 @@ def _cmd_study(args) -> int:
         shown = True
     if args.headline or not shown:
         print(headline(study).render())
+    if args.profile:
+        print()
+        print(study.timings.render())
     return 0
 
 
@@ -151,10 +198,9 @@ def _cmd_mitigations(args) -> int:
 
 
 def _cmd_perf(args) -> int:
-    from repro.analysis.study import Study, StudyConfig
     from repro.perf.corpus import corpus_impact
 
-    study = Study.run(StudyConfig(seed=args.seed, n_sites=args.sites))
+    study = _study_from_args(args)
     for key in ("har-endless", "alexa"):
         impact = corpus_impact(study.dataset(key), {})
         print(impact.render())
@@ -164,19 +210,17 @@ def _cmd_perf(args) -> int:
 
 def _cmd_report(args) -> int:
     from repro.analysis.report import write_report
-    from repro.analysis.study import Study, StudyConfig
 
-    study = Study.run(StudyConfig(seed=args.seed, n_sites=args.sites))
+    study = _study_from_args(args)
     path = write_report(study, args.output)
     print(f"report written to {path}")
     return 0
 
 
 def _cmd_validate(args) -> int:
-    from repro.analysis.study import Study, StudyConfig
     from repro.analysis.validation import validate_study
 
-    study = Study.run(StudyConfig(seed=args.seed, n_sites=args.sites))
+    study = _study_from_args(args)
     scorecard = validate_study(study)
     print(scorecard.render())
     return 0 if scorecard.all_passed else 1

@@ -11,11 +11,15 @@ A small share of sites is unreachable per run (the paper found ~18 k of
 100 k); unreachability is mostly site-persistent with a transient
 component, so the two runs' reachable sets overlap almost completely
 (the paper reviews "the intersection of websites for comparability").
+
+As with the HTTP Archive crawl, sites are measured independently — each
+gets its own time slot, browser and RNG streams derived from
+``(seed, run, domain)`` — so a run maps over any
+:class:`~repro.runtime.Executor` without changing its output.
 """
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 
 from repro.browser.browser import BrowserConfig, ChromiumBrowser
@@ -23,9 +27,10 @@ from repro.crawl.classify import ClassifiedDataset, classify_dataset
 from repro.core.session import LifetimeModel, SessionRecord
 from repro.netlog.events import NetLog
 from repro.netlog.parser import parse_sessions
+from repro.runtime import Executor, SerialExecutor, ecosystem_for, prime_ecosystem
 from repro.util.clock import SimClock
 from repro.util.rng import RngFactory, stable_hash
-from repro.web.ecosystem import Ecosystem
+from repro.web.ecosystem import Ecosystem, EcosystemConfig
 
 __all__ = ["AlexaMeasurement", "AlexaRun", "AlexaCrawler"]
 
@@ -37,7 +42,74 @@ class AlexaMeasurement:
     domain: str
     unreachable: bool
     records: list[SessionRecord] = field(default_factory=list)
+    #: Connections the server closed early with a GOAWAY (extracted from
+    #: the NetLog at crawl time, so the log itself need not be kept).
+    goaway_connection_ids: tuple[int, ...] = ()
+    #: The raw NetLog; only retained under ``AlexaCrawler.keep_netlogs``
+    #: — shipping full logs back from pool workers dwarfs the cost of
+    #: the visit itself.
     netlog: NetLog | None = None
+
+
+@dataclass(frozen=True)
+class _AlexaSiteTask:
+    """Everything one worker needs to measure one site in one run."""
+
+    ecosystem_config: EcosystemConfig
+    seed: int
+    run_name: str
+    domain: str
+    start_time: float
+    vantage_country: str
+    ignore_privacy_mode: bool
+    honor_origin_frame: bool
+    observe_s: float
+    permanent_unreachable_share: float
+    transient_unreachable_share: float
+    keep_netlog: bool
+
+
+def _permanently_down(seed: int, domain: str, share: float) -> bool:
+    """Site-persistent unreachability: run-independent, seed-stable."""
+    return stable_hash("down", seed, domain) % 10_000 < share * 10_000
+
+
+def _measure_one_site(task: _AlexaSiteTask) -> AlexaMeasurement:
+    """One Browsertime-style visit (runs inside an executor worker)."""
+    permanently_down = _permanently_down(
+        task.seed, task.domain, task.permanent_unreachable_share
+    )
+    rng = RngFactory(stable_hash(task.seed, task.run_name, "site", task.domain))
+    transient = (
+        rng.stream("transient").random() < task.transient_unreachable_share
+    )
+    if permanently_down or transient:
+        return AlexaMeasurement(domain=task.domain, unreachable=True)
+
+    ecosystem = ecosystem_for(task.ecosystem_config)
+    browser = ChromiumBrowser(
+        ecosystem=ecosystem,
+        resolver=ecosystem.make_resolver("internal"),
+        clock=SimClock(task.start_time),
+        rng=rng.stream("browser"),
+        config=BrowserConfig(
+            vantage_country=task.vantage_country,
+            ignore_privacy_mode=task.ignore_privacy_mode,
+            honor_origin_frame=task.honor_origin_frame,
+            observe_s=task.observe_s,
+        ),
+    )
+    visit = browser.visit(task.domain)
+    if visit.unreachable:
+        return AlexaMeasurement(domain=task.domain, unreachable=True)
+    parsed = parse_sessions(visit.netlog)
+    return AlexaMeasurement(
+        domain=task.domain,
+        unreachable=False,
+        records=parsed.records,
+        goaway_connection_ids=tuple(sorted(parsed.goaway_sessions)),
+        netlog=visit.netlog if task.keep_netlog else None,
+    )
 
 
 @dataclass
@@ -62,7 +134,7 @@ class AlexaRun:
 
     def classify(
         self, *, model: LifetimeModel, asdb=None, name: str | None = None,
-        sites: list[str] | None = None,
+        sites: list[str] | None = None, executor: Executor | None = None,
     ) -> ClassifiedDataset:
         """Classify (a subset of) the run under ``model``."""
         chosen = sites if sites is not None else self.reachable_sites
@@ -77,6 +149,7 @@ class AlexaRun:
             site_records,
             model=model,
             asdb=asdb,
+            executor=executor,
         )
 
 
@@ -93,11 +166,19 @@ class AlexaCrawler:
     permanent_unreachable_share: float = 0.04
     #: Per-run transient failures (timeouts).
     transient_unreachable_share: float = 0.01
+    #: Retain each visit's raw NetLog on the measurement.  The study
+    #: pipeline only needs the parsed records and GOAWAY ids, so logs
+    #: are dropped by default.
+    keep_netlogs: bool = False
+
+    @property
+    def site_slot_s(self) -> float:
+        """Simulated time reserved per site in a run."""
+        return self.observe_s + 10.0
 
     def _permanently_down(self, domain: str) -> bool:
-        return (
-            stable_hash("down", self.seed, domain) % 10_000
-            < self.permanent_unreachable_share * 10_000
+        return _permanently_down(
+            self.seed, domain, self.permanent_unreachable_share
         )
 
     def run(
@@ -108,46 +189,29 @@ class AlexaCrawler:
         ignore_privacy_mode: bool = False,
         honor_origin_frame: bool = False,
         run_offset: float = 0.0,
+        executor: Executor | None = None,
     ) -> AlexaRun:
         """One crawl over ``domains`` with the given browser patch."""
-        rng = RngFactory(stable_hash(self.seed, run_name))
-        clock = SimClock(self.start_time + run_offset)
-        resolver = self.ecosystem.make_resolver("internal")
-        browser = ChromiumBrowser(
-            ecosystem=self.ecosystem,
-            resolver=resolver,
-            clock=clock,
-            rng=rng.stream("browser"),
-            config=BrowserConfig(
+        executor = executor or SerialExecutor()
+        prime_ecosystem(self.ecosystem)
+        tasks = [
+            _AlexaSiteTask(
+                ecosystem_config=self.ecosystem.config,
+                seed=self.seed,
+                run_name=run_name,
+                domain=domain,
+                start_time=self.start_time + run_offset + index * self.site_slot_s,
                 vantage_country=self.vantage_country,
                 ignore_privacy_mode=ignore_privacy_mode,
                 honor_origin_frame=honor_origin_frame,
                 observe_s=self.observe_s,
-            ),
-        )
-        transient_rng = rng.stream("transient")
-        gap_rng = rng.stream("gaps")
-        run = AlexaRun(name=run_name, ignore_privacy_mode=ignore_privacy_mode)
-        for domain in domains:
-            if self._permanently_down(domain) or (
-                transient_rng.random() < self.transient_unreachable_share
-            ):
-                run.measurements[domain] = AlexaMeasurement(
-                    domain=domain, unreachable=True
-                )
-                continue
-            visit = browser.visit(domain)
-            if visit.unreachable:
-                run.measurements[domain] = AlexaMeasurement(
-                    domain=domain, unreachable=True
-                )
-                continue
-            parsed = parse_sessions(visit.netlog)
-            run.measurements[domain] = AlexaMeasurement(
-                domain=domain,
-                unreachable=False,
-                records=parsed.records,
-                netlog=visit.netlog,
+                permanent_unreachable_share=self.permanent_unreachable_share,
+                transient_unreachable_share=self.transient_unreachable_share,
+                keep_netlog=self.keep_netlogs,
             )
-            clock.advance(gap_rng.uniform(1.0, 5.0))
+            for index, domain in enumerate(domains)
+        ]
+        run = AlexaRun(name=run_name, ignore_privacy_mode=ignore_privacy_mode)
+        for measurement in executor.map_sites(_measure_one_site, tasks):
+            run.measurements[measurement.domain] = measurement
         return run

@@ -16,8 +16,9 @@ from repro.core.classifier import SiteClassification, classify_site
 from repro.core.report import CorpusReport
 from repro.core.session import LifetimeModel, SessionRecord
 from repro.net.asdb import AsDatabase
+from repro.runtime import Executor, SerialExecutor
 
-__all__ = ["ClassifiedDataset", "classify_dataset"]
+__all__ = ["ClassifiedDataset", "classify_dataset", "aggregate_classifications"]
 
 
 @dataclass
@@ -52,19 +53,32 @@ class ClassifiedDataset:
         return out
 
 
-def classify_dataset(
+def _classify_item(
+    item: tuple[str, list[SessionRecord], str],
+) -> SiteClassification:
+    """Classify one site (runs inside an executor worker)."""
+    site, records, model_value = item
+    return classify_site(site, records, model=LifetimeModel(model_value))
+
+
+def aggregate_classifications(
     name: str,
-    site_records: dict[str, list[SessionRecord]],
-    *,
     model: LifetimeModel,
+    site_classifications: Iterable[tuple[str, SiteClassification]],
+    *,
     asdb: AsDatabase | None = None,
 ) -> ClassifiedDataset:
-    """Classify every site of a corpus and aggregate."""
+    """Fold per-site classifications into one dataset.
+
+    Aggregation is cheap and order-sensitive only in its iteration
+    order, so it always runs serially in the caller, in the order the
+    sites were submitted — which keeps the result independent of the
+    executor that produced the classifications.
+    """
     report = CorpusReport(name=name)
     attribution = AttributionIndex()
     classifications: dict[str, SiteClassification] = {}
-    for site, records in site_records.items():
-        classification = classify_site(site, records, model=model)
+    for site, classification in site_classifications:
         classifications[site] = classification
         report.add_site(classification)
         attribution.add_site(classification)
@@ -76,4 +90,22 @@ def classify_dataset(
         report=report,
         attribution=attribution,
         classifications=classifications,
+    )
+
+
+def classify_dataset(
+    name: str,
+    site_records: dict[str, list[SessionRecord]],
+    *,
+    model: LifetimeModel,
+    asdb: AsDatabase | None = None,
+    executor: Executor | None = None,
+) -> ClassifiedDataset:
+    """Classify every site of a corpus and aggregate."""
+    executor = executor or SerialExecutor()
+    sites = list(site_records)
+    items = [(site, site_records[site], model.value) for site in sites]
+    classified = executor.map_sites(_classify_item, items)
+    return aggregate_classifications(
+        name, model, zip(sites, classified), asdb=asdb
     )

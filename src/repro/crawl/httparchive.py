@@ -7,6 +7,11 @@ HTTP Archive crawls from US data centres, which is one of the
 vantage-point differences the paper discusses in Appendix A.3/A.4),
 injecting the §4.3 logging inconsistencies that the reader later
 filters.
+
+Sites are crawled independently: each gets its own time slot, browser
+and RNG streams derived from ``(seed, domain)``, so the crawl can run
+through any :class:`~repro.runtime.Executor` and produce identical
+output.
 """
 
 from __future__ import annotations
@@ -14,16 +19,76 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.browser.browser import BrowserConfig, ChromiumBrowser
-from repro.crawl.classify import ClassifiedDataset, classify_dataset
+from repro.crawl.classify import ClassifiedDataset, aggregate_classifications
+from repro.core.classifier import SiteClassification, classify_site
 from repro.core.session import LifetimeModel
 from repro.har.model import HarFile
 from repro.har.reader import FilterStats, read_sessions
 from repro.har.writer import HarNoiseConfig, write_har
+from repro.runtime import Executor, SerialExecutor, ecosystem_for, prime_ecosystem
 from repro.util.clock import SimClock
-from repro.util.rng import RngFactory
-from repro.web.ecosystem import Ecosystem
+from repro.util.rng import RngFactory, stable_hash
+from repro.web.ecosystem import Ecosystem, EcosystemConfig
 
 __all__ = ["HarCorpus", "HttpArchiveCrawler"]
+
+
+@dataclass(frozen=True)
+class _HaSiteTask:
+    """Everything one worker needs to crawl one site."""
+
+    ecosystem_config: EcosystemConfig
+    seed: int
+    domain: str
+    start_time: float
+    vantage_country: str
+    noise: HarNoiseConfig
+    loads_per_site: int
+    observe_s: float
+
+
+def _crawl_one_site(task: _HaSiteTask) -> tuple[str, HarFile | None]:
+    """Visit one site ``loads_per_site`` times; keep the median HAR."""
+    ecosystem = ecosystem_for(task.ecosystem_config)
+    rng = RngFactory(stable_hash(task.seed, "ha-site", task.domain))
+    clock = SimClock(task.start_time)
+    browser = ChromiumBrowser(
+        ecosystem=ecosystem,
+        resolver=ecosystem.make_resolver("httparchive-crux"),
+        clock=clock,
+        rng=rng.stream("browser"),
+        config=BrowserConfig(
+            vantage_country=task.vantage_country, observe_s=task.observe_s
+        ),
+    )
+    gap_rng = rng.stream("gaps")
+    visits = []
+    for _ in range(task.loads_per_site):
+        visit = browser.visit(task.domain)
+        if visit.unreachable:
+            break
+        visits.append(visit)
+        clock.advance(gap_rng.uniform(1.0, 5.0))
+    if not visits:
+        return task.domain, None
+    # Median of three by onLoad time, like the HTTP Archive.
+    visits.sort(key=lambda visit: visit.load.load_time)
+    median_visit = visits[len(visits) // 2]
+    return task.domain, write_har(
+        median_visit, noise=task.noise, rng=rng.stream("har-noise")
+    )
+
+
+def _sanitize_and_classify(
+    item: tuple[str, HarFile, str],
+) -> tuple[str, SiteClassification, FilterStats]:
+    """Worker-side §4.3 sanitisation + §4.1 classification of one HAR."""
+    site, har, model_value = item
+    result = read_sessions(har)
+    classification = classify_site(
+        site, result.records, model=LifetimeModel(model_value)
+    )
+    return site, classification, result.stats
 
 
 @dataclass
@@ -35,19 +100,22 @@ class HarCorpus:
     unreachable: list[str] = field(default_factory=list)
 
     def classify(
-        self, *, model: LifetimeModel, asdb=None, name: str | None = None
+        self, *, model: LifetimeModel, asdb=None, name: str | None = None,
+        executor: Executor | None = None,
     ) -> ClassifiedDataset:
         """Sanitize all HARs and classify under ``model``."""
+        executor = executor or SerialExecutor()
+        items = [
+            (site, har, model.value) for site, har in self.hars.items()
+        ]
+        outcomes = executor.map_sites(_sanitize_and_classify, items)
         stats = FilterStats()
-        site_records = {}
-        for site, har in self.hars.items():
-            result = read_sessions(har)
-            stats.merge(result.stats)
-            site_records[site] = result.records
-        dataset = classify_dataset(
+        for _, _, site_stats in outcomes:
+            stats.merge(site_stats)
+        dataset = aggregate_classifications(
             name or f"{self.name}-{model.value}",
-            site_records,
-            model=model,
+            model,
+            [(site, classification) for site, classification, _ in outcomes],
             asdb=asdb,
         )
         dataset.filter_stats = stats  # type: ignore[attr-defined]
@@ -66,40 +134,37 @@ class HttpArchiveCrawler:
     loads_per_site: int = 3
     observe_s: float = 300.0
 
-    def crawl(self, domains: list[str] | None = None) -> HarCorpus:
+    @property
+    def site_slot_s(self) -> float:
+        """Simulated time reserved per site (visits + inter-load gaps)."""
+        return self.loads_per_site * (self.observe_s + 5.0) + 10.0
+
+    def crawl(
+        self, domains: list[str] | None = None,
+        *, executor: Executor | None = None,
+    ) -> HarCorpus:
         """Crawl ``domains`` (default: the ecosystem's CrUX-like sample)."""
         if domains is None:
             domains = self.ecosystem.httparchive_sample(seed=self.seed)
-        rng = RngFactory(self.seed)
-        clock = SimClock(self.start_time)
-        resolver = self.ecosystem.make_resolver("httparchive-crux")
-        browser = ChromiumBrowser(
-            ecosystem=self.ecosystem,
-            resolver=resolver,
-            clock=clock,
-            rng=rng.stream("browser"),
-            config=BrowserConfig(
-                vantage_country=self.vantage_country, observe_s=self.observe_s
-            ),
-        )
-        gap_rng = rng.stream("gaps")
-        noise_rng = rng.stream("har-noise")
-        corpus = HarCorpus(name="httparchive")
-        for domain in domains:
-            visits = []
-            for _ in range(self.loads_per_site):
-                visit = browser.visit(domain)
-                if visit.unreachable:
-                    break
-                visits.append(visit)
-                clock.advance(gap_rng.uniform(1.0, 5.0))
-            if not visits:
-                corpus.unreachable.append(domain)
-                continue
-            # Median of three by onLoad time, like the HTTP Archive.
-            visits.sort(key=lambda visit: visit.load.load_time)
-            median_visit = visits[len(visits) // 2]
-            corpus.hars[domain] = write_har(
-                median_visit, noise=self.noise, rng=noise_rng
+        executor = executor or SerialExecutor()
+        prime_ecosystem(self.ecosystem)
+        tasks = [
+            _HaSiteTask(
+                ecosystem_config=self.ecosystem.config,
+                seed=self.seed,
+                domain=domain,
+                start_time=self.start_time + index * self.site_slot_s,
+                vantage_country=self.vantage_country,
+                noise=self.noise,
+                loads_per_site=self.loads_per_site,
+                observe_s=self.observe_s,
             )
+            for index, domain in enumerate(domains)
+        ]
+        corpus = HarCorpus(name="httparchive")
+        for domain, har in executor.map_sites(_crawl_one_site, tasks):
+            if har is None:
+                corpus.unreachable.append(domain)
+            else:
+                corpus.hars[domain] = har
         return corpus

@@ -1,0 +1,40 @@
+"""The execution substrate: pluggable site-parallel executors.
+
+Every stage of the study pipeline that folds over independent sites —
+the HTTP Archive crawl, the two Alexa crawls, dataset classification —
+is expressed as one call to :meth:`Executor.map_sites`.  Swapping the
+executor (serial, thread pool, process pool) changes only wall-clock
+time, never results: per-site work is seeded from ``(seed, site)`` so
+the outcome is independent of scheduling order, which the determinism
+suite locks in with a study digest.
+
+The contract covers study *output* — datasets, records, renders,
+digests.  Host-side diagnostic counters on the shared world (e.g.
+``OriginServer.requests_served``) are not part of it: process workers
+increment their forked copies and thread workers race on them, so they
+are only meaningful after single-threaded use.
+"""
+
+from repro.runtime.executor import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    chunk_items,
+    make_executor,
+)
+from repro.runtime.profile import StageTimings, null_timings
+from repro.runtime.worker import ecosystem_for, prime_ecosystem
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "chunk_items",
+    "make_executor",
+    "StageTimings",
+    "null_timings",
+    "ecosystem_for",
+    "prime_ecosystem",
+]

@@ -1,0 +1,231 @@
+"""Pluggable executors for per-site fan-out.
+
+The contract of :meth:`Executor.map_sites` is deliberately narrow:
+
+* ``fn`` is a pure function of one item (for :class:`ProcessExecutor`
+  it must be picklable, i.e. defined at module level);
+* results come back **in input order**, regardless of which worker
+  finished first;
+* an empty item list yields an empty result list;
+* exceptions raised by ``fn`` propagate to the caller.
+
+Those four properties are what let the crawl and classification stages
+swap executors without changing a single byte of study output.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from abc import ABC, abstractmethod
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Iterator, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "chunk_items",
+    "make_executor",
+]
+
+
+def default_workers() -> int:
+    """A sensible worker count for this machine."""
+    return max(2, min(8, os.cpu_count() or 2))
+
+
+def chunk_items(items: Sequence[T], chunk_size: int) -> list[list[T]]:
+    """Split ``items`` into ordered chunks of at most ``chunk_size``.
+
+    A ``chunk_size`` larger than the input yields a single chunk; an
+    empty input yields no chunks at all.
+    """
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    return [
+        list(items[start:start + chunk_size])
+        for start in range(0, len(items), chunk_size)
+    ]
+
+
+def _run_chunk(fn: Callable[[T], R], chunk: list[T]) -> list[R]:
+    """Apply ``fn`` to one chunk (executes inside a worker)."""
+    return [fn(item) for item in chunk]
+
+
+class Executor(ABC):
+    """Maps a function over independent per-site work items."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def map_sites(
+        self, fn: Callable[[T], R], items: Sequence[T],
+        *, chunk_size: int | None = None,
+    ) -> list[R]:
+        """Apply ``fn`` to every item, returning results in input order."""
+
+    def close(self) -> None:
+        """Release worker resources (idempotent)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class SerialExecutor(Executor):
+    """Runs everything inline on the calling thread (the baseline)."""
+
+    name = "serial"
+
+    def map_sites(
+        self, fn: Callable[[T], R], items: Sequence[T],
+        *, chunk_size: int | None = None,
+    ) -> list[R]:
+        return [fn(item) for item in items]
+
+
+class _PoolExecutor(Executor):
+    """Shared chunk-submission logic for the pool-backed executors."""
+
+    def __init__(self, max_workers: int | None = None,
+                 chunk_size: int | None = None) -> None:
+        if max_workers is not None and max_workers <= 0:
+            raise ValueError(f"max_workers must be positive, got {max_workers}")
+        if chunk_size is not None and chunk_size <= 0:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        self.max_workers = max_workers if max_workers is not None \
+            else default_workers()
+        self.chunk_size = chunk_size
+        self._pool = None
+
+    def _make_pool(self):
+        raise NotImplementedError
+
+    def _effective_chunk_size(self, n_items: int) -> int:
+        if self.chunk_size is not None:
+            return self.chunk_size
+        # ~4 chunks per worker balances scheduling slack against
+        # per-chunk submission overhead.
+        return max(1, math.ceil(n_items / (self.max_workers * 4)))
+
+    def map_sites(
+        self, fn: Callable[[T], R], items: Sequence[T],
+        *, chunk_size: int | None = None,
+    ) -> list[R]:
+        items = list(items)
+        if not items:
+            return []
+        size = chunk_size if chunk_size is not None else (
+            self._effective_chunk_size(len(items))
+        )
+        chunks = chunk_items(items, size)
+        if self._pool is None:
+            self._pool = self._make_pool()
+        futures = [self._pool.submit(_run_chunk, fn, chunk) for chunk in chunks]
+        results: list[R] = []
+        for future in futures:
+            results.extend(future.result())
+        return results
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+
+class ThreadExecutor(_PoolExecutor):
+    """Thread-pool execution.
+
+    Python-level work stays GIL-bound, so this mostly helps stages that
+    release the GIL; it is also the cheapest way to exercise scheduling
+    nondeterminism in the determinism suite.
+    """
+
+    name = "thread"
+
+    def _make_pool(self):
+        return ThreadPoolExecutor(
+            max_workers=self.max_workers, thread_name_prefix="repro-site"
+        )
+
+
+class ProcessExecutor(_PoolExecutor):
+    """Process-pool execution with chunked site batches.
+
+    Workers are forked where the platform allows it, so the parent's
+    primed ecosystem cache (see :mod:`repro.runtime.worker`) is
+    inherited for free; under spawn/forkserver each worker regenerates
+    the world deterministically from its config on first use.
+    """
+
+    name = "process"
+
+    def _make_pool(self):
+        import multiprocessing
+
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            context = multiprocessing.get_context()
+        return ProcessPoolExecutor(
+            max_workers=self.max_workers, mp_context=context
+        )
+
+
+_EXECUTORS: dict[str, type[Executor]] = {
+    "serial": SerialExecutor,
+    "thread": ThreadExecutor,
+    "process": ProcessExecutor,
+}
+
+
+def executor_names() -> Iterator[str]:
+    """Names accepted by :func:`make_executor` (for CLI help)."""
+    return iter(_EXECUTORS)
+
+
+def make_executor(
+    spec: str | Executor | None = "serial",
+    workers: int | None = None,
+    *, chunk_size: int | None = None,
+) -> Executor:
+    """Build an executor from a spec string.
+
+    Accepts ``"serial"``, ``"thread"``, ``"process"``, optionally with a
+    worker count suffix (``"thread:8"``).  An :class:`Executor` instance
+    passes through unchanged; ``None`` means serial.
+    """
+    if spec is None:
+        return SerialExecutor()
+    if isinstance(spec, Executor):
+        return spec
+    name, _, suffix = spec.partition(":")
+    name = name.strip().lower()
+    if name not in _EXECUTORS:
+        raise ValueError(
+            f"unknown executor {spec!r}; expected one of {sorted(_EXECUTORS)}"
+        )
+    if suffix:
+        try:
+            workers = int(suffix)
+        except ValueError:
+            raise ValueError(f"bad worker count in executor spec {spec!r}")
+        if workers <= 0:
+            raise ValueError(f"worker count must be positive in {spec!r}")
+    elif workers is not None and workers <= 0:
+        raise ValueError(f"worker count must be positive, got {workers}")
+    cls = _EXECUTORS[name]
+    if cls is SerialExecutor:
+        return SerialExecutor()
+    return cls(max_workers=workers, chunk_size=chunk_size)

@@ -1,0 +1,93 @@
+"""Per-stage wall-clock instrumentation for the study pipeline.
+
+Simulated time (:mod:`repro.util.clock`) never touches the wall clock;
+this module is the opposite — it measures how long the *host* spends in
+each pipeline stage, so ``repro study --profile`` and the runtime
+benchmarks can show where executor parallelism pays off.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["StageTiming", "StageTimings", "null_timings"]
+
+
+@dataclass
+class StageTiming:
+    """One completed pipeline stage."""
+
+    name: str
+    seconds: float
+    items: int | None = None
+
+    @property
+    def items_per_second(self) -> float | None:
+        if self.items is None or self.seconds <= 0:
+            return None
+        return self.items / self.seconds
+
+
+@dataclass
+class StageTimings:
+    """Ordered wall-clock record of one pipeline run."""
+
+    enabled: bool = True
+    stages: list[StageTiming] = field(default_factory=list)
+
+    @contextmanager
+    def stage(self, name: str, *, items: int | None = None) -> Iterator[None]:
+        """Time one stage; a no-op when disabled."""
+        if not self.enabled:
+            yield
+            return
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.stages.append(
+                StageTiming(
+                    name=name,
+                    seconds=time.perf_counter() - started,
+                    items=items,
+                )
+            )
+
+    def record(self, name: str, seconds: float, *, items: int | None = None) -> None:
+        if self.enabled:
+            self.stages.append(StageTiming(name=name, seconds=seconds, items=items))
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(stage.seconds for stage in self.stages)
+
+    def seconds_for(self, name: str) -> float:
+        return sum(stage.seconds for stage in self.stages if stage.name == name)
+
+    def render(self) -> str:
+        """An aligned per-stage table for the CLI's ``--profile`` flag."""
+        if not self.stages:
+            return "Stage timings: (none recorded)"
+        width = max(len(stage.name) for stage in self.stages)
+        lines = ["Stage timings"]
+        for stage in self.stages:
+            rate = stage.items_per_second
+            suffix = ""
+            if stage.items is not None:
+                suffix = f"  ({stage.items} items"
+                if rate is not None:
+                    suffix += f", {rate:,.1f}/s"
+                suffix += ")"
+            lines.append(
+                f"  {stage.name:<{width}}  {stage.seconds:>8.3f} s{suffix}"
+            )
+        lines.append(f"  {'total':<{width}}  {self.total_seconds:>8.3f} s")
+        return "\n".join(lines)
+
+
+def null_timings() -> StageTimings:
+    """A disabled recorder for callers that do not profile."""
+    return StageTimings(enabled=False)

@@ -1,0 +1,38 @@
+"""Worker-side ecosystem resolution.
+
+Process-pool tasks cannot cheaply carry the whole synthetic world in
+their pickled arguments, and they do not need to: the world is a pure
+function of its :class:`~repro.web.ecosystem.EcosystemConfig`.  Tasks
+therefore carry only the config; workers resolve it through a
+per-process cache.  The driver primes the cache with the already-built
+parent ecosystem, so serial and thread executors (and forked process
+workers) never regenerate anything, while spawned workers rebuild the
+identical world once on first use.
+"""
+
+from __future__ import annotations
+
+from repro.web.ecosystem import Ecosystem, EcosystemConfig
+
+__all__ = ["ecosystem_for", "prime_ecosystem", "clear_ecosystem_cache"]
+
+_CACHE: dict[EcosystemConfig, Ecosystem] = {}
+
+
+def prime_ecosystem(ecosystem: Ecosystem) -> None:
+    """Register an already-built world under its config."""
+    _CACHE[ecosystem.config] = ecosystem
+
+
+def ecosystem_for(config: EcosystemConfig) -> Ecosystem:
+    """The world for ``config``, regenerated deterministically on miss."""
+    ecosystem = _CACHE.get(config)
+    if ecosystem is None:
+        ecosystem = Ecosystem.generate(config)
+        _CACHE[config] = ecosystem
+    return ecosystem
+
+
+def clear_ecosystem_cache() -> None:
+    """Drop all cached worlds (tests only)."""
+    _CACHE.clear()

@@ -43,6 +43,9 @@ class OriginServer:
     alt_svc_h3: bool = False
     origin_frame_origins: tuple[str, ...] = ()
     excluded_domains: set[str] = field(default_factory=set)
+    #: Diagnostic counters; unsynchronised, so only meaningful after
+    #: single-threaded use (pool workers mutate their own copies — see
+    #: the :mod:`repro.runtime` contract).
     requests_served: int = 0
     misdirected_responses: int = 0
 

@@ -1,0 +1,79 @@
+"""Golden-value regression tests.
+
+Live study output for ``StudyConfig(seed=7, n_sites=120)`` is diffed
+against the snapshots in ``tests/golden/``.  A failure here means some
+layer of the pipeline changed behaviour; if the change is intentional,
+regenerate and review the snapshots:
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+"""
+
+from __future__ import annotations
+
+import difflib
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.study import Study
+
+pytestmark = pytest.mark.golden
+
+_GOLDEN_DIR = Path(__file__).resolve().parents[1] / "golden"
+
+
+def _load_regenerate():
+    """Import tests/golden/regenerate.py (tests are not a package)."""
+    spec = importlib.util.spec_from_file_location(
+        "golden_regenerate", _GOLDEN_DIR / "regenerate.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("golden_regenerate", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def golden_artifacts() -> dict[str, str]:
+    """Live render of every golden artefact at the pinned config."""
+    regenerate = _load_regenerate()
+    study = Study.run(regenerate.golden_config())
+    return regenerate.render_artifacts(study)
+
+
+def _golden_names() -> list[str]:
+    names = sorted(
+        path.name for path in _GOLDEN_DIR.glob("*.txt")
+    )
+    assert names, "golden snapshots missing; run tests/golden/regenerate.py"
+    return names
+
+
+@pytest.mark.parametrize("name", _golden_names())
+def test_matches_snapshot(golden_artifacts, name):
+    expected = (_GOLDEN_DIR / name).read_text()
+    actual = golden_artifacts.get(name)
+    assert actual is not None, (
+        f"{name} is no longer rendered; update tests/golden/regenerate.py"
+    )
+    if actual != expected:
+        diff = "".join(
+            difflib.unified_diff(
+                expected.splitlines(keepends=True),
+                actual.splitlines(keepends=True),
+                fromfile=f"golden/{name}",
+                tofile="live",
+            )
+        )
+        pytest.fail(
+            f"golden mismatch for {name} (regenerate via "
+            f"`PYTHONPATH=src python tests/golden/regenerate.py` if "
+            f"intentional):\n{diff}"
+        )
+
+
+def test_no_stale_snapshots(golden_artifacts):
+    """Every rendered artefact has a snapshot and vice versa."""
+    assert set(golden_artifacts) == set(_golden_names())

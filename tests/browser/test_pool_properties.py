@@ -117,3 +117,53 @@ class TestPoolProperties:
             counts.append(len(pool.sessions))
         default_count, patched_count = counts
         assert patched_count <= default_count
+
+
+class TestPoolEdgeCases:
+    """Degenerate inputs the executor refactor's batching can produce:
+    empty request sequences (empty site lists), one-request batches and
+    per-visit pools that only ever see a single site's traffic."""
+
+    def test_untouched_pool_is_empty(self):
+        pool = ConnectionPool(server_lookup=_world().__getitem__,
+                              rng=random.Random(4))
+        assert pool.sessions == []
+        assert pool.created_count == 0
+        assert pool.coalesced_count == 0
+        assert pool.live_sessions() == []
+
+    def test_close_all_on_empty_pool(self):
+        pool = ConnectionPool(server_lookup=_world().__getitem__,
+                              rng=random.Random(5))
+        pool.close_all(now=1.0, reason="test-end")
+        assert pool.sessions == []
+
+    @given(_request)
+    @settings(max_examples=30, deadline=None)
+    def test_single_request_always_creates(self, request_spec):
+        host, ips, privacy = request_spec
+        pool = ConnectionPool(server_lookup=_world().__getitem__,
+                              rng=random.Random(6))
+        decision = pool.get_connection(host, tuple(ips),
+                                       privacy_mode=privacy, now=0.0)
+        assert decision.created
+        assert not decision.coalesced
+        assert len(pool.sessions) == 1
+
+    @given(st.lists(_request, min_size=1, max_size=10))
+    @settings(max_examples=30, deadline=None)
+    def test_fresh_pools_are_independent(self, requests):
+        """One pool per visit (the per-site task model) must behave the
+        same no matter how many other pools ran before it."""
+
+        def session_count() -> int:
+            pool = ConnectionPool(server_lookup=_world().__getitem__,
+                                  rng=random.Random(7))
+            for step, (host, ips, privacy) in enumerate(requests):
+                pool.get_connection(host, tuple(ips), privacy_mode=privacy,
+                                    now=float(step))
+            return len(pool.sessions)
+
+        first = session_count()
+        for _ in range(3):
+            assert session_count() == first

@@ -112,3 +112,75 @@ class TestClassifierProperties:
             (h.record.connection_id, h.cause, h.previous.connection_id)
             for h in second.hits
         ]
+
+
+class TestClassifierEdgeCases:
+    """Degenerate corpus shapes the executor refactor can produce:
+    empty site lists, sites with no records, single-site batches and
+    chunk sizes exceeding the input."""
+
+    def test_empty_record_list(self):
+        result = classify_site("s", [], model=LifetimeModel.ENDLESS)
+        assert result.h2_connections == 0
+        assert result.redundant_count == 0
+        assert result.hits == []
+
+    def test_empty_site_mapping(self):
+        from repro.crawl.classify import classify_dataset
+
+        dataset = classify_dataset("empty", {}, model=LifetimeModel.ENDLESS)
+        assert dataset.report.total_sites == 0
+        assert dataset.classifications == {}
+
+    @given(st.lists(_record_spec, min_size=0, max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_dataset_fold_is_executor_invariant(self, specs):
+        """classify_dataset must not depend on batching: serial, one-
+        site chunks and a chunk larger than the corpus all agree."""
+        from repro.crawl.classify import classify_dataset
+        from repro.runtime import SerialExecutor, ThreadExecutor
+
+        site_records = {
+            f"site{index}": _build_records([spec])
+            for index, spec in enumerate(specs)
+        }
+        baseline = classify_dataset("d", site_records,
+                                    model=LifetimeModel.ENDLESS,
+                                    executor=SerialExecutor())
+
+        def summary(dataset):
+            return (
+                sorted(dataset.classifications),
+                dataset.report.total_sites,
+                dataset.report.redundant_connections,
+                {site: c.redundant_count
+                 for site, c in dataset.classifications.items()},
+            )
+
+        with ThreadExecutor(2, chunk_size=1) as tiny_chunks:
+            chunked = classify_dataset("d", site_records,
+                                       model=LifetimeModel.ENDLESS,
+                                       executor=tiny_chunks)
+        assert summary(chunked) == summary(baseline)
+
+        with ThreadExecutor(2, chunk_size=10_000) as one_chunk:
+            oversized = classify_dataset("d", site_records,
+                                         model=LifetimeModel.ENDLESS,
+                                         executor=one_chunk)
+        assert summary(oversized) == summary(baseline)
+
+    @given(st.lists(_record_spec, min_size=1, max_size=6))
+    @settings(max_examples=40, deadline=None)
+    def test_single_site_batch_matches_direct_classification(self, specs):
+        """A one-site dataset is exactly classify_site of that site."""
+        from repro.crawl.classify import classify_dataset
+
+        records = _build_records(specs)
+        dataset = classify_dataset("d", {"only": records},
+                                   model=LifetimeModel.ENDLESS)
+        direct = classify_site("only", records, model=LifetimeModel.ENDLESS)
+        verdict = dataset.classifications["only"]
+        assert verdict.redundant_count == direct.redundant_count
+        assert [(h.record.connection_id, h.cause) for h in verdict.hits] == (
+            [(h.record.connection_id, h.cause) for h in direct.hits]
+        )

@@ -1,0 +1,57 @@
+"""Regenerate the golden snapshots in this directory.
+
+Run from the repository root after any INTENTIONAL change to study
+output, then review the diff like any other code change:
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+
+The snapshots pin the rendered headline statistics, every table
+(1-12) and the study digest for ``StudyConfig(seed=7, n_sites=120)``.
+``tests/analysis/test_golden.py`` diffs live output against them, so an
+unintentional behaviour change in any pipeline layer — ecosystem
+generation, crawling, classification, aggregation, rendering — fails
+the suite with a readable diff instead of passing silently.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+GOLDEN_DIR = Path(__file__).resolve().parent
+
+#: The snapshot scale: big enough that every table has entries, small
+#: enough to run inside the tier-1 suite.
+GOLDEN_SEED = 7
+GOLDEN_N_SITES = 120
+
+
+def golden_config():
+    from repro.analysis.study import StudyConfig
+
+    return StudyConfig(seed=GOLDEN_SEED, n_sites=GOLDEN_N_SITES,
+                       dns_study_days=0.25)
+
+
+def render_artifacts(study) -> dict[str, str]:
+    """Every golden artefact name -> rendered text."""
+    from repro.analysis import ALL_TABLES, headline, study_digest
+
+    artifacts = {"headline.txt": headline(study).render() + "\n"}
+    for name in sorted(ALL_TABLES, key=lambda n: int(n.removeprefix("table"))):
+        artifacts[f"{name}.txt"] = ALL_TABLES[name](study).render() + "\n"
+    artifacts["digest.txt"] = study_digest(study) + "\n"
+    return artifacts
+
+
+def main() -> int:
+    from repro.analysis.study import Study
+
+    study = Study.run(golden_config())
+    for name, text in render_artifacts(study).items():
+        (GOLDEN_DIR / name).write_text(text)
+        print(f"wrote {GOLDEN_DIR / name}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,6 +14,8 @@ from repro.analysis.figures import figure2
 from repro.analysis.headline import headline
 from repro.core.causes import Cause
 
+pytestmark = pytest.mark.slow
+
 
 class TestTable1Shape:
     def test_most_sites_open_redundant_connections(self, small_study):

@@ -16,6 +16,8 @@ from repro.har.reader import read_sessions
 from repro.har.writer import HarNoiseConfig, write_har
 from repro.netlog.parser import parse_sessions
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def visits(small_ecosystem):

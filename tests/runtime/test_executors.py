@@ -1,0 +1,133 @@
+"""Unit tests for the executor abstraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    chunk_items,
+    make_executor,
+)
+from repro.runtime.executor import default_workers
+
+
+def _square(value: int) -> int:
+    return value * value
+
+
+def _boom(value: int) -> int:
+    raise RuntimeError(f"boom {value}")
+
+
+EXECUTOR_FACTORIES = [
+    pytest.param(SerialExecutor, id="serial"),
+    pytest.param(lambda: ThreadExecutor(2), id="thread"),
+    pytest.param(lambda: ProcessExecutor(2), id="process"),
+]
+
+
+class TestChunkItems:
+    def test_even_split(self):
+        assert chunk_items([1, 2, 3, 4], 2) == [[1, 2], [3, 4]]
+
+    def test_remainder_goes_last(self):
+        assert chunk_items([1, 2, 3, 4, 5], 2) == [[1, 2], [3, 4], [5]]
+
+    def test_chunk_size_larger_than_input(self):
+        assert chunk_items([1, 2], 100) == [[1, 2]]
+
+    def test_single_item_batches(self):
+        assert chunk_items([1, 2, 3], 1) == [[1], [2], [3]]
+
+    def test_empty_input(self):
+        assert chunk_items([], 4) == []
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            chunk_items([1], 0)
+
+
+class TestMapSites:
+    @pytest.mark.parametrize("factory", EXECUTOR_FACTORIES)
+    def test_preserves_input_order(self, factory):
+        with factory() as executor:
+            assert executor.map_sites(_square, list(range(25))) == [
+                value * value for value in range(25)
+            ]
+
+    @pytest.mark.parametrize("factory", EXECUTOR_FACTORIES)
+    def test_empty_site_list(self, factory):
+        with factory() as executor:
+            assert executor.map_sites(_square, []) == []
+
+    @pytest.mark.parametrize("factory", EXECUTOR_FACTORIES)
+    def test_single_item(self, factory):
+        with factory() as executor:
+            assert executor.map_sites(_square, [3]) == [9]
+
+    def test_chunk_size_larger_than_input(self):
+        with ThreadExecutor(2) as executor:
+            assert executor.map_sites(
+                _square, [1, 2, 3], chunk_size=50
+            ) == [1, 4, 9]
+
+    def test_single_item_chunks(self):
+        with ProcessExecutor(2) as executor:
+            assert executor.map_sites(
+                _square, [1, 2, 3], chunk_size=1
+            ) == [1, 4, 9]
+
+    @pytest.mark.parametrize("factory", EXECUTOR_FACTORIES)
+    def test_exceptions_propagate(self, factory):
+        with factory() as executor:
+            with pytest.raises(RuntimeError, match="boom"):
+                executor.map_sites(_boom, [1, 2])
+
+    def test_pool_reused_across_maps(self):
+        with ThreadExecutor(2) as executor:
+            executor.map_sites(_square, [1])
+            pool = executor._pool
+            executor.map_sites(_square, [2])
+            assert executor._pool is pool
+
+    def test_close_is_idempotent(self):
+        executor = ThreadExecutor(2)
+        executor.map_sites(_square, [1])
+        executor.close()
+        executor.close()
+
+
+class TestMakeExecutor:
+    def test_default_is_serial(self):
+        assert isinstance(make_executor(), SerialExecutor)
+        assert isinstance(make_executor(None), SerialExecutor)
+        assert isinstance(make_executor("serial"), SerialExecutor)
+
+    def test_thread_and_process_specs(self):
+        assert isinstance(make_executor("thread"), ThreadExecutor)
+        assert isinstance(make_executor("process"), ProcessExecutor)
+
+    def test_worker_count_suffix(self):
+        executor = make_executor("thread:6")
+        assert executor.max_workers == 6
+
+    def test_workers_argument(self):
+        assert make_executor("process", 3).max_workers == 3
+
+    def test_suffix_overrides_argument(self):
+        assert make_executor("thread:5", 2).max_workers == 5
+
+    def test_default_worker_count(self):
+        assert make_executor("thread").max_workers == default_workers()
+
+    def test_instance_passthrough(self):
+        executor = SerialExecutor()
+        assert make_executor(executor) is executor
+
+    @pytest.mark.parametrize("spec", ["bogus", "thread:x", "thread:0"])
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(ValueError):
+            make_executor(spec)
