@@ -8,6 +8,7 @@ from repro.analysis.ablation import (
 from repro.analysis.digest import dataset_digest, study_digest
 from repro.analysis.figures import Figure2Result, Figure3Result, figure2, figure3
 from repro.analysis.headline import HeadlineStats, headline
+from repro.analysis.robustness import robustness_report
 from repro.analysis.study import DATASET_LABELS, Study, StudyConfig
 from repro.analysis.tables import (
     ALL_TABLES,
@@ -38,6 +39,7 @@ __all__ = [
     "figure3",
     "HeadlineStats",
     "headline",
+    "robustness_report",
     "DATASET_LABELS",
     "Study",
     "StudyConfig",

@@ -1,0 +1,137 @@
+"""Cross-run robustness of the paper's headline numbers.
+
+§4.3 of the paper discusses load-to-load noise; a single crawl
+configuration cannot show whether our reproduced Table 1 / §5.1 numbers
+are stable or flukes of one seed.  This report aggregates a sweep's
+cells *across seeds* (per variant group): min / mean / max of every
+headline statistic, and per-dataset Table-1 count spreads, rendered in
+the same ``align_table`` style as the paper tables.
+
+The report consumes the compact :class:`~repro.sweep.runner.SweepResult`
+summaries only — it never holds whole studies.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterable
+
+from repro.util.formatting import align_table, si_count
+
+if TYPE_CHECKING:  # pragma: no cover - avoid a runtime analysis<->sweep cycle
+    from repro.sweep.runner import CellResult, SweepResult
+
+__all__ = ["robustness_report"]
+
+#: Headline statistics aggregated across seeds: (row label, attribute,
+#: formatter).  ``median_closed_lifetime_s`` may be None per cell.
+_HEADLINE_ROWS: tuple[tuple[str, str, str], ...] = (
+    ("HAR endless redundant share", "har_endless_redundant_share", "share"),
+    ("HAR immediate redundant share", "har_immediate_redundant_share", "share"),
+    ("Alexa redundant share", "alexa_redundant_share", "share"),
+    ("Alexa endless redundant share", "alexa_endless_redundant_share", "share"),
+    ("HAR sites >= 2 redundant", "har_share_two_or_more", "share"),
+    ("Alexa sites >= 6 redundant", "alexa_share_six_or_more", "share"),
+    ("Closed-connection share", "closed_connection_share", "share"),
+    ("Median closed lifetime", "median_closed_lifetime_s", "seconds"),
+    ("CRED conns (Fetch)", "cred_connections_with_fetch", "count"),
+    ("CRED conns (patched)", "cred_connections_without_fetch", "count"),
+    ("Redundancy reduction (patch)", "redundant_reduction_share", "share"),
+)
+
+#: Per-dataset Table-1 metrics: (row label, extractor).
+_DATASET_METRICS: tuple[tuple[str, Callable], ...] = (
+    ("CERT conns", lambda s: s.cause_connections.get("CERT", 0)),
+    ("IP conns", lambda s: s.cause_connections.get("IP", 0)),
+    ("CRED conns", lambda s: s.cause_connections.get("CRED", 0)),
+    ("Redund. conns", lambda s: s.redundant_connections),
+    ("Redund. sites", lambda s: s.redundant_sites),
+    ("Total h2 conns", lambda s: s.h2_connections),
+)
+
+
+def _format(value: float, style: str) -> str:
+    if style == "share":
+        return f"{value:.1%}"
+    if style == "seconds":
+        return f"{value:.1f} s"
+    return si_count(value)
+
+
+def _spread(values: list[float], style: str) -> list[str]:
+    """min / mean / max / spread cells for one statistic."""
+    low, high = min(values), max(values)
+    mean = sum(values) / len(values)
+    return [
+        _format(low, style),
+        _format(mean, style),
+        _format(high, style),
+        _format(high - low, style),
+    ]
+
+
+def _headline_table(cells: "list[CellResult]") -> str:
+    with_stats = [cell for cell in cells if cell.headline is not None]
+    if not with_stats:
+        return "  (no cell produced headline statistics — variant ablates a required dataset)"
+    rows = []
+    for label, attribute, style in _HEADLINE_ROWS:
+        values = [
+            getattr(cell.headline, attribute) for cell in with_stats
+        ]
+        values = [value for value in values if value is not None]
+        if not values:
+            rows.append([label, "n/a", "n/a", "n/a", "n/a"])
+            continue
+        rows.append([label] + _spread(values, style))
+    return align_table(rows, header=["Statistic", "Min", "Mean", "Max", "Spread"])
+
+
+def _dataset_table(cells: "list[CellResult]") -> str:
+    names: list[str] = []
+    for cell in cells:
+        for name in cell.datasets:
+            if name not in names:
+                names.append(name)
+    rows = []
+    for name in names:
+        summaries = [
+            cell.datasets[name] for cell in cells if name in cell.datasets
+        ]
+        for label, extract in _DATASET_METRICS:
+            values = [float(extract(summary)) for summary in summaries]
+            rows.append([name, label] + _spread(values, "count"))
+    return align_table(
+        rows, header=["Dataset", "Metric", "Min", "Mean", "Max", "Spread"]
+    )
+
+
+def _digest_lines(cells: "list[CellResult]") -> Iterable[str]:
+    for cell in cells:
+        yield f"    seed={cell.cell.seed}: {cell.digest}"
+
+
+def robustness_report(result: "SweepResult") -> str:
+    """Render the cross-seed robustness report for one sweep."""
+    spec = result.spec
+    variant_groups = result.by_variant()
+    header = (
+        f"Robustness report — {len(result.cells)} cells "
+        f"({len(spec.seeds)} seeds x {len(variant_groups)} variants)"
+    )
+    lines = [header, f"Seeds: {', '.join(str(seed) for seed in spec.seeds)}"]
+    if spec.axes:
+        axes = "; ".join(
+            f"{name} in {list(values)!r}" for name, values in spec.axes
+        )
+        lines.append(f"Grid: {axes}")
+    for label, cells in variant_groups:
+        lines.append("")
+        lines.append(f"== Variant: {label} ({len(cells)} cells) ==")
+        lines.append("Headline statistics across seeds:")
+        lines.append(_headline_table(cells))
+        lines.append("")
+        lines.append("Table 1 counts across seeds:")
+        lines.append(_dataset_table(cells))
+        lines.append("  Study digests:")
+        lines.extend(_digest_lines(cells))
+    return "\n".join(lines)

@@ -20,7 +20,7 @@ small Study per session and reuse it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from functools import cached_property
 
 from repro.crawl.alexa import AlexaCrawler, AlexaRun
@@ -29,7 +29,15 @@ from repro.crawl.httparchive import HarCorpus, HttpArchiveCrawler
 from repro.crawl.overlap import overlap_datasets
 from repro.core.session import LifetimeModel
 from repro.dnsstudy.study import DnsLoadBalancingStudy, DnsStudyResult
-from repro.runtime import Executor, StageTimings, make_executor, null_timings
+from repro.runtime import (
+    Executor,
+    StageTimings,
+    ecosystem_for,
+    ecosystem_is_cached,
+    make_executor,
+    null_timings,
+)
+from repro.store import StudyCache
 from repro.web.ecosystem import Ecosystem, EcosystemConfig
 
 __all__ = ["StudyConfig", "Study", "DATASET_LABELS"]
@@ -44,6 +52,9 @@ DATASET_LABELS: dict[str, str] = {
     "har-overlap": "HAR Overlap Endless",
     "alexa-overlap": "Alexa Overlap Endless",
 }
+
+#: Alexa browser variants a study may crawl.
+_ALEXA_VARIANTS = ("fetch", "nofetch")
 
 
 @dataclass(frozen=True)
@@ -66,6 +77,13 @@ class StudyConfig:
     executor: str = "serial"
     #: Worker count for pool executors (None: picked per machine).
     parallelism: int | None = None
+    #: Lifetime models the HAR corpus is classified under (dataset
+    #: ``har-<model>`` each); a sweep axis for the §4.1 model ablation.
+    har_models: tuple[str, ...] = ("endless", "immediate")
+    #: Which Alexa browser variants are crawled: "fetch" (the
+    #: Fetch-compliant run) and/or "nofetch" (privacy-mode patched,
+    #: §5.3.3); a sweep axis for the Fetch toggle.
+    alexa_variants: tuple[str, ...] = ("fetch", "nofetch")
 
     def make_executor(self) -> "Executor":
         return make_executor(self.executor, self.parallelism)
@@ -75,29 +93,58 @@ class StudyConfig:
             seed=self.seed, n_sites=self.n_sites, **self.ecosystem_overrides
         )
 
+    def validate(self) -> None:
+        """Reject bad executor specs, lifetime models and Alexa variants.
+
+        Everything a sweep axis can set is checked here, so grid cells
+        fail fast (and CLI-cleanly) before any study work starts.
+        """
+        make_executor(self.executor, self.parallelism)  # raises on bad specs
+        for model in self.har_models:
+            LifetimeModel(model)  # raises ValueError on unknown names
+        if not self.har_models:
+            raise ValueError("har_models must name at least one model")
+        if len(set(self.har_models)) != len(self.har_models):
+            raise ValueError(f"duplicate har_models in {self.har_models!r}")
+        unknown = set(self.alexa_variants) - set(_ALEXA_VARIANTS)
+        if unknown or not self.alexa_variants:
+            raise ValueError(
+                f"alexa_variants must be a non-empty subset of "
+                f"{_ALEXA_VARIANTS}, got {self.alexa_variants!r}"
+            )
+        if len(set(self.alexa_variants)) != len(self.alexa_variants):
+            raise ValueError(
+                f"duplicate alexa_variants in {self.alexa_variants!r}"
+            )
+
     def small(self) -> "StudyConfig":
-        """A scaled-down copy for quick tests."""
-        return StudyConfig(
-            seed=self.seed,
+        """A scaled-down copy for quick tests.
+
+        Built with :func:`dataclasses.replace`, so new config fields
+        carry over automatically instead of being silently dropped.
+        """
+        return replace(
+            self,
             n_sites=min(self.n_sites, 200),
-            alexa_share=self.alexa_share,
-            ha_sample_share=self.ha_sample_share,
             dns_study_days=0.25,
             ecosystem_overrides=dict(self.ecosystem_overrides),
-            executor=self.executor,
-            parallelism=self.parallelism,
         )
 
 
 @dataclass
 class Study:
-    """All measurement artefacts of one reproduction run."""
+    """All measurement artefacts of one reproduction run.
+
+    The two Alexa runs are ``None`` when the config's
+    ``alexa_variants`` excludes them (sweep ablations); the default
+    config always produces both.
+    """
 
     config: StudyConfig
     ecosystem: Ecosystem
     har_corpus: HarCorpus
-    alexa_run: AlexaRun
-    alexa_nofetch_run: AlexaRun
+    alexa_run: AlexaRun | None
+    alexa_nofetch_run: AlexaRun | None
     alexa_common_sites: list[str]
     datasets: dict[str, ClassifiedDataset]
     timings: StageTimings = field(default_factory=null_timings)
@@ -109,87 +156,169 @@ class Study:
         *,
         executor: Executor | None = None,
         timings: StageTimings | None = None,
+        cache: StudyCache | None = None,
     ) -> "Study":
         """Execute the full pipeline for ``config``.
 
         ``executor`` overrides the config's executor spec; ``timings``
-        (see :mod:`repro.runtime.profile`) records per-stage wall time.
+        (see :mod:`repro.runtime.profile`) records per-stage wall time;
+        ``cache`` (see :mod:`repro.store`) loads crawl and
+        classification artefacts produced by earlier identical runs
+        instead of recomputing them — cached stages record zero items.
         """
         config = config or StudyConfig()
+        config.validate()
         owns_executor = executor is None
         executor = executor if executor is not None else config.make_executor()
         timings = timings if timings is not None else null_timings()
         try:
-            return cls._run(config, executor, timings)
+            return cls._run(config, executor, timings, cache)
         finally:
             if owns_executor:
                 executor.close()
 
     @classmethod
     def _run(
-        cls, config: StudyConfig, executor: Executor, timings: StageTimings
+        cls,
+        config: StudyConfig,
+        executor: Executor,
+        timings: StageTimings,
+        cache: StudyCache | None = None,
     ) -> "Study":
-        with timings.stage("generate-ecosystem", items=config.n_sites):
-            ecosystem = Ecosystem.generate(config.ecosystem_config())
+        eco_config = config.ecosystem_config()
+        world_cached = ecosystem_is_cached(eco_config)
+        with timings.stage(
+            "generate-ecosystem", items=0 if world_cached else config.n_sites
+        ):
+            ecosystem = ecosystem_for(eco_config)
         asdb = ecosystem.asdb
+
+        def crawl_plan(kind, make_key, n_items: int) -> tuple[str | None, int]:
+            """The (precomputed key, timed item count) of a crawl stage.
+
+            ``make_key`` is a thunk so uncached runs never hash the
+            stage configuration at all; cached runs hash it exactly
+            once and pass the key down into the stage entry point.
+            Cached stages record zero items.
+            """
+            if cache is None:
+                return None, n_items
+            key = make_key()
+            return key, 0 if cache.contains(kind, key) else n_items
 
         ha_crawler = HttpArchiveCrawler(ecosystem=ecosystem, seed=config.seed + 100)
         ha_domains = ecosystem.httparchive_sample(
             config.ha_sample_share, seed=config.seed + 1
         )
-        with timings.stage("crawl-httparchive", items=len(ha_domains)):
-            har_corpus = ha_crawler.crawl(ha_domains, executor=executor)
+        ha_key, ha_items = crawl_plan(
+            "har-crawl", lambda: ha_crawler.stage_key(ha_domains),
+            len(ha_domains),
+        )
+        with timings.stage("crawl-httparchive", items=ha_items):
+            har_corpus = ha_crawler.crawl(
+                ha_domains, executor=executor, cache=cache, cache_key=ha_key
+            )
 
         alexa_count = max(1, int(config.n_sites * config.alexa_share))
         alexa_domains = ecosystem.alexa_list(alexa_count)
         alexa_crawler = AlexaCrawler(ecosystem=ecosystem, seed=config.seed + 200)
-        with timings.stage("crawl-alexa-fetch", items=len(alexa_domains)):
-            alexa_run = alexa_crawler.run(
-                alexa_domains, run_name="alexa-fetch", executor=executor
+        alexa_run: AlexaRun | None = None
+        alexa_nofetch: AlexaRun | None = None
+        if "fetch" in config.alexa_variants:
+            fetch_key, fetch_items = crawl_plan(
+                "alexa-crawl",
+                lambda: alexa_crawler.stage_key(
+                    alexa_domains, run_name="alexa-fetch"
+                ),
+                len(alexa_domains),
             )
-        with timings.stage("crawl-alexa-nofetch", items=len(alexa_domains)):
-            alexa_nofetch = alexa_crawler.run(
-                alexa_domains,
-                run_name="alexa-nofetch",
-                ignore_privacy_mode=True,
-                run_offset=500_000.0,
-                executor=executor,
+            with timings.stage("crawl-alexa-fetch", items=fetch_items):
+                alexa_run = alexa_crawler.run(
+                    alexa_domains, run_name="alexa-fetch", executor=executor,
+                    cache=cache, cache_key=fetch_key,
+                )
+        if "nofetch" in config.alexa_variants:
+            nofetch_key, nofetch_items = crawl_plan(
+                "alexa-crawl",
+                lambda: alexa_crawler.stage_key(
+                    alexa_domains, run_name="alexa-nofetch",
+                    ignore_privacy_mode=True, run_offset=500_000.0,
+                ),
+                len(alexa_domains),
             )
+            with timings.stage("crawl-alexa-nofetch", items=nofetch_items):
+                alexa_nofetch = alexa_crawler.run(
+                    alexa_domains,
+                    run_name="alexa-nofetch",
+                    ignore_privacy_mode=True,
+                    run_offset=500_000.0,
+                    executor=executor,
+                    cache=cache,
+                    cache_key=nofetch_key,
+                )
         # "We review the intersection of websites for comparability."
-        common = sorted(
-            set(alexa_run.reachable_sites) & set(alexa_nofetch.reachable_sites)
-        )
+        reachable_sets = [
+            set(run.reachable_sites)
+            for run in (alexa_run, alexa_nofetch)
+            if run is not None
+        ]
+        common = sorted(set.intersection(*reachable_sets))
 
-        n_classified = 2 * len(har_corpus.hars) + 3 * len(common)
-        with timings.stage("classify-datasets", items=n_classified):
-            datasets = {
-                "har-endless": har_corpus.classify(
-                    model=LifetimeModel.ENDLESS, asdb=asdb,
-                    name="har-endless", executor=executor,
-                ),
-                "har-immediate": har_corpus.classify(
-                    model=LifetimeModel.IMMEDIATE, asdb=asdb,
-                    name="har-immediate", executor=executor,
-                ),
-                "alexa-endless": alexa_run.classify(
-                    model=LifetimeModel.ENDLESS, asdb=asdb,
-                    name="alexa-endless", sites=common, executor=executor,
-                ),
-                "alexa": alexa_run.classify(
-                    model=LifetimeModel.ACTUAL, asdb=asdb,
-                    name="alexa", sites=common, executor=executor,
-                ),
-                "alexa-nofetch": alexa_nofetch.classify(
-                    model=LifetimeModel.ACTUAL, asdb=asdb,
-                    name="alexa-nofetch", sites=common, executor=executor,
-                ),
-            }
-        with timings.stage("overlap"):
-            har_overlap, alexa_overlap = overlap_datasets(
-                datasets["har-endless"], datasets["alexa-endless"]
+        # One classification plan entry per dataset — the single source
+        # of truth for the stage's item accounting AND the classify
+        # calls, so the two cannot drift.  Each entry carries the key
+        # (computed at most once, only when a cache is in play), the
+        # item count, and the classify thunk the key is passed into.
+        plan: list[tuple[str, int, str | None, object]] = []
+        for model_value in config.har_models:
+            model = LifetimeModel(model_value)
+            name = f"har-{model_value}"
+            key = (
+                har_corpus.classify_cache_key(model, name)
+                if cache is not None else None
             )
-            datasets["har-overlap"] = har_overlap
-            datasets["alexa-overlap"] = alexa_overlap
+            plan.append((
+                name, len(har_corpus.hars), key,
+                lambda model=model, name=name, key=key: har_corpus.classify(
+                    model=model, asdb=asdb, name=name, executor=executor,
+                    cache=cache, cache_key=key,
+                ),
+            ))
+        alexa_datasets: list[tuple[AlexaRun, str, LifetimeModel]] = []
+        if alexa_run is not None:
+            alexa_datasets += [
+                (alexa_run, "alexa-endless", LifetimeModel.ENDLESS),
+                (alexa_run, "alexa", LifetimeModel.ACTUAL),
+            ]
+        if alexa_nofetch is not None:
+            alexa_datasets.append(
+                (alexa_nofetch, "alexa-nofetch", LifetimeModel.ACTUAL)
+            )
+        for run, name, model in alexa_datasets:
+            key = (
+                run.classify_cache_key(model, name, common)
+                if cache is not None else None
+            )
+            plan.append((
+                name, len(common), key,
+                lambda run=run, model=model, name=name, key=key: run.classify(
+                    model=model, asdb=asdb, name=name, sites=common,
+                    executor=executor, cache=cache, cache_key=key,
+                ),
+            ))
+        n_classified = sum(
+            items for _, items, key, _ in plan
+            if key is None or not cache.contains("classify", key)
+        )
+        with timings.stage("classify-datasets", items=n_classified):
+            datasets = {name: classify() for name, _, _, classify in plan}
+        if "har-endless" in datasets and "alexa-endless" in datasets:
+            with timings.stage("overlap"):
+                har_overlap, alexa_overlap = overlap_datasets(
+                    datasets["har-endless"], datasets["alexa-endless"]
+                )
+                datasets["har-overlap"] = har_overlap
+                datasets["alexa-overlap"] = alexa_overlap
 
         return cls(
             config=config,
@@ -218,6 +347,8 @@ class Study:
     def connection_lifetimes(self) -> list[float]:
         """Lifetimes of Alexa connections that closed before test end."""
         lifetimes = []
+        if self.alexa_run is None:
+            return lifetimes
         for domain in self.alexa_common_sites:
             measurement = self.alexa_run.measurements[domain]
             for record in measurement.records:
@@ -231,6 +362,8 @@ class Study:
     def early_closed_lifetimes(self) -> list[float]:
         """Lifetimes of sessions closed by the server (GOAWAY) only."""
         lifetimes = []
+        if self.alexa_run is None:
+            return lifetimes
         for domain in self.alexa_common_sites:
             measurement = self.alexa_run.measurements[domain]
             goaway_ids = set(measurement.goaway_connection_ids)

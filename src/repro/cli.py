@@ -5,6 +5,8 @@ Usage (after ``pip install -e .``)::
     python -m repro study --sites 400 --table 1 --headline
     python -m repro study --sites 400 --table all --figure 2
     python -m repro study --sites 2000 --executor process --jobs 8 --profile
+    python -m repro sweep --sites 200 --seeds 7,8,9 --grid n_sites=120,240 \\
+        --cache-dir .repro-cache --profile
     python -m repro audit site000004.com --sites 150
     python -m repro dnsstudy --days 2
     python -m repro mitigations --sites 200
@@ -25,7 +27,7 @@ __all__ = ["build_parser", "main"]
 
 
 def _add_runtime_args(parser: argparse.ArgumentParser) -> None:
-    """Executor knobs shared by every study-running command."""
+    """Executor/cache knobs shared by every study-running command."""
     parser.add_argument(
         "--executor", default="serial",
         help="execution substrate: serial, thread or process, "
@@ -35,6 +37,20 @@ def _add_runtime_args(parser: argparse.ArgumentParser) -> None:
         "--jobs", type=int, default=None,
         help="worker count for thread/process executors",
     )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="content-addressed stage cache directory; identical crawl "
+             "and classification configs load from disk instead of "
+             "recomputing (see repro.store)",
+    )
+
+
+def _cache_from_args(args):
+    if getattr(args, "cache_dir", None) is None:
+        return None
+    from repro.store import StudyCache
+
+    return StudyCache(args.cache_dir)
 
 
 def _study_from_args(args):
@@ -57,7 +73,10 @@ def _study_from_args(args):
         print(f"error: {error}", file=sys.stderr)
         raise SystemExit(2)
     with executor:
-        return Study.run(config, executor=executor, timings=timings)
+        return Study.run(
+            config, executor=executor, timings=timings,
+            cache=_cache_from_args(args),
+        )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -78,6 +97,24 @@ def build_parser() -> argparse.ArgumentParser:
     study.add_argument("--profile", action="store_true",
                        help="print per-stage wall-clock timings")
     _add_runtime_args(study)
+
+    sweep = commands.add_parser(
+        "sweep",
+        help="run a scenario-matrix sweep and report cross-seed robustness",
+    )
+    sweep.add_argument("--sites", type=int, default=400,
+                       help="base universe size (sweepable via --grid)")
+    sweep.add_argument("--seeds", default=None,
+                       help="comma-separated seeds (default: --seed)")
+    sweep.add_argument(
+        "--grid", action="append", default=[], metavar="FIELD=V1,V2",
+        help="sweep a StudyConfig field over values; repeatable; "
+             "tuple fields join elements with '+', e.g. "
+             "alexa_variants=fetch+nofetch,fetch",
+    )
+    sweep.add_argument("--profile", action="store_true",
+                       help="print aggregated stage timings and cache stats")
+    _add_runtime_args(sweep)
 
     audit = commands.add_parser("audit", help="audit one site's connections")
     audit.add_argument("domain", nargs="?", default=None)
@@ -138,6 +175,45 @@ def _cmd_study(args) -> int:
     if args.profile:
         print()
         print(study.timings.render())
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.analysis.robustness import robustness_report
+    from repro.analysis.study import StudyConfig
+    from repro.sweep import SweepSpec, run_sweep
+
+    try:
+        seeds = tuple(
+            int(part) for part in (args.seeds or str(args.seed)).split(",")
+        )
+    except ValueError:
+        print(f"error: bad --seeds {args.seeds!r}", file=sys.stderr)
+        return 2
+    base = StudyConfig(
+        seed=seeds[0],
+        n_sites=args.sites,
+        executor=args.executor,
+        parallelism=args.jobs,
+    )
+    try:
+        spec = SweepSpec(
+            base=base, seeds=seeds, axes=SweepSpec.parse_axes(args.grid)
+        )
+        spec.cells()  # expand eagerly so bad axis *values* also exit cleanly
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    cache = _cache_from_args(args)
+    result = run_sweep(spec, cache=cache, progress=print)
+    print()
+    print(robustness_report(result))
+    if args.profile:
+        print()
+        print(result.timings().render())
+        if cache is not None:
+            print()
+            print(cache.render_stats())
     return 0
 
 
@@ -228,6 +304,7 @@ def _cmd_validate(args) -> int:
 
 _COMMANDS = {
     "study": _cmd_study,
+    "sweep": _cmd_sweep,
     "audit": _cmd_audit,
     "dnsstudy": _cmd_dnsstudy,
     "mitigations": _cmd_mitigations,

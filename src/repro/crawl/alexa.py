@@ -28,6 +28,7 @@ from repro.core.session import LifetimeModel, SessionRecord
 from repro.netlog.events import NetLog
 from repro.netlog.parser import parse_sessions
 from repro.runtime import Executor, SerialExecutor, ecosystem_for, prime_ecosystem
+from repro.store import StudyCache, stable_key
 from repro.util.clock import SimClock
 from repro.util.rng import RngFactory, stable_hash
 from repro.web.ecosystem import Ecosystem, EcosystemConfig
@@ -119,6 +120,9 @@ class AlexaRun:
     name: str
     ignore_privacy_mode: bool
     measurements: dict[str, AlexaMeasurement] = field(default_factory=dict)
+    #: Stable key of the crawl configuration that produced this run
+    #: (set by the crawler); classification caching derives from it.
+    provenance: str | None = None
 
     @property
     def reachable_sites(self) -> list[str]:
@@ -132,11 +136,39 @@ class AlexaRun:
     def unreachable_count(self) -> int:
         return sum(1 for m in self.measurements.values() if m.unreachable)
 
+    def classify_cache_key(
+        self, model: LifetimeModel, name: str | None = None,
+        sites: list[str] | None = None,
+    ) -> str | None:
+        """Cache key for one classification, or ``None`` without provenance."""
+        if self.provenance is None:
+            return None
+        return stable_key(
+            "classify-alexa", self.provenance, model.value,
+            name or f"{self.name}-{model.value}",
+            tuple(sites) if sites is not None else None,
+        )
+
     def classify(
         self, *, model: LifetimeModel, asdb=None, name: str | None = None,
         sites: list[str] | None = None, executor: Executor | None = None,
+        cache: StudyCache | None = None, cache_key: str | None = None,
     ) -> ClassifiedDataset:
-        """Classify (a subset of) the run under ``model``."""
+        """Classify (a subset of) the run under ``model``.
+
+        With a ``cache`` (and a crawler-set provenance) the classified
+        dataset is loaded from / stored to disk keyed on the crawl
+        configuration, the lifetime model and the site subset;
+        ``cache_key`` passes a precomputed key so callers that already
+        hashed the config for item accounting don't pay for it twice.
+        """
+        key = cache_key
+        if key is None and cache is not None:
+            key = self.classify_cache_key(model, name, sites)
+        if key is not None:
+            cached = cache.get("classify", key)
+            if cached is not None:
+                return cached
         chosen = sites if sites is not None else self.reachable_sites
         site_records = {
             domain: self.measurements[domain].records
@@ -144,13 +176,16 @@ class AlexaRun:
             if domain in self.measurements
             and not self.measurements[domain].unreachable
         }
-        return classify_dataset(
+        dataset = classify_dataset(
             name or f"{self.name}-{model.value}",
             site_records,
             model=model,
             asdb=asdb,
             executor=executor,
         )
+        if key is not None:
+            cache.put("classify", key, dataset)
+        return dataset
 
 
 @dataclass
@@ -181,6 +216,33 @@ class AlexaCrawler:
             self.seed, domain, self.permanent_unreachable_share
         )
 
+    def stage_key(
+        self,
+        domains: list[str],
+        *,
+        run_name: str,
+        ignore_privacy_mode: bool = False,
+        honor_origin_frame: bool = False,
+        run_offset: float = 0.0,
+    ) -> str:
+        """Stable cache key of one run configuration over ``domains``."""
+        return stable_key(
+            "alexa-crawl",
+            self.ecosystem.config,
+            self.seed,
+            self.vantage_country,
+            self.start_time,
+            self.observe_s,
+            self.permanent_unreachable_share,
+            self.transient_unreachable_share,
+            self.keep_netlogs,
+            run_name,
+            ignore_privacy_mode,
+            honor_origin_frame,
+            run_offset,
+            tuple(domains),
+        )
+
     def run(
         self,
         domains: list[str],
@@ -190,8 +252,30 @@ class AlexaCrawler:
         honor_origin_frame: bool = False,
         run_offset: float = 0.0,
         executor: Executor | None = None,
+        cache: StudyCache | None = None,
+        cache_key: str | None = None,
     ) -> AlexaRun:
-        """One crawl over ``domains`` with the given browser patch."""
+        """One crawl over ``domains`` with the given browser patch.
+
+        With a ``cache``, a run previously crawled under an identical
+        configuration is loaded from disk and no site is visited;
+        ``cache_key`` passes a precomputed :meth:`stage_key`.
+        """
+        # Key computation hashes the whole config + domain list; skip it
+        # (and leave provenance unset) on uncached runs.
+        key = cache_key
+        if key is None and cache is not None:
+            key = self.stage_key(
+                domains,
+                run_name=run_name,
+                ignore_privacy_mode=ignore_privacy_mode,
+                honor_origin_frame=honor_origin_frame,
+                run_offset=run_offset,
+            )
+        if key is not None:
+            cached = cache.get("alexa-crawl", key)
+            if cached is not None:
+                return cached
         executor = executor or SerialExecutor()
         prime_ecosystem(self.ecosystem)
         tasks = [
@@ -211,7 +295,12 @@ class AlexaCrawler:
             )
             for index, domain in enumerate(domains)
         ]
-        run = AlexaRun(name=run_name, ignore_privacy_mode=ignore_privacy_mode)
+        run = AlexaRun(
+            name=run_name, ignore_privacy_mode=ignore_privacy_mode,
+            provenance=key,
+        )
         for measurement in executor.map_sites(_measure_one_site, tasks):
             run.measurements[measurement.domain] = measurement
+        if key is not None:
+            cache.put("alexa-crawl", key, run)
         return run

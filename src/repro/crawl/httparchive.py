@@ -26,6 +26,7 @@ from repro.har.model import HarFile
 from repro.har.reader import FilterStats, read_sessions
 from repro.har.writer import HarNoiseConfig, write_har
 from repro.runtime import Executor, SerialExecutor, ecosystem_for, prime_ecosystem
+from repro.store import StudyCache, stable_key
 from repro.util.clock import SimClock
 from repro.util.rng import RngFactory, stable_hash
 from repro.web.ecosystem import Ecosystem, EcosystemConfig
@@ -98,12 +99,41 @@ class HarCorpus:
     name: str
     hars: dict[str, HarFile] = field(default_factory=dict)
     unreachable: list[str] = field(default_factory=list)
+    #: Stable key of the crawl configuration that produced this corpus
+    #: (set by the crawler); classification caching derives from it.
+    provenance: str | None = None
+
+    def classify_cache_key(
+        self, model: LifetimeModel, name: str | None = None
+    ) -> str | None:
+        """Cache key for one classification, or ``None`` without provenance."""
+        if self.provenance is None:
+            return None
+        return stable_key(
+            "classify-har", self.provenance, model.value,
+            name or f"{self.name}-{model.value}",
+        )
 
     def classify(
         self, *, model: LifetimeModel, asdb=None, name: str | None = None,
-        executor: Executor | None = None,
+        executor: Executor | None = None, cache: StudyCache | None = None,
+        cache_key: str | None = None,
     ) -> ClassifiedDataset:
-        """Sanitize all HARs and classify under ``model``."""
+        """Sanitize all HARs and classify under ``model``.
+
+        With a ``cache`` (and a crawler-set provenance) the classified
+        dataset is loaded from / stored to disk keyed on the crawl
+        configuration plus the lifetime model; ``cache_key`` passes a
+        precomputed key so callers that already hashed the config for
+        item accounting don't pay for it twice.
+        """
+        key = cache_key
+        if key is None and cache is not None:
+            key = self.classify_cache_key(model, name)
+        if key is not None:
+            cached = cache.get("classify", key)
+            if cached is not None:
+                return cached
         executor = executor or SerialExecutor()
         items = [
             (site, har, model.value) for site, har in self.hars.items()
@@ -119,6 +149,8 @@ class HarCorpus:
             asdb=asdb,
         )
         dataset.filter_stats = stats  # type: ignore[attr-defined]
+        if key is not None:
+            cache.put("classify", key, dataset)
         return dataset
 
 
@@ -139,13 +171,47 @@ class HttpArchiveCrawler:
         """Simulated time reserved per site (visits + inter-load gaps)."""
         return self.loads_per_site * (self.observe_s + 5.0) + 10.0
 
+    def stage_key(self, domains: list[str]) -> str:
+        """Stable cache key of this crawl over ``domains``.
+
+        Covers every knob the crawl output depends on: the full
+        ecosystem config, the crawl seed, vantage point, noise model,
+        schedule and the exact domain list.
+        """
+        return stable_key(
+            "har-crawl",
+            self.ecosystem.config,
+            self.seed,
+            self.vantage_country,
+            self.noise,
+            self.start_time,
+            self.loads_per_site,
+            self.observe_s,
+            tuple(domains),
+        )
+
     def crawl(
         self, domains: list[str] | None = None,
-        *, executor: Executor | None = None,
+        *, executor: Executor | None = None, cache: StudyCache | None = None,
+        cache_key: str | None = None,
     ) -> HarCorpus:
-        """Crawl ``domains`` (default: the ecosystem's CrUX-like sample)."""
+        """Crawl ``domains`` (default: the ecosystem's CrUX-like sample).
+
+        With a ``cache``, a corpus previously crawled under an identical
+        configuration is loaded from disk and no site is visited;
+        ``cache_key`` passes a precomputed :meth:`stage_key`.
+        """
         if domains is None:
             domains = self.ecosystem.httparchive_sample(seed=self.seed)
+        # Key computation hashes the whole config + domain list; skip it
+        # (and leave provenance unset) on uncached runs.
+        key = cache_key
+        if key is None and cache is not None:
+            key = self.stage_key(domains)
+        if key is not None:
+            cached = cache.get("har-crawl", key)
+            if cached is not None:
+                return cached
         executor = executor or SerialExecutor()
         prime_ecosystem(self.ecosystem)
         tasks = [
@@ -161,10 +227,12 @@ class HttpArchiveCrawler:
             )
             for index, domain in enumerate(domains)
         ]
-        corpus = HarCorpus(name="httparchive")
+        corpus = HarCorpus(name="httparchive", provenance=key)
         for domain, har in executor.map_sites(_crawl_one_site, tasks):
             if har is None:
                 corpus.unreachable.append(domain)
             else:
                 corpus.hars[domain] = har
+        if key is not None:
+            cache.put("har-crawl", key, corpus)
         return corpus

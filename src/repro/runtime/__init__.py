@@ -24,7 +24,11 @@ from repro.runtime.executor import (
     make_executor,
 )
 from repro.runtime.profile import StageTimings, null_timings
-from repro.runtime.worker import ecosystem_for, prime_ecosystem
+from repro.runtime.worker import (
+    ecosystem_for,
+    ecosystem_is_cached,
+    prime_ecosystem,
+)
 
 __all__ = [
     "Executor",
@@ -36,5 +40,6 @@ __all__ = [
     "StageTimings",
     "null_timings",
     "ecosystem_for",
+    "ecosystem_is_cached",
     "prime_ecosystem",
 ]

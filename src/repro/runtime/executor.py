@@ -134,8 +134,16 @@ class _PoolExecutor(Executor):
             self._pool = self._make_pool()
         futures = [self._pool.submit(_run_chunk, fn, chunk) for chunk in chunks]
         results: list[R] = []
-        for future in futures:
-            results.extend(future.result())
+        try:
+            for future in futures:
+                results.extend(future.result())
+        except BaseException:
+            # A failing chunk dooms the whole map: cancel everything
+            # still queued so workers stop churning through chunks whose
+            # results can never be used before the exception propagates.
+            for pending in futures:
+                pending.cancel()
+            raise
         return results
 
     def close(self) -> None:

@@ -11,7 +11,7 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Iterable, Iterator
 
 __all__ = ["StageTiming", "StageTimings", "null_timings"]
 
@@ -59,6 +59,31 @@ class StageTimings:
     def record(self, name: str, seconds: float, *, items: int | None = None) -> None:
         if self.enabled:
             self.stages.append(StageTiming(name=name, seconds=seconds, items=items))
+
+    @classmethod
+    def merged(cls, runs: Iterable["StageTimings"]) -> "StageTimings":
+        """Aggregate many runs' timings by stage name.
+
+        Seconds and item counts sum per stage; stages keep the order of
+        their first appearance.  This is how sweeps report one combined
+        profile over all their cells.
+        """
+        combined: dict[str, StageTiming] = {}
+        for run in runs:
+            for stage in run.stages:
+                existing = combined.get(stage.name)
+                if existing is None:
+                    combined[stage.name] = StageTiming(
+                        name=stage.name, seconds=stage.seconds,
+                        items=stage.items,
+                    )
+                    continue
+                existing.seconds += stage.seconds
+                if stage.items is not None:
+                    existing.items = (existing.items or 0) + stage.items
+        out = cls(enabled=True)
+        out.stages = list(combined.values())
+        return out
 
     @property
     def total_seconds(self) -> float:

@@ -8,20 +8,48 @@ per-process cache.  The driver primes the cache with the already-built
 parent ecosystem, so serial and thread executors (and forked process
 workers) never regenerate anything, while spawned workers rebuild the
 identical world once on first use.
+
+The cache holds at most :data:`MAX_CACHED_WORLDS` worlds (LRU): sweeps
+iterate over many ``(seed, n_sites)`` configurations, and without a
+bound every world of every cell would stay resident for the life of
+the process.  Evicted worlds simply regenerate on next use.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 from repro.web.ecosystem import Ecosystem, EcosystemConfig
 
-__all__ = ["ecosystem_for", "prime_ecosystem", "clear_ecosystem_cache"]
+__all__ = [
+    "ecosystem_for",
+    "ecosystem_is_cached",
+    "prime_ecosystem",
+    "clear_ecosystem_cache",
+]
 
-_CACHE: dict[EcosystemConfig, Ecosystem] = {}
+#: Retained worlds per process; small, because one study uses one world
+#: and only adjacent sweep cells benefit from extras.
+MAX_CACHED_WORLDS = 4
+
+_CACHE: "OrderedDict[EcosystemConfig, Ecosystem]" = OrderedDict()
+
+
+def _insert(config: EcosystemConfig, ecosystem: Ecosystem) -> None:
+    _CACHE[config] = ecosystem
+    _CACHE.move_to_end(config)
+    while len(_CACHE) > MAX_CACHED_WORLDS:
+        _CACHE.popitem(last=False)
 
 
 def prime_ecosystem(ecosystem: Ecosystem) -> None:
     """Register an already-built world under its config."""
-    _CACHE[ecosystem.config] = ecosystem
+    _insert(ecosystem.config, ecosystem)
+
+
+def ecosystem_is_cached(config: EcosystemConfig) -> bool:
+    """Whether :func:`ecosystem_for` would hit (no regeneration)."""
+    return config in _CACHE
 
 
 def ecosystem_for(config: EcosystemConfig) -> Ecosystem:
@@ -29,7 +57,7 @@ def ecosystem_for(config: EcosystemConfig) -> Ecosystem:
     ecosystem = _CACHE.get(config)
     if ecosystem is None:
         ecosystem = Ecosystem.generate(config)
-        _CACHE[config] = ecosystem
+    _insert(config, ecosystem)
     return ecosystem
 
 

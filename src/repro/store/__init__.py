@@ -1,0 +1,5 @@
+"""Content-addressed persistence for study artefacts."""
+
+from repro.store.cache import CACHE_FORMAT, CacheStats, StudyCache, stable_key
+
+__all__ = ["CACHE_FORMAT", "CacheStats", "StudyCache", "stable_key"]

@@ -1,0 +1,198 @@
+"""The content-addressed on-disk study cache.
+
+Every expensive stage of the study pipeline — the HTTP Archive crawl,
+the two Alexa crawls, per-dataset classification — is a pure function
+of its configuration (the ecosystem config, the stage's seed and knobs,
+and the domain list).  The cache exploits that: each stage artefact is
+stored under a stable hash of exactly those inputs, so re-running a
+study (or a sweep cell) with an unchanged configuration loads the
+artefact from disk instead of recomputing it, and *different* cells
+that share a stage configuration — e.g. lifetime-model variants over
+the same crawl — share one cached entry.
+
+Invalidation is purely by hash: change any contributing knob (or bump
+:data:`CACHE_FORMAT` when the artefact layout changes) and the key
+changes, leaving the stale entry unreferenced.  ``StudyCache.prune()``
+removes entries that are no longer reachable from a set of live keys.
+
+Layout on disk::
+
+    <cache-dir>/
+        har-crawl/<key>.pkl      one pickled HarCorpus per crawl config
+        alexa-crawl/<key>.pkl    one pickled AlexaRun per run config
+        classify/<key>.pkl       one pickled ClassifiedDataset
+
+The payloads are pickles of this package's own dataclasses; the cache
+is trusted local state, not an interchange format.  The synthetic
+ecosystem itself is *not* stored here — it regenerates deterministically
+from its config in well under a second and is shared between studies of
+one process via :func:`repro.runtime.ecosystem_for`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, fields, is_dataclass
+from enum import Enum
+from pathlib import Path
+from typing import Any, Iterator
+
+__all__ = ["CACHE_FORMAT", "CacheStats", "StudyCache", "stable_key"]
+
+#: Bump when the pickled artefact layout changes incompatibly; every
+#: key embeds it, so old entries simply stop matching.
+CACHE_FORMAT = 1
+
+
+def _canonical(value: Any) -> Any:
+    """A stable, hashable-by-repr view of a stage-config value.
+
+    Dataclasses flatten to ``(classname, (field, value), ...)``; dicts
+    sort their items; sets sort their elements; enums use their value.
+    The result's ``repr`` is deterministic across processes (no ids,
+    no hash ordering), which is what :func:`stable_key` hashes.
+    """
+    if is_dataclass(value) and not isinstance(value, type):
+        return (
+            type(value).__name__,
+            tuple(
+                (spec.name, _canonical(getattr(value, spec.name)))
+                for spec in fields(value)
+            ),
+        )
+    if isinstance(value, dict):
+        return tuple(
+            (_canonical(key), _canonical(value[key]))
+            for key in sorted(value, key=repr)
+        )
+    if isinstance(value, (list, tuple)):
+        return tuple(_canonical(item) for item in value)
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted((_canonical(item) for item in value), key=repr))
+    if isinstance(value, Enum):
+        return (type(value).__name__, value.value)
+    if value is None or isinstance(value, (bool, int, float, str, bytes)):
+        return value
+    raise TypeError(
+        f"cannot build a stable cache key from {type(value).__name__!r}"
+    )
+
+
+def stable_key(*parts: Any) -> str:
+    """Hex digest identifying one stage configuration.
+
+    Equal configurations (by value, not identity) produce equal keys in
+    every process and on every run; any changed knob changes the key.
+    """
+    hasher = hashlib.blake2b(digest_size=16)
+    hasher.update(repr(_canonical((CACHE_FORMAT,) + parts)).encode())
+    return hasher.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/write counters for one artefact kind."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+
+class StudyCache:
+    """Content-addressed pickle store for stage artefacts.
+
+    One instance may serve many studies and sweep cells concurrently
+    within a process; writes are atomic (write-to-temp + rename), so a
+    crashed run never leaves a truncated artefact behind.
+    """
+
+    def __init__(self, directory: str | os.PathLike) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.counters: dict[str, CacheStats] = {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StudyCache({str(self.directory)!r})"
+
+    # ------------------------------------------------------------------
+    def _path(self, kind: str, key: str) -> Path:
+        if not kind or "/" in kind or "/" in key:
+            raise ValueError(f"bad cache coordinates {kind!r}/{key!r}")
+        return self.directory / kind / f"{key}.pkl"
+
+    def _stats(self, kind: str) -> CacheStats:
+        return self.counters.setdefault(kind, CacheStats())
+
+    def contains(self, kind: str, key: str) -> bool:
+        """Whether an artefact exists (does not touch the counters)."""
+        return self._path(kind, key).exists()
+
+    def get(self, kind: str, key: str) -> Any | None:
+        """The cached artefact, or ``None`` on miss."""
+        path = self._path(kind, key)
+        stats = self._stats(kind)
+        if not path.exists():
+            stats.misses += 1
+            return None
+        with path.open("rb") as handle:
+            artefact = pickle.load(handle)
+        stats.hits += 1
+        return artefact
+
+    def put(self, kind: str, key: str, artefact: Any) -> Path:
+        """Store ``artefact`` under ``kind``/``key`` atomically."""
+        path = self._path(kind, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle, temp_name = tempfile.mkstemp(
+            dir=path.parent, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "wb") as stream:
+                pickle.dump(artefact, stream, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except FileNotFoundError:  # pragma: no cover - already moved
+                pass
+            raise
+        self._stats(kind).writes += 1
+        return path
+
+    # ------------------------------------------------------------------
+    def entries(self) -> Iterator[tuple[str, str]]:
+        """All ``(kind, key)`` pairs currently on disk."""
+        for kind_dir in sorted(self.directory.iterdir()):
+            if not kind_dir.is_dir():
+                continue
+            for path in sorted(kind_dir.glob("*.pkl")):
+                yield kind_dir.name, path.stem
+
+    def prune(self, live: set[tuple[str, str]]) -> int:
+        """Delete entries not in ``live``; returns the removed count."""
+        removed = 0
+        for kind, key in list(self.entries()):
+            if (kind, key) not in live:
+                self._path(kind, key).unlink()
+                removed += 1
+        return removed
+
+    def render_stats(self) -> str:
+        """An aligned per-kind counter table for ``--profile`` output."""
+        from repro.util.formatting import align_table
+
+        rows = [
+            [kind, str(stats.hits), str(stats.misses), str(stats.writes)]
+            for kind, stats in sorted(self.counters.items())
+        ]
+        if not rows:
+            return "Cache: no lookups"
+        body = align_table(rows, header=["Kind", "Hits", "Misses", "Writes"])
+        return f"Cache ({self.directory})\n{body}"

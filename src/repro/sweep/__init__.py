@@ -1,0 +1,13 @@
+"""The scenario sweep engine: grids of studies over one cached store."""
+
+from repro.sweep.runner import CellResult, DatasetSummary, SweepResult, run_sweep
+from repro.sweep.spec import SweepCell, SweepSpec
+
+__all__ = [
+    "CellResult",
+    "DatasetSummary",
+    "SweepCell",
+    "SweepSpec",
+    "SweepResult",
+    "run_sweep",
+]

@@ -1,0 +1,163 @@
+"""Executing a sweep: many study cells, one result bundle.
+
+Each cell runs the full study pipeline (through the shared executor
+fleet and, when given, the content-addressed cache) and is immediately
+reduced to a compact :class:`CellResult` — digest, headline statistics,
+per-dataset Table-1 numbers, stage timings — so a sweep's memory stays
+bounded by its summaries, not by whole studies.
+
+Cells that ablate away datasets the headline needs (e.g. an
+``alexa_variants=fetch`` cell has no ``alexa-nofetch``) record
+``headline=None`` and still contribute their per-dataset numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.analysis.digest import study_digest
+from repro.analysis.headline import HeadlineStats, headline
+from repro.analysis.study import Study
+from repro.core.causes import Cause
+from repro.runtime import Executor, StageTimings
+from repro.store import StudyCache
+from repro.sweep.spec import SweepCell, SweepSpec
+
+__all__ = ["DatasetSummary", "CellResult", "SweepResult", "run_sweep"]
+
+
+@dataclass(frozen=True)
+class DatasetSummary:
+    """One dataset's Table-1 numbers, detached from the study."""
+
+    name: str
+    h2_sites: int
+    h2_connections: int
+    redundant_sites: int
+    redundant_connections: int
+    redundant_site_share: float
+    cause_sites: dict[str, int]
+    cause_connections: dict[str, int]
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Everything the robustness report needs from one cell."""
+
+    cell: SweepCell
+    digest: str
+    headline: HeadlineStats | None
+    datasets: dict[str, DatasetSummary]
+    timings: StageTimings
+
+
+@dataclass
+class SweepResult:
+    """All cell results of one sweep execution."""
+
+    spec: SweepSpec
+    cells: list[CellResult] = field(default_factory=list)
+    cache: StudyCache | None = None
+
+    def timings(self) -> StageTimings:
+        """Stage timings aggregated over every cell."""
+        return StageTimings.merged(result.timings for result in self.cells)
+
+    def by_variant(self) -> list[tuple[str, list[CellResult]]]:
+        """Cells grouped by variant label, preserving grid order."""
+        groups: dict[str, list[CellResult]] = {}
+        for result in self.cells:
+            groups.setdefault(result.cell.variant_label(), []).append(result)
+        return list(groups.items())
+
+
+def _summarize_dataset(name: str, dataset) -> DatasetSummary:
+    report = dataset.report
+    return DatasetSummary(
+        name=name,
+        h2_sites=report.h2_sites,
+        h2_connections=report.h2_connections,
+        redundant_sites=report.redundant_sites,
+        redundant_connections=report.redundant_connections,
+        redundant_site_share=report.redundant_site_share(),
+        cause_sites={
+            cause.value: report.by_cause[cause].sites for cause in Cause
+        },
+        cause_connections={
+            cause.value: report.by_cause[cause].connections for cause in Cause
+        },
+    )
+
+
+def _summarize(cell: SweepCell, study: Study, timings: StageTimings) -> CellResult:
+    try:
+        stats = headline(study)
+    except KeyError:
+        # The cell's variant ablated a dataset the headline needs.
+        stats = None
+    return CellResult(
+        cell=cell,
+        digest=study_digest(study),
+        headline=stats,
+        datasets={
+            name: _summarize_dataset(name, dataset)
+            for name, dataset in study.datasets.items()
+        },
+        timings=timings,
+    )
+
+
+def run_sweep(
+    spec: SweepSpec,
+    *,
+    cache: StudyCache | None = None,
+    executor: Executor | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> SweepResult:
+    """Run every cell of ``spec`` and collect the summaries.
+
+    One executor (the caller's, or one built from the base config) is
+    shared across all cells; only when the grid sweeps the ``executor``
+    or ``parallelism`` fields does each cell build its own.  The cache,
+    when given, is shared too — cells with common stage configurations
+    (same crawl under different lifetime models, re-runs of a warm
+    sweep) skip the corresponding work entirely.
+    """
+    cells = spec.cells()
+    axis_names = {name for name, _ in spec.axes}
+    per_cell_executors = (
+        executor is None and bool({"executor", "parallelism"} & axis_names)
+    )
+    owns_shared = executor is None and not per_cell_executors
+    shared = (
+        executor if executor is not None
+        else spec.base.make_executor() if not per_cell_executors
+        else None
+    )
+    result = SweepResult(spec=spec, cache=cache)
+    try:
+        for index, cell in enumerate(cells):
+            timings = StageTimings()
+            if per_cell_executors:
+                with cell.config.make_executor() as cell_executor:
+                    study = Study.run(
+                        cell.config, executor=cell_executor,
+                        timings=timings, cache=cache,
+                    )
+            else:
+                study = Study.run(
+                    cell.config, executor=shared, timings=timings, cache=cache
+                )
+            summary = _summarize(cell, study, timings)
+            result.cells.append(summary)
+            if progress is not None:
+                progress(
+                    f"[{index + 1}/{len(cells)}] {cell.label()}  "
+                    f"digest={summary.digest[:12]}  "
+                    f"{timings.total_seconds:.2f} s"
+                )
+    finally:
+        if owns_shared and shared is not None:
+            shared.close()
+    return result

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import threading
+
 import pytest
 
 from repro.runtime import (
@@ -85,6 +87,33 @@ class TestMapSites:
         with factory() as executor:
             with pytest.raises(RuntimeError, match="boom"):
                 executor.map_sites(_boom, [1, 2])
+
+    def test_failure_cancels_outstanding_chunks(self):
+        # A failing first chunk must not leave the worker churning
+        # through every remaining (doomed) chunk before the exception
+        # reaches the caller: pending futures are cancelled.
+        executed = []
+        lock = threading.Lock()
+
+        def work(value: int) -> int:
+            with lock:
+                executed.append(value)
+            if value == 0:
+                raise RuntimeError("boom 0")
+            return value
+
+        with ThreadExecutor(1) as executor:
+            with pytest.raises(RuntimeError, match="boom 0"):
+                executor.map_sites(work, list(range(64)), chunk_size=1)
+        # The single worker may race a chunk or two past the failure,
+        # but cancellation must prevent it from draining the queue.
+        assert len(executed) < 32
+
+    def test_failure_keeps_executor_usable(self):
+        with ThreadExecutor(2) as executor:
+            with pytest.raises(RuntimeError):
+                executor.map_sites(_boom, [1, 2, 3], chunk_size=1)
+            assert executor.map_sites(_square, [2, 3]) == [4, 9]
 
     def test_pool_reused_across_maps(self):
         with ThreadExecutor(2) as executor:

@@ -1,0 +1,56 @@
+"""Tests for the per-process ecosystem cache."""
+
+from __future__ import annotations
+
+from repro.runtime.worker import (
+    MAX_CACHED_WORLDS,
+    clear_ecosystem_cache,
+    ecosystem_for,
+    ecosystem_is_cached,
+    prime_ecosystem,
+)
+from repro.web.ecosystem import Ecosystem, EcosystemConfig
+
+
+def _config(index: int) -> EcosystemConfig:
+    return EcosystemConfig(seed=1000 + index, n_sites=5)
+
+
+class TestEcosystemCache:
+    def teardown_method(self):
+        clear_ecosystem_cache()
+
+    def test_hit_returns_same_world(self):
+        clear_ecosystem_cache()
+        config = _config(0)
+        first = ecosystem_for(config)
+        assert ecosystem_is_cached(config)
+        assert ecosystem_for(config) is first
+
+    def test_prime_registers_world(self):
+        clear_ecosystem_cache()
+        world = Ecosystem.generate(_config(1))
+        prime_ecosystem(world)
+        assert ecosystem_for(_config(1)) is world
+
+    def test_cache_is_bounded_lru(self):
+        # Sweeps touch many (seed, n_sites) worlds; only the most
+        # recently used MAX_CACHED_WORLDS may stay resident.
+        clear_ecosystem_cache()
+        configs = [_config(index) for index in range(MAX_CACHED_WORLDS + 2)]
+        for config in configs:
+            ecosystem_for(config)
+        assert not ecosystem_is_cached(configs[0])
+        assert not ecosystem_is_cached(configs[1])
+        for config in configs[2:]:
+            assert ecosystem_is_cached(config)
+
+    def test_recent_use_protects_from_eviction(self):
+        clear_ecosystem_cache()
+        configs = [_config(index) for index in range(MAX_CACHED_WORLDS)]
+        for config in configs:
+            ecosystem_for(config)
+        ecosystem_for(configs[0])  # refresh the oldest
+        ecosystem_for(_config(99))  # force one eviction
+        assert ecosystem_is_cached(configs[0])
+        assert not ecosystem_is_cached(configs[1])

@@ -1,0 +1,168 @@
+"""Tests for the content-addressed study cache."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.analysis.study import StudyConfig
+from repro.core.session import LifetimeModel
+from repro.crawl.alexa import AlexaCrawler
+from repro.crawl.httparchive import HttpArchiveCrawler
+from repro.store import CacheStats, StudyCache, stable_key
+from repro.web.ecosystem import EcosystemConfig
+
+
+@dataclass(frozen=True)
+class _Knobs:
+    alpha: int = 1
+    beta: tuple[str, ...] = ("x", "y")
+
+
+class TestStableKey:
+    def test_deterministic_across_calls(self):
+        assert stable_key("kind", _Knobs(), 7) == stable_key("kind", _Knobs(), 7)
+
+    def test_any_knob_changes_the_key(self):
+        base = stable_key("kind", _Knobs(), 7)
+        assert stable_key("kind", _Knobs(alpha=2), 7) != base
+        assert stable_key("kind", _Knobs(beta=("x",)), 7) != base
+        assert stable_key("other", _Knobs(), 7) != base
+        assert stable_key("kind", _Knobs(), 8) != base
+
+    def test_dict_order_is_irrelevant(self):
+        assert stable_key({"a": 1, "b": 2}) == stable_key({"b": 2, "a": 1})
+
+    def test_dataclass_configs_are_hashable(self):
+        key1 = stable_key(EcosystemConfig(seed=7, n_sites=50))
+        key2 = stable_key(EcosystemConfig(seed=7, n_sites=51))
+        assert key1 != key2
+
+    def test_rejects_unkeyable_values(self):
+        with pytest.raises(TypeError):
+            stable_key(object())
+
+
+class TestStudyCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = StudyCache(tmp_path)
+        key = stable_key("payload", 1)
+        assert cache.get("things", key) is None
+        cache.put("things", key, {"value": 41})
+        assert cache.get("things", key) == {"value": 41}
+        assert cache.counters["things"] == CacheStats(hits=1, misses=1, writes=1)
+
+    def test_contains_does_not_count(self, tmp_path):
+        cache = StudyCache(tmp_path)
+        key = stable_key("x")
+        assert not cache.contains("things", key)
+        cache.put("things", key, 1)
+        assert cache.contains("things", key)
+        assert cache.counters["things"].lookups == 0
+
+    def test_persists_across_instances(self, tmp_path):
+        key = stable_key("x")
+        StudyCache(tmp_path).put("things", key, [1, 2, 3])
+        assert StudyCache(tmp_path).get("things", key) == [1, 2, 3]
+
+    def test_entries_and_prune(self, tmp_path):
+        cache = StudyCache(tmp_path)
+        keep = stable_key("keep")
+        drop = stable_key("drop")
+        cache.put("things", keep, 1)
+        cache.put("things", drop, 2)
+        assert set(cache.entries()) == {("things", keep), ("things", drop)}
+        assert cache.prune({("things", keep)}) == 1
+        assert set(cache.entries()) == {("things", keep)}
+
+    def test_rejects_path_separators(self, tmp_path):
+        cache = StudyCache(tmp_path)
+        with pytest.raises(ValueError):
+            cache.get("bad/kind", "key")
+
+    def test_render_stats(self, tmp_path):
+        cache = StudyCache(tmp_path)
+        assert "no lookups" in cache.render_stats()
+        cache.get("things", stable_key("x"))
+        assert "things" in cache.render_stats()
+
+
+class TestCrawlCaching:
+    def test_har_crawl_warm_hit_is_identical(self, small_ecosystem, tmp_path):
+        cache = StudyCache(tmp_path)
+        crawler = HttpArchiveCrawler(ecosystem=small_ecosystem, seed=51)
+        domains = small_ecosystem.alexa_list(8)
+        cold = crawler.crawl(domains, cache=cache)
+        warm = crawler.crawl(domains, cache=cache)
+        assert cache.counters["har-crawl"] == CacheStats(hits=1, misses=1, writes=1)
+        assert set(warm.hars) == set(cold.hars)
+        assert warm.provenance == cold.provenance == crawler.stage_key(domains)
+
+    def test_alexa_run_warm_hit_is_identical(self, small_ecosystem, tmp_path):
+        cache = StudyCache(tmp_path)
+        crawler = AlexaCrawler(ecosystem=small_ecosystem, seed=52)
+        domains = small_ecosystem.alexa_list(8)
+        cold = crawler.run(domains, run_name="alexa-fetch", cache=cache)
+        warm = crawler.run(domains, run_name="alexa-fetch", cache=cache)
+        assert cache.counters["alexa-crawl"].hits == 1
+        assert set(warm.measurements) == set(cold.measurements)
+
+    def test_run_name_invalidates_alexa_key(self, small_ecosystem):
+        crawler = AlexaCrawler(ecosystem=small_ecosystem, seed=52)
+        domains = small_ecosystem.alexa_list(4)
+        assert crawler.stage_key(domains, run_name="a") != crawler.stage_key(
+            domains, run_name="b"
+        )
+
+    def test_classification_caches_on_provenance(self, small_ecosystem, tmp_path):
+        cache = StudyCache(tmp_path)
+        crawler = HttpArchiveCrawler(ecosystem=small_ecosystem, seed=53)
+        corpus = crawler.crawl(small_ecosystem.alexa_list(8), cache=cache)
+        cold = corpus.classify(model=LifetimeModel.ENDLESS, cache=cache)
+        warm = corpus.classify(model=LifetimeModel.ENDLESS, cache=cache)
+        assert cache.counters["classify"].hits == 1
+        assert warm.report.redundant_connections == cold.report.redundant_connections
+        # A different lifetime model is a different artefact.
+        corpus.classify(model=LifetimeModel.IMMEDIATE, cache=cache)
+        assert cache.counters["classify"].misses == 2
+
+    def test_classification_without_provenance_skips_cache(
+        self, small_ecosystem, tmp_path
+    ):
+        cache = StudyCache(tmp_path)
+        crawler = HttpArchiveCrawler(ecosystem=small_ecosystem, seed=54)
+        # A cache-less crawl computes no stage key and sets no provenance...
+        corpus = crawler.crawl(small_ecosystem.alexa_list(4))
+        assert corpus.provenance is None
+        # ...so a later cached classification cannot key itself and skips.
+        corpus.classify(model=LifetimeModel.ENDLESS, cache=cache)
+        assert "classify" not in cache.counters
+
+
+class TestStudyConfigSmall:
+    def test_small_preserves_new_fields(self):
+        config = StudyConfig(
+            seed=11,
+            n_sites=5000,
+            har_models=("endless",),
+            alexa_variants=("fetch",),
+            executor="thread",
+            parallelism=3,
+        )
+        small = config.small()
+        assert small.n_sites == 200
+        assert small.dns_study_days == 0.25
+        assert small.seed == 11
+        # dataclasses.replace carries every field, including ones added
+        # after small() was written.
+        assert small.har_models == ("endless",)
+        assert small.alexa_variants == ("fetch",)
+        assert small.executor == "thread"
+        assert small.parallelism == 3
+
+    def test_small_copies_overrides(self):
+        config = StudyConfig(ecosystem_overrides={"tail_services": 10})
+        small = config.small()
+        assert small.ecosystem_overrides == config.ecosystem_overrides
+        assert small.ecosystem_overrides is not config.ecosystem_overrides

@@ -18,7 +18,6 @@ class TestSiCount:
             (999, "999"),
             (1_000, "1.00 k"),
             (52_310, "52.31 k"),
-            (999_999, "1000.00 k"),
             (1_000_000, "1.00 M"),
             (2_250_000, "2.25 M"),
             (63_550_000, "63.55 M"),
@@ -30,6 +29,21 @@ class TestSiCount:
     def test_fractional_below_thousand(self):
         assert si_count(12.5) == "12.50"
 
+    @pytest.mark.parametrize(
+        "value, expected",
+        [
+            # Values that round to 1000 of a unit promote to the next
+            # unit instead of rendering '1000.00 <unit>'.
+            (999_995, "1.00 M"),
+            (999_999, "1.00 M"),
+            (999.996, "1.00 k"),
+            (999_994, "999.99 k"),
+            (999, "999"),
+        ],
+    )
+    def test_unit_boundary_promotes(self, value, expected):
+        assert si_count(value) == expected
+
     def test_rejects_negative(self):
         with pytest.raises(ValueError):
             si_count(-1)
@@ -37,6 +51,14 @@ class TestSiCount:
     @given(st.integers(min_value=0, max_value=10**12))
     def test_never_raises_for_counts(self, value):
         assert isinstance(si_count(value), str)
+
+    @given(st.integers(min_value=0, max_value=10**9))
+    def test_never_renders_a_thousand_k(self, value):
+        # "M" is the paper's largest unit, so only the k boundary can
+        # promote; huge values may legitimately exceed 1000 M.
+        rendered = si_count(value)
+        if rendered.endswith(" k"):
+            assert float(rendered.split()[0]) < 1000
 
 
 class TestPct:
@@ -49,6 +71,27 @@ class TestPct:
 
     def test_full(self):
         assert pct(10, 10) == "100 %"
+
+    @pytest.mark.parametrize(
+        "numerator, denominator, expected",
+        [
+            # Ties round half away from zero, not to even (the paper's
+            # convention); banker's rounding would give 0 % and 2 %.
+            (1, 200, "1 %"),
+            (5, 200, "3 %"),
+            (3, 200, "2 %"),
+            (7, 200, "4 %"),
+            (-1, 200, "-1 %"),
+        ],
+    )
+    def test_half_up_at_tie_boundaries(self, numerator, denominator, expected):
+        assert pct(numerator, denominator) == expected
+
+    @given(st.integers(min_value=0, max_value=1000), st.integers(min_value=1, max_value=1000))
+    def test_half_up_never_below_bankers(self, numerator, denominator):
+        rendered = int(pct(numerator, denominator).split()[0])
+        exact = 100 * numerator / denominator
+        assert abs(rendered - exact) <= 0.5
 
 
 class TestAlignTable:
