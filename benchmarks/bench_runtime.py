@@ -44,6 +44,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--per-stage", action="store_true",
                         help="print the per-stage breakdown for each run")
+    parser.add_argument(
+        "--json", default="BENCH_runtime.json", metavar="PATH",
+        help="write results as BENCH-schema JSON (default: "
+             "BENCH_runtime.json; pass '-' to skip)",
+    )
     args = parser.parse_args(argv)
 
     available = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") \
@@ -53,24 +58,54 @@ def main(argv: list[str] | None = None) -> int:
         print("note: pool executors cannot beat the serial baseline on a "
               "single-CPU host; expect <1x with identical digests")
 
-    results: list[tuple[str, float, str]] = []
+    results: list[tuple[str, float, str, StageTimings]] = []
     for spec in args.executors:
         elapsed, digest, timings = run_one(spec, args.sites, args.seed)
-        results.append((spec, elapsed, digest))
+        results.append((spec, elapsed, digest, timings))
         print(f"{spec:<12} {elapsed:8.2f} s   digest {digest}")
         if args.per_stage:
             print(timings.render())
             print()
 
-    baseline_spec, baseline_time, baseline_digest = results[0]
+    baseline_spec, baseline_time, baseline_digest, _ = results[0]
     ok = True
-    for spec, elapsed, digest in results[1:]:
+    for spec, elapsed, digest, _ in results[1:]:
         if digest != baseline_digest:
             print(f"DIGEST MISMATCH: {spec} != {baseline_spec}")
             ok = False
         else:
             print(f"{spec}: {baseline_time / elapsed:.2f}x vs {baseline_spec}"
                   f" (digest identical)")
+
+    if args.json != "-":
+        from repro.perfbench.report import write_custom_bench
+
+        write_custom_bench(
+            "runtime-executors",
+            {
+                "sites": args.sites,
+                "seed": args.seed,
+                "digest_identical": ok,
+                "runs": [
+                    {
+                        "executor": spec,
+                        "wall_s": round(elapsed, 4),
+                        "digest": digest,
+                        "speedup_vs_first": round(baseline_time / elapsed, 3),
+                        "stages": [
+                            {"name": stage.name,
+                             "seconds": round(stage.seconds, 4),
+                             "items": stage.items}
+                            for stage in timings.stages
+                        ],
+                    }
+                    for spec, elapsed, digest, timings in results
+                ],
+            },
+            args.json,
+            label=f"runtime-{args.sites}-sites",
+        )
+        print(f"wrote {args.json}")
     return 0 if ok else 1
 
 

@@ -46,3 +46,47 @@ def emit(artifact: str) -> None:
     """Print a rendered artefact beneath the benchmark output."""
     print()
     print(artifact)
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-json", default=None, metavar="PATH",
+        help="after the run, write all pytest-benchmark results as "
+             "BENCH-schema JSON (see repro.perfbench.report)",
+    )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Persist benchmark stats machine-readably when --bench-json is set."""
+    path = session.config.getoption("--bench-json")
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if not path or bench_session is None:
+        return
+    entries = []
+    for bench in bench_session.benchmarks:
+        stats = getattr(bench, "stats", None)
+        if stats is None:  # collected but never measured (e.g. skipped)
+            continue
+        entries.append({
+            "name": bench.name,
+            "group": bench.group,
+            "rounds": stats.rounds,
+            "mean_s": round(stats.mean, 6),
+            "min_s": round(stats.min, 6),
+            "stddev_s": round(stats.stddev, 6),
+            "ops_per_s": round(stats.ops, 1),
+        })
+    if not entries:
+        return
+    from repro.perfbench.report import write_custom_bench
+
+    write_custom_bench(
+        "pytest-benchmarks",
+        {"config": {"n_sites": BENCH_CONFIG.n_sites,
+                    "seed": BENCH_CONFIG.seed,
+                    "executor": BENCH_CONFIG.executor},
+         "benchmarks": entries},
+        path,
+        label="benchmarks-suite",
+    )
+    print(f"\nwrote {path}")

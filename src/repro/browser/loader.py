@@ -39,7 +39,7 @@ from repro.web.resources import Resource, ResourceType
 __all__ = ["LoadedRequest", "PageLoadResult", "PageLoader"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LoadedRequest:
     """One completed request plus the connection that carried it."""
 
@@ -49,7 +49,7 @@ class LoadedRequest:
     retried_after_421: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class PageLoadResult:
     """Everything one page load produced."""
 
@@ -87,6 +87,8 @@ class PageLoader:
     max_think: float = 2.0
     #: Extra deferral for beacons, which browsers fire at/after onload.
     beacon_delay_max: float = 12.0
+    #: Breadth-first work queue, reused across page loads.
+    _queue: deque = field(default_factory=deque, repr=False)
 
     def _latency(self) -> float:
         return self.rng.uniform(self.min_latency, self.max_latency)
@@ -145,7 +147,9 @@ class PageLoader:
             started_at=started,
             finished_at=started,
         )
-        queue: deque[Resource] = deque([document])
+        queue: deque[Resource] = self._queue
+        queue.clear()
+        queue.append(document)
         while queue:
             resource = queue.popleft()
             loaded = self._load_one(resource, document.domain, result)

@@ -30,7 +30,7 @@ from repro.web.server import OriginServer
 __all__ = ["SessionKey", "PoolDecision", "ConnectionPool"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SessionKey:
     """Chromium SpdySessionKey subset: host, port, privacy partition."""
 
@@ -39,7 +39,7 @@ class SessionKey:
     privacy_mode: bool
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PoolDecision:
     """How a request obtained its connection (for tests/diagnostics)."""
 
@@ -66,6 +66,9 @@ class ConnectionPool:
     port: int = 443
     sessions: list[Http2Connection] = field(default_factory=list)
     _aliases: dict[SessionKey, Http2Connection] = field(default_factory=dict)
+    _interned_keys: dict[tuple[str, bool], SessionKey] = field(
+        default_factory=dict, repr=False
+    )
     _next_connection_id: int = 1
     coalesced_count: int = 0
     created_count: int = 0
@@ -73,7 +76,14 @@ class ConnectionPool:
     def _key(self, host: str, privacy_mode: bool) -> SessionKey:
         if self.ignore_privacy_mode:
             privacy_mode = False
-        return SessionKey(host=host, port=self.port, privacy_mode=privacy_mode)
+        # Interned: the same (host, partition) recurs for every request
+        # of a visit; reusing the key object skips an allocation per
+        # request.
+        key = self._interned_keys.get((host, privacy_mode))
+        if key is None:
+            key = SessionKey(host=host, port=self.port, privacy_mode=privacy_mode)
+            self._interned_keys[(host, privacy_mode)] = key
+        return key
 
     def _partition_matches(self, session: Http2Connection, privacy_mode: bool) -> bool:
         if self.ignore_privacy_mode:
@@ -136,7 +146,7 @@ class ConnectionPool:
         self, key: SessionKey, host: str, ips: tuple[str, ...]
     ) -> tuple[Http2Connection, bool] | None:
         ip_set = set(ips)
-        origin = f"https://{host}"
+        origin = f"https://{host}" if self.honor_origin_frame else None
         for session in self.sessions:
             if not session.is_open:
                 continue
@@ -148,12 +158,20 @@ class ConnectionPool:
                 continue
             if host in session.misdirected_domains:
                 continue
+            # Both reuse paths additionally require certificate
+            # coverage, so the (memoized but still costlier) SAN match
+            # runs only for sessions that qualify on IP or origin set.
+            ip_match = session.remote_ip in ip_set
+            via_origin = (
+                not ip_match
+                and origin is not None
+                and origin in session.origin_set
+            )
+            if not ip_match and not via_origin:
+                continue
             if not session.certificate.covers(host):
                 continue
-            if session.remote_ip in ip_set:
-                return session, False
-            if self.honor_origin_frame and origin in session.origin_set:
-                return session, True
+            return session, via_origin
         return None
 
     def _create(
@@ -170,7 +188,7 @@ class ConnectionPool:
         # per-attempt ordering); picking among answers reproduces the
         # paper's corner case of same-domain connections on different
         # IPs (§4.1).
-        ip = self.rng.choice(list(ips))
+        ip = self.rng.choice(ips)
         server = self.server_lookup(ip)
         protocol = server.alpn
         if self.enable_quic and getattr(server, "alt_svc_h3", False):

@@ -11,6 +11,8 @@ Usage (after ``pip install -e .``)::
     python -m repro dnsstudy --days 2
     python -m repro mitigations --sites 200
     python -m repro perf --sites 300
+    python -m repro bench --scales smoke,golden,stress
+    python -m repro bench --check --check-scale smoke --tolerance 0.25
 
 Every command is deterministic given ``--seed`` — including under
 ``--executor thread`` / ``--executor process``, which change only
@@ -59,7 +61,8 @@ def _study_from_args(args):
     from repro.runtime import StageTimings, null_timings
 
     timings = (
-        StageTimings() if getattr(args, "profile", False) else null_timings()
+        StageTimings(memory=True) if getattr(args, "profile", False)
+        else null_timings()
     )
     config = StudyConfig(
         seed=args.seed,
@@ -145,6 +148,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     validate.add_argument("--sites", type=int, default=400)
     _add_runtime_args(validate)
+
+    bench = commands.add_parser(
+        "bench",
+        help="measure pipeline + hot-path performance; write/check "
+             "BENCH_*.json",
+    )
+    bench.add_argument(
+        "--scales", default="smoke,golden,stress",
+        help="comma-separated pipeline scales to run "
+             "(smoke, golden, stress)",
+    )
+    bench.add_argument("--repeat", type=int, default=3,
+                       help="repetitions per measurement (best one wins)")
+    bench.add_argument("--out-dir", default=".",
+                       help="directory holding BENCH_pipeline.json / "
+                            "BENCH_hotpath.json")
+    bench.add_argument("--label", default="bench",
+                       help="history label recorded for this session")
+    bench.add_argument("--note", default="",
+                       help="free-text note stored with the history entry")
+    bench.add_argument("--pipeline-only", action="store_true",
+                       help="skip the hot-path microbenchmarks")
+    bench.add_argument("--hotpath", action="store_true",
+                       help="run only the hot-path microbenchmarks")
+    bench.add_argument(
+        "--check", action="store_true",
+        help="compare a fresh run against the committed "
+             "BENCH_pipeline.json instead of rewriting it; exit 1 on "
+             "digest mismatch or wall-clock regression",
+    )
+    bench.add_argument("--check-scale", default="golden",
+                       help="scale measured by --check (default: golden)")
+    bench.add_argument("--tolerance", type=float, default=0.25,
+                       help="allowed relative wall-clock regression for "
+                            "--check (0.25 == 25%%)")
     return parser
 
 
@@ -302,6 +340,84 @@ def _cmd_validate(args) -> int:
     return 0 if scorecard.all_passed else 1
 
 
+def _cmd_bench(args) -> int:
+    from pathlib import Path
+
+    from repro.perfbench import (
+        check_pipeline,
+        load_bench,
+        run_microbenchmarks,
+        run_pipeline_bench,
+        write_hotpath_bench,
+        write_pipeline_bench,
+    )
+    from repro.perfbench.pipeline import SCALES
+    from repro.perfbench.report import (
+        HOTPATH_BENCH,
+        PIPELINE_BENCH,
+        CheckFailure,
+        render_check_report,
+    )
+
+    out_dir = Path(args.out_dir)
+    pipeline_path = out_dir / PIPELINE_BENCH
+
+    if args.check:
+        try:
+            committed = load_bench(pipeline_path)
+        except FileNotFoundError:
+            print(f"error: no committed {pipeline_path} to check against",
+                  file=sys.stderr)
+            return 2
+        except CheckFailure as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        fresh = run_pipeline_bench(args.check_scale, repeats=args.repeat)
+        try:
+            outcome = check_pipeline(fresh, committed,
+                                     tolerance=args.tolerance)
+        except CheckFailure as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(render_check_report(outcome))
+        return 0 if outcome.passed else 1
+
+    scales = [part.strip() for part in args.scales.split(",") if part.strip()]
+    unknown = [scale for scale in scales if scale not in SCALES]
+    if unknown:
+        print(f"error: unknown scales {unknown}; pick from {sorted(SCALES)}",
+              file=sys.stderr)
+        return 2
+
+    if not args.hotpath:
+        # Ascending size: ru_maxrss is a process-wide high-water mark,
+        # so larger scales must not run before smaller ones record
+        # their peak RSS.
+        scales.sort(key=lambda scale: SCALES[scale].n_sites)
+        runs = []
+        for scale in scales:
+            run = run_pipeline_bench(scale, repeats=args.repeat)
+            print(f"pipeline {scale:<7} {run.wall_s:8.2f} s  "
+                  f"digest {run.digest}  peak RSS {run.peak_rss_kb:,} KiB")
+            runs.append(run)
+        payload = write_pipeline_bench(
+            runs, pipeline_path, label=args.label, note=args.note
+        )
+        for scale, speedup in payload["speedup_vs_oldest"].items():
+            print(f"  {scale}: {speedup:.2f}x vs oldest recorded baseline")
+        print(f"wrote {pipeline_path}")
+
+    if not args.pipeline_only:
+        results = run_microbenchmarks(repeat=args.repeat)
+        for result in results:
+            print(f"hotpath {result.name:<20} {result.ops_per_s:>12,.0f} "
+                  f"ops/s  ({result.note})")
+        hotpath_path = out_dir / HOTPATH_BENCH
+        write_hotpath_bench(results, hotpath_path, label=args.label)
+        print(f"wrote {hotpath_path}")
+    return 0
+
+
 _COMMANDS = {
     "study": _cmd_study,
     "sweep": _cmd_sweep,
@@ -311,6 +427,7 @@ _COMMANDS = {
     "perf": _cmd_perf,
     "report": _cmd_report,
     "validate": _cmd_validate,
+    "bench": _cmd_bench,
 }
 
 

@@ -125,6 +125,9 @@ def classify_site(
         cred_prev: SessionRecord | None = None
         ip_prev: SessionRecord | None = None
         for prior in priors:  # priors are in establishment order
+            if (cert_prev is not None and cred_prev is not None
+                    and ip_prev is not None):
+                break  # every cause already has its earliest witness
             same_ip = prior.ip == record.ip and prior.port == record.port
             covers = prior.covers(record.domain)
             same_domain = prior.domain == record.domain

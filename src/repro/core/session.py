@@ -18,7 +18,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
-from repro.tls.verify import hostname_matches
+from repro.tls.verify import sans_cover
 
 __all__ = ["LifetimeModel", "RequestSummary", "SessionRecord", "records_from_visit"]
 
@@ -31,7 +31,7 @@ class LifetimeModel(enum.Enum):
     ACTUAL = "actual"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RequestSummary:
     """The per-request facts the classifier and perf models need."""
 
@@ -44,7 +44,7 @@ class RequestSummary:
     method: str = "GET"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SessionRecord:
     """One observed connection, source-agnostic."""
 
@@ -62,7 +62,7 @@ class SessionRecord:
 
     def covers(self, domain: str) -> bool:
         """Would this session's certificate cover ``domain``?"""
-        return any(hostname_matches(san, domain) for san in self.sans)
+        return sans_cover(self.sans, domain)
 
     def last_request_at(self) -> float:
         if not self.requests:

@@ -25,11 +25,23 @@ exactly the temporal/spatial fluctuation of Figure 3:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Protocol, Sequence
 
 from repro.util.rng import stable_hash
 
 __all__ = ["LoadBalancingPolicy", "StaticPolicy", "RotationPolicy", "AnycastPolicy"]
+
+
+@lru_cache(maxsize=1 << 16)
+def _rotation_hash(salt: str, slot: int, vantage: str) -> int:
+    """The BLAKE2b rotation hash, memoized per (salt, slot, vantage).
+
+    Every resolver re-asks the same names within one rotation slot
+    (TTLs are shorter than periods), so identical hashes recur heavily
+    in the DNS study's long simulated horizon.
+    """
+    return stable_hash("rotation", salt, slot, vantage)
 
 
 class LoadBalancingPolicy(Protocol):
@@ -78,12 +90,15 @@ class RotationPolicy:
     ) -> tuple[str, ...]:
         if not pool:
             return ()
+        size = len(pool)
         slot = int(now // self.period_s)
         vantage = resolver_id if self.per_resolver else ""
-        offset = stable_hash("rotation", salt, slot, vantage) % len(pool)
-        count = min(self.answer_count, len(pool))
-        doubled = list(pool) + list(pool)
-        return tuple(doubled[offset:offset + count])
+        offset = _rotation_hash(salt, slot, vantage) % size
+        count = min(self.answer_count, size)
+        end = offset + count
+        if end <= size:  # wrap-free slice (the common case)
+            return tuple(pool[offset:end])
+        return tuple(pool[offset:]) + tuple(pool[:end - size])
 
 
 @dataclass(frozen=True)

@@ -64,17 +64,50 @@ def default_fleet(namespace: DnsNamespace) -> list["RecursiveResolver"]:
 
 @dataclass
 class RecursiveResolver:
-    """A recursive resolver with a TTL-honouring answer cache."""
+    """A recursive resolver with a TTL-honouring answer cache.
+
+    The cache self-limits: an expired entry found on lookup is deleted
+    immediately (lazy deletion), and every ``sweep_interval`` queries a
+    full sweep drops everything already expired at that point.  Growth
+    is thereby bounded by the *live* entries (at most one per distinct
+    cache key with an unexpired TTL) instead of by every name ever
+    queried — on long simulated horizons (``dns_study_days``) the
+    difference is unbounded.  Live entries are never evicted early:
+    doing so would change answers, and answers are part of the study
+    digest.
+    """
 
     namespace: DnsNamespace
     info: ResolverInfo
     _cache: dict[str, tuple[float, Answer]] = field(default_factory=dict)
     queries: int = 0
     cache_hits: int = 0
+    expired_evictions: int = 0
+    #: Queries between periodic full sweeps of expired entries.
+    sweep_interval: int = 4096
+    _sweep_countdown: int = field(default=4096, repr=False)
+
+    def __post_init__(self) -> None:
+        self._sweep_countdown = self.sweep_interval
 
     @property
     def resolver_id(self) -> str:
         return self.info.resolver_id
+
+    @property
+    def cache_size(self) -> int:
+        return len(self._cache)
+
+    def sweep(self, *, now: float) -> int:
+        """Drop every entry already expired at ``now``; returns count."""
+        expired = [
+            key for key, (expiry, _) in self._cache.items() if now >= expiry
+        ]
+        for key in expired:
+            del self._cache[key]
+        self.expired_evictions += len(expired)
+        self._sweep_countdown = self.sweep_interval
+        return len(expired)
 
     def resolve(
         self, name: str, *, now: float, client_subnet: str | None = None
@@ -92,6 +125,9 @@ class RecursiveResolver:
         resolvers themselves.
         """
         self.queries += 1
+        self._sweep_countdown -= 1
+        if self._sweep_countdown <= 0:
+            self.sweep(now=now)
         use_ecs = self.info.supports_ecs and client_subnet is not None
         cache_key = f"{name}\x1f{client_subnet}" if use_ecs else name
         cached = self._cache.get(cache_key)
@@ -100,6 +136,10 @@ class RecursiveResolver:
             if now < expiry:
                 self.cache_hits += 1
                 return answer
+            # Lazy deletion: the entry is dead and would only ever be
+            # overwritten below; drop it so flushes/sweeps stay cheap.
+            del self._cache[cache_key]
+            self.expired_evictions += 1
         vantage = (
             f"{self.resolver_id}|ecs:{client_subnet}" if use_ecs
             else self.resolver_id

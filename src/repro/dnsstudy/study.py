@@ -113,6 +113,9 @@ class DnsLoadBalancingStudy:
     start_time: float = 0.0
     duration_s: float = 2 * 24 * 3600.0
     interval_s: float = 360.0  # every 6 minutes, like the paper
+    #: The resolver fleet of the last :meth:`run`, kept for cache
+    #: inspection (the PR 3 growth regression tests read it).
+    resolvers: list[RecursiveResolver] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if not self.pairs:
@@ -125,6 +128,7 @@ class DnsLoadBalancingStudy:
     def run(self) -> DnsStudyResult:
         """Probe every pair from every resolver at every slot."""
         fleet: list[RecursiveResolver] = default_fleet(self.ecosystem.namespace)
+        self.resolvers = fleet
         timelines = [
             PairTimeline(pair=pair, resolver_count=len(fleet))
             for pair in self.pairs

@@ -34,6 +34,8 @@ __all__ = [
 
 HTTP_MISDIRECTED_REQUEST = 421
 
+_DEFAULT_SETTINGS = Http2Settings()
+
 
 class ConnectionClosedError(RuntimeError):
     """A request was attempted on a closed connection."""
@@ -60,7 +62,7 @@ class ServerEndpoint(Protocol):
         ...
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RequestRecord:
     """One request as later visible in HAR / NetLog data."""
 
@@ -90,8 +92,10 @@ class Http2Connection:
     #: Negotiated ALPN protocol; non-"h2" sessions model the HTTP/1.1
     #: fallback connections that the HAR sanitizer later filters out.
     protocol: str = "h2"
-    local_settings: Http2Settings = field(default_factory=Http2Settings)
-    remote_settings: Http2Settings = field(default_factory=Http2Settings)
+    # Http2Settings is frozen, so one default instance is safely shared
+    # by every connection instead of being rebuilt per handshake.
+    local_settings: Http2Settings = field(default=_DEFAULT_SETTINGS)
+    remote_settings: Http2Settings = field(default=_DEFAULT_SETTINGS)
     closed_at: float | None = None
     goaway_received: bool = False
     streams: dict[int, Http2Stream] = field(default_factory=dict)
@@ -110,10 +114,25 @@ class Http2Connection:
                 f"connection IP {self.remote_ip} does not match server {self.server.ip}"
             )
         self._encoder = HpackEncoder(self.remote_settings.header_table_size)
-        self._decoder = HpackDecoder(self.local_settings.header_table_size)
+        self._decoder_instance: HpackDecoder | None = None
+        self._open_streams = 0
+        self._last_activity = self.created_at
         # RFC 8336: the server may advertise additional origins at
         # session start; whether the client *uses* them is browser policy.
         self.origin_set.update(self.server.advertised_origins())
+
+    @property
+    def _decoder(self) -> HpackDecoder:
+        """The receive-direction HPACK state, built on first use.
+
+        The study's request path only ever exercises the encoder, so
+        most connections never pay for a second dynamic table.
+        """
+        if self._decoder_instance is None:
+            self._decoder_instance = HpackDecoder(
+                self.local_settings.header_table_size
+            )
+        return self._decoder_instance
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -129,6 +148,7 @@ class Http2Connection:
             for stream in self.streams.values():
                 if not stream.is_closed:
                     stream.reset(now=now)
+            self._open_streams = 0
 
     def receive_goaway(self, *, now: float) -> None:
         """Server GOAWAY: no new streams; existing ones finish."""
@@ -147,7 +167,9 @@ class Http2Connection:
     # Requests
     # ------------------------------------------------------------------
     def open_stream_count(self) -> int:
-        return sum(1 for stream in self.streams.values() if not stream.is_closed)
+        # Tracked incrementally by perform_request/close; recomputing
+        # with a scan here would make every request O(total streams).
+        return self._open_streams
 
     def perform_request(
         self,
@@ -175,6 +197,7 @@ class Http2Connection:
         stream = Http2Stream(stream_id=self._next_stream_id)
         self._next_stream_id += 2
         self.streams[stream.stream_id] = stream
+        self._open_streams += 1
 
         headers = [
             (":method", method),
@@ -193,6 +216,10 @@ class Http2Connection:
         )
         finished = now + service_time
         stream.receive_response(status, response_headers, now=finished)
+        if stream.is_closed:
+            self._open_streams -= 1
+        if finished > self._last_activity:
+            self._last_activity = finished
 
         if status == HTTP_MISDIRECTED_REQUEST:
             # The server refuses to answer for this origin on this
@@ -231,9 +258,7 @@ class Http2Connection:
 
     def last_activity(self) -> float:
         """Timestamp of the most recent request completion (or creation)."""
-        if not self.requests:
-            return self.created_at
-        return max(record.finished_at for record in self.requests)
+        return self._last_activity
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

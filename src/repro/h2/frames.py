@@ -31,6 +31,8 @@ __all__ = [
     "UnknownFrame",
     "FrameError",
     "encode_frame",
+    "encode_frame_into",
+    "encode_frames",
     "decode_frames",
 ]
 
@@ -90,10 +92,10 @@ class FrameHeader:
         )
 
     @classmethod
-    def unpack(cls, data: bytes) -> "FrameHeader":
-        if len(data) < 9:
+    def unpack(cls, data: bytes, offset: int = 0) -> "FrameHeader":
+        if len(data) - offset < 9:
             raise FrameError("truncated frame header")
-        high, low, frame_type, flags, stream = _HEADER.unpack_from(data)
+        high, low, frame_type, flags, stream = _HEADER.unpack_from(data, offset)
         return cls(
             length=(high << 8) | low,
             frame_type=frame_type,
@@ -211,17 +213,38 @@ class UnknownFrame(Frame):
         return self.raw_payload
 
 
+def encode_frame_into(out: bytearray, frame: Frame) -> None:
+    """Serialise ``frame`` (header + payload) into a caller-owned buffer.
+
+    The buffer-reuse entry point: a connection flushing many frames
+    appends them all into one ``bytearray`` instead of concatenating a
+    fresh ``bytes`` per frame.  Validation matches ``FrameHeader``.
+    """
+    payload = frame.payload()
+    length = len(payload)
+    if length >= (1 << 24):
+        raise FrameError(f"length {length} exceeds 24 bits")
+    stream_id = frame.stream_id
+    if not 0 <= stream_id < (1 << 31):
+        raise FrameError(f"stream id {stream_id} exceeds 31 bits")
+    frame_type = frame.raw_type if isinstance(frame, UnknownFrame) else frame.frame_type
+    out += _HEADER.pack(length >> 8, length & 0xFF, frame_type, frame.flags, stream_id)
+    out += payload
+
+
 def encode_frame(frame: Frame) -> bytes:
     """Serialise ``frame`` into header + payload octets."""
-    payload = frame.payload()
-    frame_type = frame.raw_type if isinstance(frame, UnknownFrame) else frame.frame_type
-    header = FrameHeader(
-        length=len(payload),
-        frame_type=frame_type,
-        flags=frame.flags,
-        stream_id=frame.stream_id,
-    )
-    return header.pack() + payload
+    out = bytearray()
+    encode_frame_into(out, frame)
+    return bytes(out)
+
+
+def encode_frames(frames: "list[Frame] | tuple[Frame, ...]") -> bytes:
+    """Serialise consecutive frames into one contiguous byte string."""
+    out = bytearray()
+    for frame in frames:
+        encode_frame_into(out, frame)
+    return bytes(out)
 
 
 def _decode_payload(header: FrameHeader, payload: bytes) -> Frame:
@@ -281,10 +304,11 @@ def decode_frames(data: bytes) -> list[Frame]:
     """Decode a byte string into consecutive frames (must consume fully)."""
     frames: list[Frame] = []
     offset = 0
-    while offset < len(data):
-        header = FrameHeader.unpack(data[offset:offset + 9])
+    total = len(data)
+    while offset < total:
+        header = FrameHeader.unpack(data, offset)
         offset += 9
-        if offset + header.length > len(data):
+        if offset + header.length > total:
             raise FrameError("truncated frame payload")
         frames.append(_decode_payload(header, data[offset:offset + header.length]))
         offset += header.length

@@ -15,6 +15,7 @@ connection versus several cold ones.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
 __all__ = ["HpackEncoder", "HpackDecoder", "HpackError", "STATIC_TABLE"]
@@ -96,6 +97,8 @@ _STATIC_NAME_LOOKUP: dict[str, int] = {}
 for _index, (_name, _value) in enumerate(STATIC_TABLE):
     _STATIC_NAME_LOOKUP.setdefault(_name, _index + 1)
 
+_STATIC_LEN = len(STATIC_TABLE)
+
 #: Per-entry overhead in the dynamic-table size calculation (RFC 7541 §4.1).
 _ENTRY_OVERHEAD = 32
 
@@ -147,6 +150,28 @@ def _encode_string(text: str) -> bytes:
     return encode_integer(len(raw), 7) + raw
 
 
+def _append_integer(
+    out: bytearray, value: int, prefix_bits: int, first_byte_flags: int = 0
+) -> None:
+    """Append a prefix-coded integer to ``out`` without intermediates."""
+    limit = (1 << prefix_bits) - 1
+    if 0 <= value < limit:
+        out.append(first_byte_flags | value)
+        return
+    out += encode_integer(value, prefix_bits, first_byte_flags)
+
+
+def _append_string(out: bytearray, text: str) -> None:
+    """Append a length-prefixed literal string to ``out`` (H bit 0)."""
+    raw = text.encode("utf-8")
+    length = len(raw)
+    if length < 127:
+        out.append(length)
+    else:
+        out += encode_integer(length, 7)
+    out += raw
+
+
 def _decode_string(data: bytes, offset: int) -> tuple[str, int]:
     if offset >= len(data):
         raise HpackError("truncated string length")
@@ -161,54 +186,74 @@ def _decode_string(data: bytes, offset: int) -> tuple[str, int]:
 
 @dataclass
 class _DynamicTable:
-    """The shared dynamic-table mechanics of encoder and decoder."""
+    """The shared dynamic-table mechanics of encoder and decoder.
+
+    Entries live in a deque with the newest entry at position 0, exactly
+    the combined-address-space order of RFC 7541 §2.3.3.  Two index maps
+    keyed by monotonically increasing insertion ids give the encoder an
+    O(1) per-header lookup (formerly a linear scan; the lookup itself is
+    inlined in :meth:`HpackEncoder.encode`): an entry inserted as id
+    ``k`` currently sits at position ``_next_id - 1 - k`` because
+    evictions only ever remove the oldest entry, so its combined index
+    is ``_STATIC_LEN + _next_id - k``.  The maps store the *latest* id
+    per (name, value) pair and per name, matching the old scan's
+    preference for the newest entry.
+    """
 
     max_size: int = 4096
-    entries: list[tuple[str, str]] = field(default_factory=list)
+    entries: deque[tuple[str, str]] = field(default_factory=deque)
     size: int = 0
+    _sizes: deque[int] = field(default_factory=deque, repr=False)
+    _next_id: int = field(default=0, repr=False)
+    _by_pair: dict[tuple[str, str], int] = field(default_factory=dict, repr=False)
+    _by_name: dict[str, int] = field(default_factory=dict, repr=False)
 
     @staticmethod
     def entry_size(name: str, value: str) -> int:
+        # ASCII fast path: header names/values are almost always ASCII,
+        # where the UTF-8 byte length equals the string length and no
+        # bytes object needs to be materialised.
+        if name.isascii() and value.isascii():
+            return len(name) + len(value) + _ENTRY_OVERHEAD
         return len(name.encode()) + len(value.encode()) + _ENTRY_OVERHEAD
+
+    def _evict_oldest(self) -> None:
+        oldest_id = self._next_id - len(self.entries)
+        pair = self.entries.pop()
+        self.size -= self._sizes.pop()
+        if self._by_pair.get(pair) == oldest_id:
+            del self._by_pair[pair]
+        if self._by_name.get(pair[0]) == oldest_id:
+            del self._by_name[pair[0]]
 
     def add(self, name: str, value: str) -> None:
         needed = self.entry_size(name, value)
         while self.entries and self.size + needed > self.max_size:
-            old_name, old_value = self.entries.pop()
-            self.size -= self.entry_size(old_name, old_value)
+            self._evict_oldest()
         if needed <= self.max_size:
-            self.entries.insert(0, (name, value))
+            self.entries.appendleft((name, value))
+            self._sizes.appendleft(needed)
             self.size += needed
+            self._by_pair[(name, value)] = self._next_id
+            self._by_name[name] = self._next_id
+            self._next_id += 1
 
     def resize(self, new_max: int) -> None:
         self.max_size = new_max
         while self.entries and self.size > self.max_size:
-            old_name, old_value = self.entries.pop()
-            self.size -= self.entry_size(old_name, old_value)
+            self._evict_oldest()
 
     def lookup(self, index: int) -> tuple[str, str]:
         """Combined-address-space lookup (static table first)."""
         if index < 1:
             raise HpackError(f"index {index} out of range")
-        if index <= len(STATIC_TABLE):
+        if index <= _STATIC_LEN:
             return STATIC_TABLE[index - 1]
-        dynamic_index = index - len(STATIC_TABLE) - 1
+        dynamic_index = index - _STATIC_LEN - 1
         if dynamic_index >= len(self.entries):
             raise HpackError(f"index {index} out of range")
         return self.entries[dynamic_index]
 
-    def find(self, name: str, value: str) -> tuple[int | None, int | None]:
-        """Return (full-match index, name-only index) in combined space."""
-        full = _STATIC_LOOKUP.get((name, value))
-        name_only = _STATIC_NAME_LOOKUP.get(name)
-        for position, (entry_name, entry_value) in enumerate(self.entries):
-            index = len(STATIC_TABLE) + 1 + position
-            if entry_name == name:
-                if entry_value == value and full is None:
-                    full = index
-                if name_only is None:
-                    name_only = index
-        return full, name_only
 
 
 class HpackEncoder:
@@ -222,28 +267,56 @@ class HpackEncoder:
     def encode(self, headers: list[tuple[str, str]]) -> bytes:
         """Encode one header list into a header block fragment."""
         out = bytearray()
-        for name, value in headers:
-            name = name.lower()
-            self.bytes_uncompressed += len(name) + len(value) + 2
-            full, name_only = self._table.find(name, value)
-            if full is not None:
-                out += encode_integer(full, 7, 0x80)
+        append = out.append
+        table = self._table
+        # The table's maps are mutated in place by add(), never rebound,
+        # so they can be hoisted out of the per-header loop.
+        by_pair = table._by_pair
+        by_name = table._by_name
+        static_full = _STATIC_LOOKUP
+        static_name = _STATIC_NAME_LOOKUP
+        uncompressed = 0
+        for pair in headers:
+            name, value = pair
+            lowered = name.lower()
+            if lowered != name:
+                name = lowered
+                pair = (name, value)
+            uncompressed += len(name) + len(value) + 2
+            full = static_full.get(pair)
+            if full is None:
+                entry_id = by_pair.get(pair)
+                if entry_id is not None:
+                    full = _STATIC_LEN + table._next_id - entry_id
+            if full is not None:  # Indexed representation.
+                if full < 127:
+                    append(0x80 | full)
+                else:
+                    out += encode_integer(full, 7, 0x80)
                 continue
+            name_only = static_name.get(name)
+            if name_only is None:
+                entry_id = by_name.get(name)
+                if entry_id is not None:
+                    name_only = _STATIC_LEN + table._next_id - entry_id
             if name in _NEVER_INDEX:
                 # Literal never indexed (0x10 prefix).
                 if name_only is not None:
-                    out += encode_integer(name_only, 4, 0x10)
+                    _append_integer(out, name_only, 4, 0x10)
                 else:
-                    out += bytes([0x10]) + _encode_string(name)
-                out += _encode_string(value)
+                    append(0x10)
+                    _append_string(out, name)
+                _append_string(out, value)
                 continue
             # Literal with incremental indexing (0x40 prefix).
             if name_only is not None:
-                out += encode_integer(name_only, 6, 0x40)
+                _append_integer(out, name_only, 6, 0x40)
             else:
-                out += bytes([0x40]) + _encode_string(name)
-            out += _encode_string(value)
-            self._table.add(name, value)
+                append(0x40)
+                _append_string(out, name)
+            _append_string(out, value)
+            table.add(name, value)
+        self.bytes_uncompressed += uncompressed
         self.bytes_emitted += len(out)
         return bytes(out)
 

@@ -26,7 +26,7 @@ class StreamState(enum.Enum):
     CLOSED = "closed"
 
 
-@dataclass
+@dataclass(slots=True)
 class Http2Stream:
     """One stream of a connection, from the client's perspective."""
 

@@ -32,7 +32,7 @@ class NetLogEventType(enum.Enum):
     PAGE_LOAD_END = "PAGE_LOAD_END"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NetLogEvent:
     """One log line: type, simulated time, source (connection) id, params."""
 

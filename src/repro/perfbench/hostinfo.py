@@ -1,0 +1,32 @@
+"""Host metadata stamped into every BENCH_*.json.
+
+Wall-clock numbers are only comparable on the same class of machine;
+the recorded host block lets the comparator warn when a check runs on
+different hardware than the committed baseline.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+
+__all__ = ["host_metadata", "available_cpus"]
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually use (affinity-aware)."""
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+def host_metadata() -> dict:
+    """The reproducible-enough fingerprint of the benchmarking host."""
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "cpus": available_cpus(),
+    }

@@ -25,6 +25,7 @@ from repro.runtime.executor import (
 )
 from repro.runtime.profile import StageTimings, null_timings
 from repro.runtime.worker import (
+    clear_ecosystem_cache,
     ecosystem_for,
     ecosystem_is_cached,
     prime_ecosystem,
@@ -39,6 +40,7 @@ __all__ = [
     "make_executor",
     "StageTimings",
     "null_timings",
+    "clear_ecosystem_cache",
     "ecosystem_for",
     "ecosystem_is_cached",
     "prime_ecosystem",

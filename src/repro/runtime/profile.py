@@ -9,6 +9,7 @@ benchmarks can show where executor parallelism pays off.
 from __future__ import annotations
 
 import time
+import tracemalloc
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
@@ -23,6 +24,9 @@ class StageTiming:
     name: str
     seconds: float
     items: int | None = None
+    #: Peak python heap allocation during the stage (tracemalloc), in
+    #: KiB; ``None`` when the run did not track memory.
+    peak_kb: int | None = None
 
     @property
     def items_per_second(self) -> float | None:
@@ -33,10 +37,22 @@ class StageTiming:
 
 @dataclass
 class StageTimings:
-    """Ordered wall-clock record of one pipeline run."""
+    """Ordered wall-clock record of one pipeline run.
+
+    With ``memory=True`` every stage additionally records its peak
+    Python heap allocation via :mod:`tracemalloc`.  Tracing costs real
+    time (allocation bookkeeping slows the interpreter noticeably), so
+    it is off by default and wall-clock benchmarks must not enable it.
+    """
 
     enabled: bool = True
+    memory: bool = False
     stages: list[StageTiming] = field(default_factory=list)
+    #: Per-active-stage maximum peaks; makes nested stages correct:
+    #: ``reset_peak`` is process-global, so before a child stage resets
+    #: it, the parent's window peak is banked here, and the child's
+    #: final peak is folded back into the parent on exit.
+    _peak_stack: list[int] = field(default_factory=list, repr=False)
 
     @contextmanager
     def stage(self, name: str, *, items: int | None = None) -> Iterator[None]:
@@ -44,15 +60,37 @@ class StageTimings:
         if not self.enabled:
             yield
             return
+        peak_kb: int | None = None
+        owns_tracing = False
+        if self.memory:
+            if tracemalloc.is_tracing():
+                if self._peak_stack:
+                    self._peak_stack[-1] = max(
+                        self._peak_stack[-1],
+                        tracemalloc.get_traced_memory()[1],
+                    )
+            else:
+                tracemalloc.start()
+                owns_tracing = True
+            tracemalloc.reset_peak()
+            self._peak_stack.append(0)
         started = time.perf_counter()
         try:
             yield
         finally:
+            seconds = time.perf_counter() - started
+            if self.memory:
+                window_peak = tracemalloc.get_traced_memory()[1]
+                peak = max(self._peak_stack.pop(), window_peak)
+                peak_kb = peak // 1024
+                if self._peak_stack:
+                    # Peak during a child is also peak during its parent.
+                    self._peak_stack[-1] = max(self._peak_stack[-1], peak)
+                if owns_tracing:
+                    tracemalloc.stop()
             self.stages.append(
                 StageTiming(
-                    name=name,
-                    seconds=time.perf_counter() - started,
-                    items=items,
+                    name=name, seconds=seconds, items=items, peak_kb=peak_kb
                 )
             )
 
@@ -75,12 +113,17 @@ class StageTimings:
                 if existing is None:
                     combined[stage.name] = StageTiming(
                         name=stage.name, seconds=stage.seconds,
-                        items=stage.items,
+                        items=stage.items, peak_kb=stage.peak_kb,
                     )
                     continue
                 existing.seconds += stage.seconds
                 if stage.items is not None:
                     existing.items = (existing.items or 0) + stage.items
+                if stage.peak_kb is not None:
+                    # Peaks aggregate by maximum, not sum: the merged
+                    # view answers "how much memory did this stage ever
+                    # need at once".
+                    existing.peak_kb = max(existing.peak_kb or 0, stage.peak_kb)
         out = cls(enabled=True)
         out.stages = list(combined.values())
         return out
@@ -97,9 +140,16 @@ class StageTimings:
         if not self.stages:
             return "Stage timings: (none recorded)"
         width = max(len(stage.name) for stage in self.stages)
+        with_memory = any(stage.peak_kb is not None for stage in self.stages)
         lines = ["Stage timings"]
         for stage in self.stages:
             rate = stage.items_per_second
+            memory = ""
+            if with_memory:
+                memory = (
+                    f"  {stage.peak_kb:>9,} KiB peak"
+                    if stage.peak_kb is not None else f"  {'—':>13}    "
+                )
             suffix = ""
             if stage.items is not None:
                 suffix = f"  ({stage.items} items"
@@ -107,7 +157,7 @@ class StageTimings:
                     suffix += f", {rate:,.1f}/s"
                 suffix += ")"
             lines.append(
-                f"  {stage.name:<{width}}  {stage.seconds:>8.3f} s{suffix}"
+                f"  {stage.name:<{width}}  {stage.seconds:>8.3f} s{memory}{suffix}"
             )
         lines.append(f"  {'total':<{width}}  {self.total_seconds:>8.3f} s")
         return "\n".join(lines)

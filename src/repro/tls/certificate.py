@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.tls.verify import hostname_matches, is_valid_san_pattern
+from repro.tls.verify import is_valid_san_pattern, sans_cover
 from repro.util.domains import normalize
 
 __all__ = ["Certificate"]
@@ -43,7 +43,7 @@ class Certificate:
 
     def covers(self, hostname: str) -> bool:
         """True when any SAN matches ``hostname`` (RFC 6125 rules)."""
-        return any(hostname_matches(san, hostname) for san in self.sans)
+        return sans_cover(self.sans, hostname)
 
     def is_valid_at(self, timestamp: float) -> bool:
         """Validity-window check."""

@@ -17,9 +17,11 @@ Implemented rules (the subset browsers actually enforce):
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.util.domains import is_valid_hostname, labels, normalize, public_suffix
 
-__all__ = ["hostname_matches", "is_valid_san_pattern"]
+__all__ = ["hostname_matches", "is_valid_san_pattern", "sans_cover"]
 
 
 def is_valid_san_pattern(pattern: str) -> bool:
@@ -36,8 +38,13 @@ def is_valid_san_pattern(pattern: str) -> bool:
     return is_valid_hostname(pattern)
 
 
+@lru_cache(maxsize=1 << 17)
 def hostname_matches(pattern: str, hostname: str) -> bool:
     """Does SAN ``pattern`` cover ``hostname``?
+
+    The match is a pure function of its two strings and sits on the hot
+    path of both the session pool's coalescing scan and the redundancy
+    classifier, so results are memoized (bounded LRU; per process).
 
     >>> hostname_matches("*.example.com", "img.example.com")
     True
@@ -61,3 +68,15 @@ def hostname_matches(pattern: str, hostname: str) -> bool:
     # The matched parent must not be a bare public suffix.
     parent = ".".join(host_parts[1:])
     return public_suffix(parent) != parent
+
+
+@lru_cache(maxsize=1 << 17)
+def sans_cover(sans: tuple[str, ...], hostname: str) -> bool:
+    """True when any SAN in ``sans`` matches ``hostname``.
+
+    The SAN tuples of certificates and session records repeat massively
+    across a crawl (every connection to the same endpoint carries the
+    same tuple), so the whole any() is memoized in one step rather than
+    per SAN.
+    """
+    return any(hostname_matches(san, hostname) for san in sans)

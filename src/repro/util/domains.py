@@ -13,6 +13,8 @@ such as ``co.uk`` correctly.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 __all__ = [
     "PUBLIC_SUFFIXES",
     "normalize",
@@ -37,8 +39,17 @@ PUBLIC_SUFFIXES: frozenset[str] = frozenset(
 _LABEL_CHARS = frozenset("abcdefghijklmnopqrstuvwxyz0123456789-")
 
 
+_EDGE_CHARS = frozenset(" \t\r\n\v\f.")
+
+
 def normalize(name: str) -> str:
     """Lower-case ``name`` and strip any trailing root dot."""
+    # Fast path: almost every caller passes an already-normalised name
+    # (hot loops re-normalise defensively); returning the same object
+    # also keeps downstream dict lookups on identical keys.
+    if name and name[0] not in _EDGE_CHARS and name[-1] not in _EDGE_CHARS \
+            and name.islower():
+        return name
     return name.strip().rstrip(".").lower()
 
 
@@ -50,8 +61,13 @@ def labels(name: str) -> list[str]:
     return name.split(".")
 
 
+@lru_cache(maxsize=1 << 16)
 def is_valid_hostname(name: str) -> bool:
-    """LDH-rule hostname validation (letters/digits/hyphens, ≤63/label)."""
+    """LDH-rule hostname validation (letters/digits/hyphens, ≤63/label).
+
+    Pure per-name work that every ``Resource``/SAN construction repeats
+    for the same few thousand names of a study, hence memoized.
+    """
     parts = labels(name)
     if not parts or len(normalize(name)) > 253:
         return False
@@ -65,6 +81,7 @@ def is_valid_hostname(name: str) -> bool:
     return True
 
 
+@lru_cache(maxsize=1 << 16)
 def public_suffix(name: str) -> str | None:
     """Return the public suffix of ``name``, or ``None`` if unknown."""
     parts = labels(name)
@@ -87,6 +104,11 @@ def registrable_domain(name: str) -> str | None:
     Returns ``None`` when ``name`` *is* a bare public suffix or when the
     suffix is unknown.
     """
+    return _registrable_domain_cached(normalize(name))
+
+
+@lru_cache(maxsize=1 << 16)
+def _registrable_domain_cached(name: str) -> str | None:
     suffix = public_suffix(name)
     if suffix is None:
         return None

@@ -121,6 +121,10 @@ class Ecosystem:
     services: list[ThirdPartyService]
     websites: list[Website]
     _by_domain: dict[str, Website] = field(default_factory=dict)
+    _by_rank: list[Website] | None = field(default=None, repr=False)
+    _ha_samples: dict[tuple[float, int], list[str]] = field(
+        default_factory=dict, repr=False
+    )
 
     @classmethod
     def generate(cls, config: EcosystemConfig | None = None) -> "Ecosystem":
@@ -215,12 +219,25 @@ class Ecosystem:
 
     def alexa_list(self, top: int) -> list[str]:
         """The top-``top`` site domains by rank (the synthetic Alexa list)."""
-        ordered = sorted(self.websites, key=lambda site: site.rank)
-        return [site.domain for site in ordered[:top]]
+        # The rank order never changes once generated; sweeps share one
+        # ecosystem across many cells, so sort once and slice per call.
+        if self._by_rank is None:
+            self._by_rank = sorted(self.websites, key=lambda site: site.rank)
+        return [site.domain for site in self._by_rank[:top]]
 
     def httparchive_sample(self, share: float = 0.75, *, seed: int = 1) -> list[str]:
-        """A deterministic sample of sites (the synthetic CrUX corpus)."""
+        """A deterministic sample of sites (the synthetic CrUX corpus).
+
+        Pure in (share, seed) for a generated world, so repeated calls
+        (every sweep cell re-plans its crawl) reuse the first draw.
+        """
         if not 0 < share <= 1:
             raise ValueError(f"share must be in (0, 1], got {share}")
-        rng = random.Random(seed)
-        return [site.domain for site in self.websites if rng.random() < share]
+        cached = self._ha_samples.get((share, seed))
+        if cached is None:
+            rng = random.Random(seed)
+            cached = [
+                site.domain for site in self.websites if rng.random() < share
+            ]
+            self._ha_samples[(share, seed)] = cached
+        return list(cached)

@@ -16,11 +16,21 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Iterator
 
 from repro.util.domains import is_valid_hostname, normalize
 
 __all__ = ["ResourceType", "RequestMode", "Resource"]
+
+
+@lru_cache(maxsize=1 << 16)
+def _validated_domain(domain: str) -> str:
+    """Normalise and validate a resource domain (memoized, pure)."""
+    normalized = normalize(domain)
+    if not is_valid_hostname(normalized):
+        raise ValueError(f"invalid resource domain: {normalized!r}")
+    return normalized
 
 
 class ResourceType(enum.Enum):
@@ -85,9 +95,7 @@ class Resource:
     children: list["Resource"] = field(default_factory=list)
 
     def __post_init__(self) -> None:
-        self.domain = normalize(self.domain)
-        if not is_valid_hostname(self.domain):
-            raise ValueError(f"invalid resource domain: {self.domain!r}")
+        self.domain = _validated_domain(self.domain)
         if not self.path.startswith("/"):
             raise ValueError(f"resource path must start with '/': {self.path!r}")
         if self.mode is None:

@@ -19,6 +19,7 @@ Servers can also:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 from repro.h2.connection import HTTP_MISDIRECTED_REQUEST
 from repro.tls.certificate import Certificate
@@ -26,6 +27,17 @@ from repro.util.domains import normalize
 from repro.util.rng import stable_hash
 
 __all__ = ["OriginServer", "build_fleet"]
+
+
+@lru_cache(maxsize=1 << 16)
+def _body_size(domain: str, path: str) -> int:
+    """Deterministic response size for one URL (pure, hence memoized)."""
+    return 200 + stable_hash("body", domain, path) % 50_000
+
+
+@lru_cache(maxsize=1 << 14)
+def _session_cookie(domain: str) -> str:
+    return f"sid={stable_hash('sid', domain) % 10**9}"
 
 
 @dataclass
@@ -48,6 +60,7 @@ class OriginServer:
     #: the :mod:`repro.runtime` contract).
     requests_served: int = 0
     misdirected_responses: int = 0
+    _response_cache: dict = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         self.cert_map = {normalize(k): v for k, v in self.cert_map.items()}
@@ -95,15 +108,24 @@ class OriginServer:
                 [("content-type", "text/plain"), ("content-length", "0")],
                 0,
             )
-        body_size = 200 + stable_hash("body", domain, path) % 50_000
-        headers = [
-            ("content-type", "application/octet-stream"),
-            ("content-length", str(body_size)),
-            ("server", self.name),
-        ]
-        if credentials and method == "GET":
-            headers.append(("set-cookie", f"sid={stable_hash('sid', domain) % 10**9}"))
-        return 200, headers, body_size
+        # Responses are a pure function of (domain, path, cookie?), so
+        # the header list is built once per distinct request shape and
+        # handed out as the same object; callers copy what they keep
+        # (Http2Stream stores list(headers)).
+        key = (domain, path, credentials and method == "GET")
+        cached = self._response_cache.get(key)
+        if cached is None:
+            body_size = _body_size(domain, path)
+            headers = [
+                ("content-type", "application/octet-stream"),
+                ("content-length", str(body_size)),
+                ("server", self.name),
+            ]
+            if key[2]:
+                headers.append(("set-cookie", _session_cookie(domain)))
+            cached = (200, headers, body_size)
+            self._response_cache[key] = cached
+        return cached
 
     def advertised_origins(self) -> tuple[str, ...]:
         return self.origin_frame_origins

@@ -73,6 +73,7 @@ class ThirdPartyService:
     domains: tuple[str, ...]
     rank_boost: float = 1.5
     tail_factor: float = 0.55
+    _decay_ratio: float | None = field(default=None, repr=False)
 
     def effective_adoption(self, rank_percentile: float) -> float:
         """Adoption probability given a site's popularity.
@@ -88,9 +89,12 @@ class ThirdPartyService:
         # ``adoption * rank_boost`` at the top of the ranking to
         # ``adoption * tail_factor`` at the bottom, mimicking the sharp
         # popularity fall-off of tracker adoption on the real web.
-        if self.rank_boost <= 0 or self.tail_factor <= 0:
-            raise ValueError("rank_boost and tail_factor must be positive")
-        ratio = self.tail_factor / self.rank_boost
+        ratio = self._decay_ratio
+        if ratio is None:
+            if self.rank_boost <= 0 or self.tail_factor <= 0:
+                raise ValueError("rank_boost and tail_factor must be positive")
+            ratio = self.tail_factor / self.rank_boost
+            self._decay_ratio = ratio
         factor = self.rank_boost * ratio**rank_percentile
         return min(1.0, max(0.0, self.adoption * factor))
 

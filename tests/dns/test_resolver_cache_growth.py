@@ -1,0 +1,109 @@
+"""Regression tests for resolver cache growth (PR 3).
+
+Before the fix, expired entries were only overwritten on re-query and
+never deleted, so any name queried once stayed cached forever — on a
+long ``dns_study_days`` horizon the cache grew without bound.  Lazy
+deletion on lookup plus the periodic sweep keep it bounded by the
+*live* entries.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dns.loadbalancer import RotationPolicy
+from repro.dns.resolver import RecursiveResolver, ResolverInfo
+from repro.dns.zone import AddressEntry, DnsNamespace
+from repro.dnsstudy.study import DnsLoadBalancingStudy
+from repro.web.ecosystem import Ecosystem, EcosystemConfig
+
+
+def _namespace(names: int, ttl: int = 60) -> DnsNamespace:
+    namespace = DnsNamespace()
+    for index in range(names):
+        namespace.add_address(
+            f"name{index:03d}.example.com",
+            AddressEntry(
+                pool=(f"10.9.{index}.1", f"10.9.{index}.2"),
+                policy=RotationPolicy(answer_count=1, period_s=360),
+                ttl=ttl,
+            ),
+        )
+    return namespace
+
+
+def _resolver(namespace, sweep_interval: int = 4096) -> RecursiveResolver:
+    return RecursiveResolver(
+        namespace=namespace,
+        info=ResolverInfo(resolver_id="growth", ip="0.0.0.0",
+                          country="X", operator="t"),
+        sweep_interval=sweep_interval,
+    )
+
+
+class TestLazyDeletion:
+    def test_expired_entry_is_deleted_on_lookup(self):
+        resolver = _resolver(_namespace(1))
+        resolver.resolve("name000.example.com", now=0.0)
+        assert resolver.cache_size == 1
+        resolver.resolve("name000.example.com", now=61.0)  # past TTL
+        # The expired entry was deleted and replaced by the fresh one.
+        assert resolver.cache_size == 1
+        assert resolver.expired_evictions == 1
+
+    def test_periodic_sweep_drops_never_requeried_names(self):
+        # 50 names queried once at t=0; afterwards only name000 is ever
+        # asked again.  Without the sweep the 49 dead entries would
+        # linger forever.
+        resolver = _resolver(_namespace(50), sweep_interval=10)
+        for index in range(50):
+            resolver.resolve(f"name{index:03d}.example.com", now=0.0)
+        assert resolver.cache_size == 50
+        for step in range(1, 12):
+            resolver.resolve("name000.example.com", now=100.0 + step)
+        # All TTLs expired at t=60; the sweep fired within 10 queries.
+        assert resolver.cache_size == 1
+        assert resolver.expired_evictions >= 49
+
+    def test_sweep_keeps_live_entries(self):
+        resolver = _resolver(_namespace(5, ttl=10_000))
+        for index in range(5):
+            resolver.resolve(f"name{index:03d}.example.com", now=0.0)
+        assert resolver.sweep(now=5_000.0) == 0
+        assert resolver.cache_size == 5
+        # Every later lookup is still a hit: sweeping never changed
+        # observable resolution behaviour.
+        for index in range(5):
+            resolver.resolve(f"name{index:03d}.example.com", now=5_001.0)
+        assert resolver.cache_hits == 5
+
+
+@pytest.mark.slow
+class TestLongDnsStudyRun:
+    def test_cache_stays_bounded_over_long_horizon(self):
+        """A multi-day DNS study must not accumulate dead cache entries.
+
+        The study queries a fixed pair set every 6 simulated minutes
+        through the 14-resolver fleet; TTLs are far shorter than the
+        horizon, so without eviction every resolver's cache would hold
+        one dead entry per name ever asked.  Bounded means: never more
+        entries than distinct queried names, and by the end almost all
+        of the churn has been evicted.
+        """
+        ecosystem = Ecosystem.generate(EcosystemConfig(seed=7, n_sites=50))
+        study = DnsLoadBalancingStudy(
+            ecosystem=ecosystem, duration_s=5 * 24 * 3600.0
+        )
+        result = study.run()
+        assert result.timelines  # the study actually measured something
+        distinct_names = {
+            name
+            for timeline in result.timelines
+            for name in (timeline.pair.domain, timeline.pair.prev)
+        }
+        for resolver in study.resolvers:
+            assert resolver.queries > 0
+            assert resolver.cache_size <= len(distinct_names)
+            # The long horizon forces many expiries; the sweep/lazy
+            # deletion must have reclaimed them.
+            assert resolver.expired_evictions > 0

@@ -1,0 +1,97 @@
+"""Regenerate the HPACK golden byte-stream corpus.
+
+The corpus pins the encoder's exact wire output: every optimization of
+``repro.h2.hpack`` must keep these bytes identical (the decoder state
+machines of real peers depend on them).  The header lists are built
+deterministically from a fixed seed, exercise all three literal
+representations, static full/name hits, dynamic-table growth, eviction
+pressure (via small table sizes) and the never-index headers.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python tests/golden/hpack_corpus_gen.py
+
+The snapshot was captured from the pre-optimization encoder (PR 3) and
+should only ever be regenerated if the wire format is *deliberately*
+changed — which would be a protocol change, not an optimization.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from pathlib import Path
+
+from repro.h2.hpack import HpackEncoder, STATIC_TABLE
+
+CORPUS_PATH = Path(__file__).with_name("hpack_corpus.json")
+
+_PSEUDO = [
+    [(":method", "GET"), (":scheme", "https"), (":path", "/"),
+     (":status", "200")],
+    [(":method", "POST"), (":scheme", "https"), (":path", "/index.html"),
+     (":status", "404")],
+    [(":method", "GET"), (":scheme", "https"), (":path", "/app/main.js"),
+     (":status", "304")],
+]
+
+_NAMES = [
+    "accept", "accept-encoding", "accept-language", "cache-control",
+    "content-type", "cookie", "etag", "referer", "user-agent", "x-request-id",
+    "x-trace-span", "authorization", "set-cookie",
+]
+
+_VALUES = [
+    "", "gzip, deflate", "text/html; charset=utf-8", "max-age=3600",
+    "session=abc123", "W/\"5e1f\"", "https://site000001.com/",
+    "Mozilla/5.0 (X11; Linux x86_64)", "no-store", "de-DE,de;q=0.9",
+    "0123456789" * 7,  # long value: forces eviction on small tables
+]
+
+
+def build_corpus() -> list[dict]:
+    """Deterministic connections: (max_table_size, header blocks)."""
+    rng = random.Random(0xC0FFEE)
+    connections: list[dict] = []
+    for table_size in (4096, 4096, 512, 128, 0):
+        blocks: list[list[tuple[str, str]]] = []
+        for _ in range(rng.randint(6, 12)):
+            block = list(rng.choice(_PSEUDO))
+            block.append((":authority", f"site{rng.randint(1, 40):06d}.com"))
+            for _ in range(rng.randint(2, 9)):
+                block.append((rng.choice(_NAMES), rng.choice(_VALUES)))
+            # Occasionally replay static-table pairs verbatim.
+            for _ in range(rng.randint(0, 3)):
+                block.append(rng.choice(STATIC_TABLE))
+            blocks.append(block)
+        connections.append({"max_table_size": table_size, "blocks": blocks})
+    return connections
+
+
+def encode_corpus(connections: list[dict]) -> list[dict]:
+    out = []
+    for connection in connections:
+        encoder = HpackEncoder(max_table_size=connection["max_table_size"])
+        encoded = [
+            encoder.encode([tuple(pair) for pair in block]).hex()
+            for block in connection["blocks"]
+        ]
+        out.append({
+            "max_table_size": connection["max_table_size"],
+            "blocks": connection["blocks"],
+            "encoded": encoded,
+            "bytes_emitted": encoder.bytes_emitted,
+            "bytes_uncompressed": encoder.bytes_uncompressed,
+        })
+    return out
+
+
+def main() -> None:
+    corpus = encode_corpus(build_corpus())
+    CORPUS_PATH.write_text(json.dumps(corpus, indent=1) + "\n")
+    total = sum(len(block) for conn in corpus for block in conn["blocks"])
+    print(f"wrote {CORPUS_PATH} ({len(corpus)} connections, {total} headers)")
+
+
+if __name__ == "__main__":
+    main()
