@@ -8,6 +8,7 @@ from repro.analysis.ablation import (
 from repro.analysis.digest import dataset_digest, study_digest
 from repro.analysis.figures import Figure2Result, Figure3Result, figure2, figure3
 from repro.analysis.headline import HeadlineStats, headline
+from repro.analysis.resilience import ResilienceResult, resilience_report
 from repro.analysis.robustness import robustness_report
 from repro.analysis.study import DATASET_LABELS, Study, StudyConfig
 from repro.analysis.tables import (
@@ -39,6 +40,8 @@ __all__ = [
     "figure3",
     "HeadlineStats",
     "headline",
+    "ResilienceResult",
+    "resilience_report",
     "robustness_report",
     "DATASET_LABELS",
     "Study",

@@ -28,6 +28,7 @@ from repro.crawl.classify import ClassifiedDataset
 from repro.crawl.httparchive import HarCorpus, HttpArchiveCrawler
 from repro.crawl.overlap import overlap_datasets
 from repro.core.session import LifetimeModel
+from repro.faults.plan import fault_profile, merge_counts
 from repro.dnsstudy.study import DnsLoadBalancingStudy, DnsStudyResult
 from repro.runtime import (
     Executor,
@@ -84,6 +85,11 @@ class StudyConfig:
     #: Fetch-compliant run) and/or "nofetch" (privacy-mode patched,
     #: §5.3.3); a sweep axis for the Fetch toggle.
     alexa_variants: tuple[str, ...] = ("fetch", "nofetch")
+    #: Named fault profile injected into every crawl visit (see
+    #: :mod:`repro.faults`); a first-class sweep/cache axis.  The
+    #: default ``"none"`` compiles to no plan at all, leaving every
+    #: layer on its pre-fault code path (the golden digest pins this).
+    fault_profile: str = "none"
 
     def make_executor(self) -> "Executor":
         return make_executor(self.executor, self.parallelism)
@@ -116,6 +122,7 @@ class StudyConfig:
             raise ValueError(
                 f"duplicate alexa_variants in {self.alexa_variants!r}"
             )
+        fault_profile(self.fault_profile)  # raises ValueError on unknowns
 
     def small(self) -> "StudyConfig":
         """A scaled-down copy for quick tests.
@@ -206,7 +213,10 @@ class Study:
             key = make_key()
             return key, 0 if cache.contains(kind, key) else n_items
 
-        ha_crawler = HttpArchiveCrawler(ecosystem=ecosystem, seed=config.seed + 100)
+        ha_crawler = HttpArchiveCrawler(
+            ecosystem=ecosystem, seed=config.seed + 100,
+            fault_profile=config.fault_profile,
+        )
         ha_domains = ecosystem.httparchive_sample(
             config.ha_sample_share, seed=config.seed + 1
         )
@@ -221,7 +231,10 @@ class Study:
 
         alexa_count = max(1, int(config.n_sites * config.alexa_share))
         alexa_domains = ecosystem.alexa_list(alexa_count)
-        alexa_crawler = AlexaCrawler(ecosystem=ecosystem, seed=config.seed + 200)
+        alexa_crawler = AlexaCrawler(
+            ecosystem=ecosystem, seed=config.seed + 200,
+            fault_profile=config.fault_profile,
+        )
         alexa_run: AlexaRun | None = None
         alexa_nofetch: AlexaRun | None = None
         if "fetch" in config.alexa_variants:
@@ -334,6 +347,18 @@ class Study:
     # ------------------------------------------------------------------
     def dataset(self, key: str) -> ClassifiedDataset:
         return self.datasets[key]
+
+    def fault_counts(self) -> dict[str, int]:
+        """Injected-fault strikes across every crawl, by fault kind.
+
+        Empty for the default ``fault_profile="none"``; the resilience
+        report renders this as its failure-taxonomy table.
+        """
+        totals: dict[str, int] = dict(self.har_corpus.fault_counts)
+        for run in (self.alexa_run, self.alexa_nofetch_run):
+            if run is not None:
+                merge_counts(totals, tuple(run.fault_counts.items()))
+        return totals
 
     @cached_property
     def dns_study(self) -> DnsStudyResult:

@@ -13,15 +13,21 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.browser.cookies import CookieJar
 from repro.browser.loader import PageLoader, PageLoadResult
 from repro.browser.pool import ConnectionPool
 from repro.dns.resolver import RecursiveResolver
-from repro.h2.connection import Http2Connection
+from repro.h2.connection import ConnectionClosedError, Http2Connection
+from repro.h2.stream import StreamResetError
 from repro.netlog.events import NetLog, NetLogEventType
 from repro.util.clock import SimClock
 from repro.web.ecosystem import Ecosystem
+from repro.web.server import FaultedEndpoint
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.plan import FaultPlan
 
 __all__ = ["BrowserConfig", "Visit", "ChromiumBrowser"]
 
@@ -87,6 +93,11 @@ class ChromiumBrowser:
     clock: SimClock
     rng: random.Random
     config: BrowserConfig = field(default_factory=BrowserConfig)
+    #: Optional per-site fault plan (see :mod:`repro.faults`): wired
+    #: into the pool, the loader and — via :class:`FaultedEndpoint`
+    #: wrappers around every server lookup — the origin side.  ``None``
+    #: leaves every layer on its pre-fault code path.
+    faults: "FaultPlan | None" = None
 
     def visit(self, url_or_domain: str) -> Visit:
         """Visit a page; caches/cookies are per-visit.
@@ -122,13 +133,26 @@ class ChromiumBrowser:
                 unreachable=True,
             )
 
+        server_lookup = self.ecosystem.server_for_ip
+        if self.faults is not None:
+            faults, clock = self.faults, self.clock
+
+            def server_lookup(ip, _inner=self.ecosystem.server_for_ip):
+                # One wrapper per connection attempt: burst and
+                # certificate state stay scoped to that connection and
+                # never touch the shared ecosystem servers.
+                return FaultedEndpoint(
+                    inner=_inner(ip), faults=faults, clock=clock
+                )
+
         pool = ConnectionPool(
-            server_lookup=self.ecosystem.server_for_ip,
+            server_lookup=server_lookup,
             rng=random.Random(self.rng.random()),
             netlog=netlog,
             ignore_privacy_mode=self.config.ignore_privacy_mode,
             honor_origin_frame=self.config.honor_origin_frame,
             enable_quic=not self.config.disable_quic,
+            faults=self.faults,
         )
         loader = PageLoader(
             pool=pool,
@@ -138,6 +162,7 @@ class ChromiumBrowser:
             cookies=CookieJar(),
             netlog=netlog,
             geo_rewrites=self.ecosystem.geo_rewrites(self.config.vantage_country),
+            faults=self.faults,
         )
         load = loader.load(document)
 
@@ -163,13 +188,18 @@ class ChromiumBrowser:
                 at = self.clock.now() + self.rng.uniform(
                     1.0, self.config.late_activity_max_s
                 )
-                record = session.perform_request(
-                    session.sni,
-                    "/keepalive",
-                    now=at,
-                    with_credentials=not session.privacy_mode,
-                    service_time=0.02,
-                )
+                try:
+                    record = session.perform_request(
+                        session.sni,
+                        "/keepalive",
+                        now=at,
+                        with_credentials=not session.privacy_mode,
+                        service_time=0.02,
+                    )
+                except (ConnectionClosedError, StreamResetError):
+                    # An injected GOAWAY/RST can strike the keepalive;
+                    # late activity on that session simply never lands.
+                    continue
                 netlog.emit(
                     NetLogEventType.HTTP2_STREAM,
                     time=record.started_at,

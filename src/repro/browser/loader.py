@@ -20,21 +20,28 @@ from __future__ import annotations
 import random
 from collections import deque
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.browser.cookies import CookieJar
 from repro.browser.fetch import decide_credentials
-from repro.browser.pool import ConnectionPool
-from repro.dns.resolver import RecursiveResolver
+from repro.browser.pool import ConnectionPool, PoolDecision
+from repro.dns.resolver import DnsTimeout, RecursiveResolver, ServFail
 from repro.dns.zone import NxDomain
+from repro.faults.plan import FaultKind
 from repro.h2.connection import (
     HTTP_MISDIRECTED_REQUEST,
     ConnectionClosedError,
     Http2Connection,
     RequestRecord,
 )
+from repro.h2.stream import StreamResetError
 from repro.netlog.events import NetLog, NetLogEventType
+from repro.tls.verify import CertificateError
 from repro.util.clock import SimClock
 from repro.web.resources import Resource, ResourceType
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.plan import FaultPlan
 
 __all__ = ["LoadedRequest", "PageLoadResult", "PageLoader"]
 
@@ -60,6 +67,13 @@ class PageLoadResult:
     requests: list[LoadedRequest] = field(default_factory=list)
     dns_failures: list[str] = field(default_factory=list)
     misdirected: list[str] = field(default_factory=list)
+    #: Domains whose handshake failed certificate verification (fault
+    #: injection); each failed attempt appends once.
+    tls_failures: list[str] = field(default_factory=list)
+    #: Streams torn down by RST_STREAM before a response arrived.
+    stream_resets: int = 0
+    #: 5xx responses observed (including ones cleared by the retry).
+    server_errors: int = 0
 
     @property
     def load_time(self) -> float:
@@ -87,17 +101,31 @@ class PageLoader:
     max_think: float = 2.0
     #: Extra deferral for beacons, which browsers fire at/after onload.
     beacon_delay_max: float = 12.0
+    #: Optional fault plan (latency spikes are applied loader-side, and
+    #: the retry/fallback paths below only exist to absorb its strikes).
+    faults: "FaultPlan | None" = None
     #: Breadth-first work queue, reused across page loads.
     _queue: deque = field(default_factory=deque, repr=False)
 
     def _latency(self) -> float:
-        return self.rng.uniform(self.min_latency, self.max_latency)
+        latency = self.rng.uniform(self.min_latency, self.max_latency)
+        faults = self.faults
+        if faults is not None and faults.fires(FaultKind.SRV_LATENCY_SPIKE):
+            latency *= faults.param(FaultKind.SRV_LATENCY_SPIKE, 25.0)
+        return latency
 
     def _resolve(self, domain: str) -> tuple[str, ...] | None:
         try:
             answer = self.resolver.resolve(domain, now=self.clock.now())
         except NxDomain:
             return None
+        except (ServFail, DnsTimeout):
+            # Transient resolver failure: browsers re-ask once before
+            # giving the page up on the name.
+            try:
+                answer = self.resolver.resolve(domain, now=self.clock.now())
+            except (NxDomain, ServFail, DnsTimeout):
+                return None
         if self.netlog is not None:
             self.netlog.emit(
                 NetLogEventType.HOST_RESOLVER_IMPL_JOB,
@@ -165,6 +193,34 @@ class PageLoader:
             )
         return result
 
+    def _connect(
+        self,
+        domain: str,
+        ips: tuple[str, ...],
+        privacy_mode: bool,
+        result: PageLoadResult,
+        *,
+        force_new: bool = False,
+    ) -> PoolDecision | None:
+        """Ask the pool for a session, absorbing TLS handshake faults.
+
+        A failed verification (injected expired/mismatched/untrusted
+        certificate) is recorded on the result and reported as ``None``
+        so callers can retry or abandon the resource; without a fault
+        plan this is exactly ``pool.get_connection``.
+        """
+        try:
+            return self.pool.get_connection(
+                domain,
+                ips,
+                privacy_mode=privacy_mode,
+                now=self.clock.now(),
+                force_new=force_new,
+            )
+        except CertificateError:
+            result.tls_failures.append(domain)
+            return None
+
     def _load_one(
         self, resource: Resource, document_domain: str, result: PageLoadResult
     ) -> LoadedRequest | None:
@@ -181,12 +237,18 @@ class PageLoader:
             result.dns_failures.append(domain)
             return None
 
-        pool_decision = self.pool.get_connection(
-            domain,
-            ips,
-            privacy_mode=decision.privacy_mode,
-            now=self.clock.now(),
+        pool_decision = self._connect(
+            domain, ips, decision.privacy_mode, result
         )
+        if pool_decision is None:
+            # One more handshake (the endpoint redraws its certificate
+            # fault); browsers likewise retry a failed socket once
+            # before surfacing the TLS interstitial.
+            pool_decision = self._connect(
+                domain, ips, decision.privacy_mode, result, force_new=True
+            )
+            if pool_decision is None:
+                return None
         connection = pool_decision.connection
         try:
             record = self._perform(
@@ -195,21 +257,44 @@ class PageLoader:
                 resource.path,
                 with_credentials=decision.include_credentials,
             )
-        except ConnectionClosedError:
-            pool_decision = self.pool.get_connection(
-                domain,
-                ips,
-                privacy_mode=decision.privacy_mode,
-                now=self.clock.now(),
-                force_new=True,
+        except (ConnectionClosedError, StreamResetError) as error:
+            if isinstance(error, StreamResetError):
+                result.stream_resets += 1
+            pool_decision = self._connect(
+                domain, ips, decision.privacy_mode, result, force_new=True
             )
+            if pool_decision is None:
+                return None
             connection = pool_decision.connection
-            record = self._perform(
-                connection,
-                domain,
-                resource.path,
-                with_credentials=decision.include_credentials,
-            )
+            try:
+                record = self._perform(
+                    connection,
+                    domain,
+                    resource.path,
+                    with_credentials=decision.include_credentials,
+                )
+            except (ConnectionClosedError, StreamResetError) as retry_error:
+                # A second strike on a fresh session: give the resource
+                # up, as the browser's error page would.
+                if isinstance(retry_error, StreamResetError):
+                    result.stream_resets += 1
+                return None
+
+        if record.status >= 500:
+            # 5xx burst: one retry on the same session — short bursts
+            # clear, long ones leave the resource failed.
+            result.server_errors += 1
+            try:
+                record = self._perform(
+                    connection,
+                    domain,
+                    resource.path,
+                    with_credentials=decision.include_credentials,
+                )
+            except (ConnectionClosedError, StreamResetError):
+                return None
+            if record.status >= 500:
+                result.server_errors += 1
 
         retried = False
         if record.status == HTTP_MISDIRECTED_REQUEST:
@@ -220,21 +305,25 @@ class PageLoader:
             retry_ips = tuple(
                 ip for ip in ips if ip != connection.remote_ip
             ) or ips
-            retry_decision = self.pool.get_connection(
-                domain,
-                retry_ips,
-                privacy_mode=decision.privacy_mode,
-                now=self.clock.now(),
+            retry_decision = self._connect(
+                domain, retry_ips, decision.privacy_mode, result,
                 force_new=True,
             )
+            if retry_decision is None:
+                return None
             connection = retry_decision.connection
-            record = self._perform(
-                connection,
-                domain,
-                resource.path,
-                with_credentials=decision.include_credentials,
-            )
+            try:
+                record = self._perform(
+                    connection,
+                    domain,
+                    resource.path,
+                    with_credentials=decision.include_credentials,
+                )
+            except (ConnectionClosedError, StreamResetError):
+                return None
             retried = True
+            if record.status >= 500:
+                result.server_errors += 1
 
         self._store_cookies(record)
         loaded = LoadedRequest(
@@ -244,6 +333,10 @@ class PageLoader:
             retried_after_421=retried,
         )
         result.requests.append(loaded)
+        if record.status >= 500:
+            # The response is observed (and recorded) but the resource
+            # failed: its children never execute.
+            return None
         return loaded
 
     def _store_cookies(self, record: RequestRecord) -> None:

@@ -21,13 +21,22 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.h2.connection import Http2Connection
 from repro.netlog.events import NetLog, NetLogEventType
+from repro.tls.issuers import WELL_KNOWN_ISSUERS
+from repro.tls.verify import verify_certificate
 from repro.web.server import OriginServer
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.plan import FaultPlan
+
 __all__ = ["SessionKey", "PoolDecision", "ConnectionPool"]
+
+#: The client trust store: every organisation the synthetic issuers
+#: mint under.  Fault-degraded certificates re-issue outside this set.
+_TRUSTED_ISSUERS = frozenset(WELL_KNOWN_ISSUERS)
 
 
 @dataclass(frozen=True, slots=True)
@@ -63,6 +72,10 @@ class ConnectionPool:
     #: methodology excludes those, which is why the paper's crawls ran
     #: with QUIC disabled.
     enable_quic: bool = False
+    #: Optional fault plan: forwarded to every created connection, and
+    #: (for profiles with TLS faults) turns on handshake certificate
+    #: verification in :meth:`_create`.
+    faults: "FaultPlan | None" = None
     port: int = 443
     sessions: list[Http2Connection] = field(default_factory=list)
     _aliases: dict[SessionKey, Http2Connection] = field(default_factory=dict)
@@ -113,7 +126,11 @@ class ConnectionPool:
 
         if not force_new:
             session = self._aliases.get(key)
-            if session is not None and session.is_open:
+            if (
+                session is not None
+                and session.is_open
+                and session.accepts_new_streams
+            ):
                 return PoolDecision(connection=session, created=False, coalesced=False)
 
             if protocol_hint == "h2":
@@ -148,7 +165,7 @@ class ConnectionPool:
         ip_set = set(ips)
         origin = f"https://{host}" if self.honor_origin_frame else None
         for session in self.sessions:
-            if not session.is_open:
+            if not session.is_open or not session.accepts_new_streams:
                 continue
             if session.protocol != "h2":
                 continue
@@ -190,6 +207,17 @@ class ConnectionPool:
         # IPs (§4.1).
         ip = self.rng.choice(ips)
         server = self.server_lookup(ip)
+        if self.faults is not None and self.faults.verifies_tls:
+            # Handshake-time verification, before any session state is
+            # created: a degraded certificate (see FaultedEndpoint)
+            # aborts the connection with a typed CertificateError that
+            # the loader's fallback logic handles.  The endpoint caches
+            # its per-SNI decision, so the certificate verified here is
+            # the one the established session will record.
+            verify_certificate(
+                server.certificate_for(host), host, now=now,
+                trusted_issuers=_TRUSTED_ISSUERS,
+            )
         protocol = server.alpn
         if self.enable_quic and getattr(server, "alt_svc_h3", False):
             protocol = "h3"
@@ -202,6 +230,7 @@ class ConnectionPool:
             port=self.port,
             privacy_mode=False if self.ignore_privacy_mode else privacy_mode,
             protocol=protocol,
+            faults=self.faults,
         )
         self._next_connection_id += 1
         self.sessions.append(session)

@@ -7,6 +7,9 @@ Usage (after ``pip install -e .``)::
     python -m repro study --sites 2000 --executor process --jobs 8 --profile
     python -m repro sweep --sites 200 --seeds 7,8,9 --grid n_sites=120,240 \\
         --cache-dir .repro-cache --profile
+    python -m repro study --sites 400 --fault-profile flaky-dns --headline
+    python -m repro sweep --sites 200 --grid fault_profile=none,h2-churn
+    python -m repro resilience --sites 200 --fault-profile chaos
     python -m repro audit site000004.com --sites 150
     python -m repro dnsstudy --days 2
     python -m repro mitigations --sites 200
@@ -45,6 +48,12 @@ def _add_runtime_args(parser: argparse.ArgumentParser) -> None:
              "and classification configs load from disk instead of "
              "recomputing (see repro.store)",
     )
+    parser.add_argument(
+        "--fault-profile", default="none",
+        help="named fault scenario injected into every crawl visit: "
+             "none, flaky-dns, broken-tls, h2-churn, slow-origin or "
+             "chaos (see repro.faults)",
+    )
 
 
 def _cache_from_args(args):
@@ -69,8 +78,10 @@ def _study_from_args(args):
         n_sites=args.sites,
         executor=args.executor,
         parallelism=args.jobs,
+        fault_profile=getattr(args, "fault_profile", "none"),
     )
     try:
+        config.validate()
         executor = config.make_executor()
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -148,6 +159,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     validate.add_argument("--sites", type=int, default=400)
     _add_runtime_args(validate)
+
+    resilience = commands.add_parser(
+        "resilience",
+        help="run a faulted study and diff it against its fault-free "
+             "baseline (reuse deltas, attribution shifts, taxonomy)",
+    )
+    resilience.add_argument("--sites", type=int, default=200)
+    _add_runtime_args(resilience)
 
     bench = commands.add_parser(
         "bench",
@@ -233,6 +252,7 @@ def _cmd_sweep(args) -> int:
         n_sites=args.sites,
         executor=args.executor,
         parallelism=args.jobs,
+        fault_profile=args.fault_profile,
     )
     try:
         spec = SweepSpec(
@@ -340,6 +360,40 @@ def _cmd_validate(args) -> int:
     return 0 if scorecard.all_passed else 1
 
 
+def _cmd_resilience(args) -> int:
+    from dataclasses import replace
+
+    from repro.analysis.resilience import resilience_report
+    from repro.analysis.study import Study, StudyConfig
+
+    if args.fault_profile == "none":
+        print("error: resilience needs --fault-profile (e.g. flaky-dns, "
+              "broken-tls, h2-churn, slow-origin, chaos)", file=sys.stderr)
+        return 2
+    faulted_config = StudyConfig(
+        seed=args.seed,
+        n_sites=args.sites,
+        executor=args.executor,
+        parallelism=args.jobs,
+        fault_profile=args.fault_profile,
+    )
+    try:
+        faulted_config.validate()
+        executor = faulted_config.make_executor()
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    cache = _cache_from_args(args)
+    with executor:
+        baseline = Study.run(
+            replace(faulted_config, fault_profile="none"),
+            executor=executor, cache=cache,
+        )
+        faulted = Study.run(faulted_config, executor=executor, cache=cache)
+    print(resilience_report(baseline, faulted).render())
+    return 0
+
+
 def _cmd_bench(args) -> int:
     from pathlib import Path
 
@@ -427,6 +481,7 @@ _COMMANDS = {
     "perf": _cmd_perf,
     "report": _cmd_report,
     "validate": _cmd_validate,
+    "resilience": _cmd_resilience,
     "bench": _cmd_bench,
 }
 

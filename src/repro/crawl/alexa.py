@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from repro.browser.browser import BrowserConfig, ChromiumBrowser
 from repro.crawl.classify import ClassifiedDataset, classify_dataset
 from repro.core.session import LifetimeModel, SessionRecord
+from repro.faults.plan import FaultPlan, merge_counts
 from repro.netlog.events import NetLog
 from repro.netlog.parser import parse_sessions
 from repro.runtime import Executor, SerialExecutor, ecosystem_for, prime_ecosystem
@@ -46,6 +47,9 @@ class AlexaMeasurement:
     #: Connections the server closed early with a GOAWAY (extracted from
     #: the NetLog at crawl time, so the log itself need not be kept).
     goaway_connection_ids: tuple[int, ...] = ()
+    #: Injected-fault strikes during this site's visit, by kind value
+    #: (empty without a fault profile).
+    fault_counts: tuple[tuple[str, int], ...] = ()
     #: The raw NetLog; only retained under ``AlexaCrawler.keep_netlogs``
     #: — shipping full logs back from pool workers dwarfs the cost of
     #: the visit itself.
@@ -68,6 +72,7 @@ class _AlexaSiteTask:
     permanent_unreachable_share: float
     transient_unreachable_share: float
     keep_netlog: bool
+    fault_profile: str = "none"
 
 
 def _permanently_down(seed: int, domain: str, share: float) -> bool:
@@ -88,9 +93,16 @@ def _measure_one_site(task: _AlexaSiteTask) -> AlexaMeasurement:
         return AlexaMeasurement(domain=task.domain, unreachable=True)
 
     ecosystem = ecosystem_for(task.ecosystem_config)
+    plan = FaultPlan.compile(
+        task.fault_profile, seed=task.seed, run=task.run_name,
+        domain=task.domain,
+    )
+    resolver = ecosystem.make_resolver("internal")
+    if plan is not None:
+        resolver.faults = plan
     browser = ChromiumBrowser(
         ecosystem=ecosystem,
-        resolver=ecosystem.make_resolver("internal"),
+        resolver=resolver,
         clock=SimClock(task.start_time),
         rng=rng.stream("browser"),
         config=BrowserConfig(
@@ -99,10 +111,14 @@ def _measure_one_site(task: _AlexaSiteTask) -> AlexaMeasurement:
             honor_origin_frame=task.honor_origin_frame,
             observe_s=task.observe_s,
         ),
+        faults=plan,
     )
     visit = browser.visit(task.domain)
+    counts = plan.counts() if plan is not None else ()
     if visit.unreachable:
-        return AlexaMeasurement(domain=task.domain, unreachable=True)
+        return AlexaMeasurement(
+            domain=task.domain, unreachable=True, fault_counts=counts
+        )
     parsed = parse_sessions(visit.netlog)
     return AlexaMeasurement(
         domain=task.domain,
@@ -110,6 +126,7 @@ def _measure_one_site(task: _AlexaSiteTask) -> AlexaMeasurement:
         records=parsed.records,
         goaway_connection_ids=tuple(sorted(parsed.goaway_sessions)),
         netlog=visit.netlog if task.keep_netlog else None,
+        fault_counts=counts,
     )
 
 
@@ -123,6 +140,14 @@ class AlexaRun:
     #: Stable key of the crawl configuration that produced this run
     #: (set by the crawler); classification caching derives from it.
     provenance: str | None = None
+
+    @property
+    def fault_counts(self) -> dict[str, int]:
+        """Injected-fault strikes across the whole run, by kind."""
+        totals: dict[str, int] = {}
+        for measurement in self.measurements.values():
+            merge_counts(totals, measurement.fault_counts)
+        return totals
 
     @property
     def reachable_sites(self) -> list[str]:
@@ -205,6 +230,9 @@ class AlexaCrawler:
     #: pipeline only needs the parsed records and GOAWAY ids, so logs
     #: are dropped by default.
     keep_netlogs: bool = False
+    #: Named fault profile injected into every visit (see
+    #: :mod:`repro.faults`); ``"none"`` is provably inert.
+    fault_profile: str = "none"
 
     @property
     def site_slot_s(self) -> float:
@@ -236,6 +264,7 @@ class AlexaCrawler:
             self.permanent_unreachable_share,
             self.transient_unreachable_share,
             self.keep_netlogs,
+            self.fault_profile,
             run_name,
             ignore_privacy_mode,
             honor_origin_frame,
@@ -292,6 +321,7 @@ class AlexaCrawler:
                 permanent_unreachable_share=self.permanent_unreachable_share,
                 transient_unreachable_share=self.transient_unreachable_share,
                 keep_netlog=self.keep_netlogs,
+                fault_profile=self.fault_profile,
             )
             for index, domain in enumerate(domains)
         ]

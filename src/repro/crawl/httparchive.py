@@ -22,6 +22,7 @@ from repro.browser.browser import BrowserConfig, ChromiumBrowser
 from repro.crawl.classify import ClassifiedDataset, aggregate_classifications
 from repro.core.classifier import SiteClassification, classify_site
 from repro.core.session import LifetimeModel
+from repro.faults.plan import FaultPlan, merge_counts
 from repro.har.model import HarFile
 from repro.har.reader import FilterStats, read_sessions
 from repro.har.writer import HarNoiseConfig, write_har
@@ -46,21 +47,38 @@ class _HaSiteTask:
     noise: HarNoiseConfig
     loads_per_site: int
     observe_s: float
+    fault_profile: str = "none"
 
 
-def _crawl_one_site(task: _HaSiteTask) -> tuple[str, HarFile | None]:
-    """Visit one site ``loads_per_site`` times; keep the median HAR."""
+def _crawl_one_site(
+    task: _HaSiteTask,
+) -> tuple[str, HarFile | None, tuple[tuple[str, int], ...]]:
+    """Visit one site ``loads_per_site`` times; keep the median HAR.
+
+    Returns ``(domain, median HAR or None, fired-fault counts)``; the
+    fault plan — like every RNG stream — derives from the task's
+    ``(seed, run, domain)``, so the same faults strike under any
+    executor.  One plan spans all three loads of the site.
+    """
     ecosystem = ecosystem_for(task.ecosystem_config)
     rng = RngFactory(stable_hash(task.seed, "ha-site", task.domain))
     clock = SimClock(task.start_time)
+    plan = FaultPlan.compile(
+        task.fault_profile, seed=task.seed, run="httparchive",
+        domain=task.domain,
+    )
+    resolver = ecosystem.make_resolver("httparchive-crux")
+    if plan is not None:
+        resolver.faults = plan
     browser = ChromiumBrowser(
         ecosystem=ecosystem,
-        resolver=ecosystem.make_resolver("httparchive-crux"),
+        resolver=resolver,
         clock=clock,
         rng=rng.stream("browser"),
         config=BrowserConfig(
             vantage_country=task.vantage_country, observe_s=task.observe_s
         ),
+        faults=plan,
     )
     gap_rng = rng.stream("gaps")
     visits = []
@@ -70,14 +88,14 @@ def _crawl_one_site(task: _HaSiteTask) -> tuple[str, HarFile | None]:
             break
         visits.append(visit)
         clock.advance(gap_rng.uniform(1.0, 5.0))
+    counts = plan.counts() if plan is not None else ()
     if not visits:
-        return task.domain, None
+        return task.domain, None, counts
     # Median of three by onLoad time, like the HTTP Archive.
     visits.sort(key=lambda visit: visit.load.load_time)
     median_visit = visits[len(visits) // 2]
-    return task.domain, write_har(
-        median_visit, noise=task.noise, rng=rng.stream("har-noise")
-    )
+    har = write_har(median_visit, noise=task.noise, rng=rng.stream("har-noise"))
+    return task.domain, har, counts
 
 
 def _sanitize_and_classify(
@@ -102,6 +120,9 @@ class HarCorpus:
     #: Stable key of the crawl configuration that produced this corpus
     #: (set by the crawler); classification caching derives from it.
     provenance: str | None = None
+    #: Total injected-fault strikes across the crawl, by fault kind
+    #: (empty without a fault profile); feeds the resilience taxonomy.
+    fault_counts: dict[str, int] = field(default_factory=dict)
 
     def classify_cache_key(
         self, model: LifetimeModel, name: str | None = None
@@ -165,6 +186,9 @@ class HttpArchiveCrawler:
     start_time: float = 0.0
     loads_per_site: int = 3
     observe_s: float = 300.0
+    #: Named fault profile injected into every visit (see
+    #: :mod:`repro.faults`); ``"none"`` is provably inert.
+    fault_profile: str = "none"
 
     @property
     def site_slot_s(self) -> float:
@@ -187,6 +211,7 @@ class HttpArchiveCrawler:
             self.start_time,
             self.loads_per_site,
             self.observe_s,
+            self.fault_profile,
             tuple(domains),
         )
 
@@ -224,15 +249,17 @@ class HttpArchiveCrawler:
                 noise=self.noise,
                 loads_per_site=self.loads_per_site,
                 observe_s=self.observe_s,
+                fault_profile=self.fault_profile,
             )
             for index, domain in enumerate(domains)
         ]
         corpus = HarCorpus(name="httparchive", provenance=key)
-        for domain, har in executor.map_sites(_crawl_one_site, tasks):
+        for domain, har, counts in executor.map_sites(_crawl_one_site, tasks):
             if har is None:
                 corpus.unreachable.append(domain)
             else:
                 corpus.hars[domain] = har
+            merge_counts(corpus.fault_counts, counts)
         if key is not None:
             cache.put("har-crawl", key, corpus)
         return corpus

@@ -24,13 +24,36 @@ exactly the temporal/spatial fluctuation of Figure 3:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from functools import lru_cache
 from typing import Protocol, Sequence
 
+from repro.dns.records import Answer
 from repro.util.rng import stable_hash
 
-__all__ = ["LoadBalancingPolicy", "StaticPolicy", "RotationPolicy", "AnycastPolicy"]
+__all__ = [
+    "LoadBalancingPolicy",
+    "StaticPolicy",
+    "RotationPolicy",
+    "AnycastPolicy",
+    "narrow_answer",
+]
+
+
+def narrow_answer(answer: Answer, *, keep: int = 1) -> Answer:
+    """A degraded balancer's answer: only the first ``keep`` A records.
+
+    Models a pool that is partially drained (maintenance, a regional
+    outage) so the balancer serves fewer addresses than it owns.  Fewer
+    answers mean fewer coalescing opportunities for the browser pool —
+    the fault-injection lever behind ``FaultKind.DNS_NARROWED``.  Answer
+    order is preserved, so the surviving records are exactly the ones
+    every vantage point agrees on first.
+    """
+    keep = max(1, keep)
+    if len(answer.ips) <= keep:
+        return answer
+    return replace(answer, ips=tuple(answer.ips[:keep]))
 
 
 @lru_cache(maxsize=1 << 16)

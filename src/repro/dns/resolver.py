@@ -13,11 +13,31 @@ study; :func:`default_fleet` mirrors that fleet.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
+from repro.dns.loadbalancer import narrow_answer
 from repro.dns.records import Answer
-from repro.dns.zone import DnsNamespace
+from repro.dns.zone import DnsNamespace, NxDomain
+from repro.faults.plan import FaultKind
 
-__all__ = ["RecursiveResolver", "ResolverInfo", "default_fleet"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.plan import FaultPlan
+
+__all__ = [
+    "DnsTimeout",
+    "RecursiveResolver",
+    "ResolverInfo",
+    "ServFail",
+    "default_fleet",
+]
+
+
+class ServFail(RuntimeError):
+    """The resolver answered SERVFAIL (RCODE 2) for this query."""
+
+
+class DnsTimeout(RuntimeError):
+    """The query to the resolver timed out."""
 
 
 @dataclass(frozen=True)
@@ -79,9 +99,13 @@ class RecursiveResolver:
 
     namespace: DnsNamespace
     info: ResolverInfo
+    #: Optional :class:`~repro.faults.plan.FaultPlan` consulted at each
+    #: query; ``None`` (the default) keeps every code path untouched.
+    faults: "FaultPlan | None" = None
     _cache: dict[str, tuple[float, Answer]] = field(default_factory=dict)
     queries: int = 0
     cache_hits: int = 0
+    stale_answers_served: int = 0
     expired_evictions: int = 0
     #: Queries between periodic full sweeps of expired entries.
     sweep_interval: int = 4096
@@ -128,6 +152,16 @@ class RecursiveResolver:
         self._sweep_countdown -= 1
         if self._sweep_countdown <= 0:
             self.sweep(now=now)
+        faults = self.faults
+        if faults is not None:
+            # Transport-level failures strike before any cache lookup —
+            # the resolver itself is unreachable or refusing.
+            if faults.fires(FaultKind.DNS_TIMEOUT):
+                raise DnsTimeout(f"query for {name} timed out")
+            if faults.fires(FaultKind.DNS_SERVFAIL):
+                raise ServFail(f"SERVFAIL for {name}")
+            if faults.fires(FaultKind.DNS_NXDOMAIN):
+                raise NxDomain(name)
         use_ecs = self.info.supports_ecs and client_subnet is not None
         cache_key = f"{name}\x1f{client_subnet}" if use_ecs else name
         cached = self._cache.get(cache_key)
@@ -135,6 +169,13 @@ class RecursiveResolver:
             expiry, answer = cached
             if now < expiry:
                 self.cache_hits += 1
+                return answer
+            if faults is not None and faults.fires(FaultKind.DNS_STALE_TTL):
+                # Stale-TTL answer: the entry is kept, so the resolver
+                # can keep serving (or finally refresh) it on later
+                # queries — the temporal smearing the paper notes for
+                # load-balanced resolver fleets, exaggerated.
+                self.stale_answers_served += 1
                 return answer
             # Lazy deletion: the entry is dead and would only ever be
             # overwritten below; drop it so flushes/sweeps stay cheap.
@@ -147,6 +188,14 @@ class RecursiveResolver:
         answer = self.namespace.authoritative_answer(
             name, now=now, resolver_id=vantage
         )
+        if (
+            faults is not None
+            and len(answer.ips) > 1
+            and faults.fires(FaultKind.DNS_NARROWED)
+        ):
+            answer = narrow_answer(
+                answer, keep=int(faults.param(FaultKind.DNS_NARROWED, 1.0))
+            )
         self._cache[cache_key] = (now + answer.ttl, answer)
         return answer
 

@@ -16,13 +16,17 @@ ORIGIN frame advertisement.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Protocol
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Protocol
 
+from repro.faults.plan import FaultKind
 from repro.h2.hpack import HpackDecoder, HpackEncoder
 from repro.h2.settings import Http2Settings
-from repro.h2.stream import Http2Stream
+from repro.h2.stream import Http2Stream, StreamResetError
 from repro.tls.certificate import Certificate
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.plan import FaultPlan
 
 __all__ = [
     "ServerEndpoint",
@@ -102,6 +106,9 @@ class Http2Connection:
     requests: list[RequestRecord] = field(default_factory=list)
     origin_set: set[str] = field(default_factory=set)
     misdirected_domains: set[str] = field(default_factory=set)
+    #: Optional :class:`~repro.faults.plan.FaultPlan` consulted per
+    #: request; ``None`` keeps the request path exactly as before.
+    faults: "FaultPlan | None" = None
     _next_stream_id: int = 1
 
     def __post_init__(self) -> None:
@@ -141,6 +148,17 @@ class Http2Connection:
     def is_open(self) -> bool:
         return self.closed_at is None and not self.goaway_received
 
+    @property
+    def accepts_new_streams(self) -> bool:
+        """False once the peer advertised MAX_CONCURRENT_STREAMS=0.
+
+        A quiesced session (RFC 7540 §6.5.2: zero means "no new
+        streams") is still open but useless to the pool; treating it as
+        unavailable lets the browser alias a replacement instead of
+        burning one doomed attempt per request.
+        """
+        return self.remote_settings.max_concurrent_streams != 0
+
     def close(self, *, now: float) -> None:
         """Client-side close (or idle timeout)."""
         if self.closed_at is None:
@@ -155,6 +173,19 @@ class Http2Connection:
         self.goaway_received = True
         if self.closed_at is None:
             self.closed_at = now
+
+    def apply_remote_settings(self, settings: Http2Settings) -> None:
+        """A SETTINGS frame from the peer replaces its parameters.
+
+        Only the stream-admission limits take effect here; HPACK table
+        resizes would need a table-size-update on the next header block,
+        which the byte-accounting encoder does not model, so the header
+        table size is pinned to the value negotiated at session start.
+        """
+        self.remote_settings = replace(
+            settings,
+            header_table_size=self.remote_settings.header_table_size,
+        )
 
     def lifetime(self, *, assume_end: float | None = None) -> float | None:
         """Seconds the connection lived; ``assume_end`` caps open ones."""
@@ -185,8 +216,29 @@ class Http2Connection:
         """Multiplex one request over this connection.
 
         Raises :class:`ConnectionClosedError` when the session can no
-        longer accept streams; enforces MAX_CONCURRENT_STREAMS.
+        longer accept streams; enforces MAX_CONCURRENT_STREAMS.  With an
+        attached fault plan the request may additionally be struck by an
+        injected GOAWAY (session closes), a SETTINGS churn (the peer
+        drops MAX_CONCURRENT_STREAMS, quiescing the session without
+        closing it) or an RST_STREAM
+        (:class:`~repro.h2.stream.StreamResetError` after the stream
+        opened — the retryable case).
         """
+        faults = self.faults
+        if faults is not None and self.is_open:
+            if faults.fires(FaultKind.H2_GOAWAY):
+                # Mid-stream GOAWAY: the server stops this session right
+                # as the request is about to be multiplexed onto it.
+                self.receive_goaway(now=now)
+            elif faults.fires(FaultKind.H2_SETTINGS_CHURN):
+                self.apply_remote_settings(
+                    replace(
+                        self.remote_settings,
+                        max_concurrent_streams=int(
+                            faults.param(FaultKind.H2_SETTINGS_CHURN, 0.0)
+                        ),
+                    )
+                )
         if not self.is_open:
             raise ConnectionClosedError(f"connection {self.connection_id} is closed")
         limit = self.remote_settings.max_concurrent_streams
@@ -210,6 +262,17 @@ class Http2Connection:
         headers.extend(extra_headers or [])
         self._encoder.encode(headers)  # byte accounting for HPACK studies
         stream.send_request(headers, now=now)
+
+        if faults is not None and faults.fires(FaultKind.H2_RST_STREAM):
+            # RST_STREAM after HEADERS went out: the stream dies, the
+            # session survives.  No RequestRecord is produced — exactly
+            # like a NetLog that never sees the response events.
+            stream.reset(now=now)
+            self._open_streams -= 1
+            raise StreamResetError(
+                f"stream {stream.stream_id} on connection "
+                f"{self.connection_id} reset by peer"
+            )
 
         status, response_headers, body_size = self.server.handle_request(
             domain, path, method=method, credentials=with_credentials

@@ -294,7 +294,12 @@ def _decode_payload(header: FrameHeader, payload: bytes) -> Frame:
             offset += 2
             if offset + length > len(payload):
                 raise FrameError("truncated Origin-Entry")
-            origins.append(payload[offset:offset + length].decode("ascii"))
+            try:
+                origins.append(payload[offset:offset + length].decode("ascii"))
+            except UnicodeDecodeError as error:
+                # Corrupted bytes must surface as the codec's own typed
+                # error, never as a leaked UnicodeDecodeError.
+                raise FrameError(f"non-ASCII Origin-Entry: {error}") from error
             offset += length
         return OriginFrame(origins=tuple(origins), **kwargs)
     return UnknownFrame(raw_payload=payload, raw_type=header.frame_type, **kwargs)

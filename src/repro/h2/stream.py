@@ -11,11 +11,21 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
-__all__ = ["StreamState", "StreamError", "Http2Stream"]
+__all__ = ["StreamState", "StreamError", "StreamResetError", "Http2Stream"]
 
 
 class StreamError(RuntimeError):
     """Illegal operation for the stream's current state."""
+
+
+class StreamResetError(RuntimeError):
+    """The peer tore the stream down with RST_STREAM before completion.
+
+    Raised by the connection's request path (fault injection, or any
+    future server-push/flow-control model) so callers can distinguish a
+    retryable per-stream failure from a dead connection.  Carries only
+    its message and therefore pickles cleanly across pool workers.
+    """
 
 
 class StreamState(enum.Enum):

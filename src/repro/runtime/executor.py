@@ -18,7 +18,13 @@ from __future__ import annotations
 import math
 import os
 from abc import ABC, abstractmethod
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    FIRST_EXCEPTION,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from typing import Callable, Iterator, Sequence, TypeVar
 
 T = TypeVar("T")
@@ -132,19 +138,49 @@ class _PoolExecutor(Executor):
         chunks = chunk_items(items, size)
         if self._pool is None:
             self._pool = self._make_pool()
-        futures = [self._pool.submit(_run_chunk, fn, chunk) for chunk in chunks]
-        results: list[R] = []
+        futures: list = []
         try:
-            for future in futures:
-                results.extend(future.result())
-        except BaseException:
+            futures.extend(
+                self._pool.submit(_run_chunk, fn, chunk) for chunk in chunks
+            )
+            # Block until everything finished OR any chunk raised —
+            # not merely until the *input-order-first* chunk resolved,
+            # which would let a failure in a late chunk keep the whole
+            # queue churning behind a slow early chunk.
+            wait(futures, return_when=FIRST_EXCEPTION)
+            failed = next(
+                (
+                    future for future in futures
+                    if future.done() and not future.cancelled()
+                    and future.exception() is not None
+                ),
+                None,
+            )
+            if failed is None:
+                return [
+                    result for future in futures for result in future.result()
+                ]
             # A failing chunk dooms the whole map: cancel everything
-            # still queued so workers stop churning through chunks whose
-            # results can never be used before the exception propagates.
+            # still queued so workers stop burning through chunks whose
+            # results can never be used, then surface the original
+            # error — fn's own exception, input-order-first among the
+            # failures observed when the wait woke up.  (Which failure
+            # that is can depend on scheduling when several chunks
+            # fail; fail-fast cancellation and a fully deterministic
+            # choice are mutually exclusive, and callers abort on any
+            # of them.)
             for pending in futures:
                 pending.cancel()
+            failed.result()  # re-raises fn's exception with its chain
+            raise AssertionError("unreachable: failed future had no error")
+        except BrokenExecutor:
+            # The pool itself died (worker killed, unpicklable error in
+            # a spawned process, ...): discard it so the next map_sites
+            # on this executor starts from a fresh, working pool.
+            for pending in futures:
+                pending.cancel()
+            self.close()
             raise
-        return results
 
     def close(self) -> None:
         if self._pool is not None:

@@ -11,6 +11,8 @@ Axes come either from code (any field, any values) or from the CLI's
 ``--grid field=v1,v2`` syntax parsed by :meth:`SweepSpec.parse_axes`;
 tuple-valued fields (``har_models``, ``alexa_variants``) join their
 elements with ``+``, e.g. ``--grid alexa_variants=fetch+nofetch,fetch``.
+Fault scenarios sweep like any other axis:
+``--grid fault_profile=none,flaky-dns,h2-churn``.
 """
 
 from __future__ import annotations
@@ -37,6 +39,7 @@ _AXIS_PARSERS = {
     "parallelism": int,
     "har_models": _plus_tuple,
     "alexa_variants": _plus_tuple,
+    "fault_profile": str,
 }
 
 _CONFIG_FIELDS = frozenset(spec.name for spec in fields(StudyConfig))

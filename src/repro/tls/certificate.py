@@ -10,12 +10,19 @@ preserving every decision the paper's classifier makes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.tls.verify import is_valid_san_pattern, sans_cover
 from repro.util.domains import normalize
 
-__all__ = ["Certificate"]
+__all__ = ["Certificate", "UNTRUSTED_ISSUER", "degrade_certificate"]
+
+#: Issuer organisation used by fault injection for untrusted chains; it
+#: is deliberately absent from :data:`repro.tls.issuers.WELL_KNOWN_ISSUERS`.
+UNTRUSTED_ISSUER = "Untrusted Test CA"
+
+#: The degradation modes :func:`degrade_certificate` understands.
+DEGRADE_MODES = ("expired", "san-mismatch", "untrusted-issuer")
 
 
 @dataclass(frozen=True)
@@ -57,3 +64,41 @@ class Certificate:
     def fingerprint(self) -> str:
         """A stable identifier used for grouping in reports."""
         return f"{self.issuer_org}#{self.serial}"
+
+
+def degrade_certificate(
+    certificate: Certificate, mode: str, *, now: float
+) -> Certificate:
+    """A broken copy of ``certificate`` for fault injection.
+
+    ``mode`` selects the failure a misconfigured server presents:
+
+    * ``"expired"`` — the validity window ended an hour before ``now``;
+    * ``"san-mismatch"`` — the SAN list covers only a name nobody asks
+      for (a certificate deployed for the wrong vhost);
+    * ``"untrusted-issuer"`` — reissued by :data:`UNTRUSTED_ISSUER`.
+
+    The serial is shifted into a reserved range so degraded copies never
+    collide with a genuine certificate's fingerprint in reports.
+    """
+    degraded_serial = certificate.serial + 1_000_000_000
+    if mode == "expired":
+        return replace(
+            certificate,
+            serial=degraded_serial,
+            not_before=now - 365.0 * 24 * 3600.0,
+            not_after=now - 3600.0,
+        )
+    if mode == "san-mismatch":
+        return replace(
+            certificate,
+            serial=degraded_serial,
+            sans=("wrong-vhost.invalid",),
+        )
+    if mode == "untrusted-issuer":
+        return replace(
+            certificate, serial=degraded_serial, issuer_org=UNTRUSTED_ISSUER
+        )
+    raise ValueError(
+        f"unknown degradation mode {mode!r}; expected one of {DEGRADE_MODES}"
+    )

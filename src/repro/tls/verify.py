@@ -18,10 +18,72 @@ Implemented rules (the subset browsers actually enforce):
 from __future__ import annotations
 
 from functools import lru_cache
+from typing import TYPE_CHECKING
 
 from repro.util.domains import is_valid_hostname, labels, normalize, public_suffix
 
-__all__ = ["hostname_matches", "is_valid_san_pattern", "sans_cover"]
+if TYPE_CHECKING:  # pragma: no cover - avoid the certificate<->verify cycle
+    from repro.tls.certificate import Certificate
+
+__all__ = [
+    "CertificateError",
+    "CertificateExpiredError",
+    "CertificateNameError",
+    "UntrustedIssuerError",
+    "hostname_matches",
+    "is_valid_san_pattern",
+    "sans_cover",
+    "verify_certificate",
+]
+
+
+class CertificateError(RuntimeError):
+    """The presented certificate failed handshake verification."""
+
+
+class CertificateExpiredError(CertificateError):
+    """The handshake time falls outside the validity window."""
+
+
+class CertificateNameError(CertificateError):
+    """No SAN covers the requested hostname (RFC 6125 mismatch)."""
+
+
+class UntrustedIssuerError(CertificateError):
+    """The issuing organisation is not in the client's trust store."""
+
+
+def verify_certificate(
+    certificate: "Certificate",
+    hostname: str,
+    *,
+    now: float,
+    trusted_issuers: frozenset[str] | None = None,
+) -> None:
+    """Browser-style leaf verification at handshake time.
+
+    Checks, in the order a client rejects: issuer trust (when a trust
+    store is given), the validity window at ``now``, and RFC 6125 name
+    coverage.  Raises the matching :class:`CertificateError` subtype;
+    returns ``None`` on success.  The errors carry only their message,
+    so they survive pickling across process-pool workers intact.
+    """
+    if (
+        trusted_issuers is not None
+        and certificate.issuer_org not in trusted_issuers
+    ):
+        raise UntrustedIssuerError(
+            f"issuer {certificate.issuer_org!r} is not trusted"
+        )
+    if not certificate.is_valid_at(now):
+        raise CertificateExpiredError(
+            f"certificate for {certificate.subject!r} is outside its "
+            f"validity window at t={now:.0f}"
+        )
+    if not certificate.covers(hostname):
+        raise CertificateNameError(
+            f"no SAN of {certificate.subject!r} covers {hostname!r}"
+        )
 
 
 def is_valid_san_pattern(pattern: str) -> bool:

@@ -20,13 +20,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import lru_cache
+from typing import TYPE_CHECKING
 
+from repro.faults.plan import FaultKind
 from repro.h2.connection import HTTP_MISDIRECTED_REQUEST
-from repro.tls.certificate import Certificate
+from repro.tls.certificate import Certificate, degrade_certificate
 from repro.util.domains import normalize
 from repro.util.rng import stable_hash
 
-__all__ = ["OriginServer", "build_fleet"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.plan import FaultPlan
+    from repro.util.clock import SimClock
+
+__all__ = ["FaultedEndpoint", "OriginServer", "build_fleet"]
 
 
 @lru_cache(maxsize=1 << 16)
@@ -129,6 +135,120 @@ class OriginServer:
 
     def advertised_origins(self) -> tuple[str, ...]:
         return self.origin_frame_origins
+
+
+#: Degradation modes for the TLS fault kinds, in the order the wrapper
+#: consults them (one draw each per SNI).
+_TLS_DEGRADATIONS: tuple[tuple[FaultKind, str], ...] = (
+    (FaultKind.TLS_EXPIRED, "expired"),
+    (FaultKind.TLS_SAN_MISMATCH, "san-mismatch"),
+    (FaultKind.TLS_UNTRUSTED_ISSUER, "untrusted-issuer"),
+)
+
+
+@dataclass
+class FaultedEndpoint:
+    """A per-connection ``ServerEndpoint`` decorator injecting faults.
+
+    The pool's ``server_lookup`` returns one wrapper per connection
+    attempt, so per-endpoint fault state (an in-progress 5xx burst, the
+    degraded-or-not certificate decision per SNI) is scoped to that
+    connection and never leaks into the shared
+    :class:`OriginServer` objects of the ecosystem — which other sites
+    of the same study are concurrently measured against.
+    """
+
+    inner: OriginServer
+    faults: "FaultPlan"
+    clock: "SimClock"
+    _cert_decisions: dict[str, Certificate] = field(
+        default_factory=dict, repr=False
+    )
+    _burst_remaining: int = 0
+
+    @property
+    def ip(self) -> str:
+        return self.inner.ip
+
+    @property
+    def name(self) -> str:
+        return self.inner.name
+
+    @property
+    def alpn(self) -> str:
+        return self.inner.alpn
+
+    @property
+    def alt_svc_h3(self) -> bool:
+        return self.inner.alt_svc_h3
+
+    @property
+    def certificate(self) -> Certificate:
+        return self.inner.certificate
+
+    def certificate_for(self, sni: str) -> Certificate:
+        """The (possibly degraded) certificate presented for ``sni``.
+
+        The degradation decision is drawn once per SNI and cached, so
+        the certificate the pool verifies at handshake time is the same
+        object the established connection records.
+        """
+        cached = self._cert_decisions.get(sni)
+        if cached is not None:
+            return cached
+        certificate = self.inner.certificate_for(sni)
+        for kind, mode in _TLS_DEGRADATIONS:
+            if self.faults.fires(kind):
+                certificate = degrade_certificate(
+                    certificate, mode, now=self.clock.now()
+                )
+                break
+        self._cert_decisions[sni] = certificate
+        return certificate
+
+    def serves(self, domain: str) -> bool:
+        return self.inner.serves(domain)
+
+    def handle_request(
+        self, domain: str, path: str, *, method: str, credentials: bool
+    ) -> tuple[int, list[tuple[str, str]], int]:
+        """Serve via the real endpoint, then maybe break the response.
+
+        5xx faults arrive in bursts (one draw arms ``param`` consecutive
+        503s, modelling an origin briefly falling over); truncation cuts
+        the delivered body to ``param`` of its announced length while
+        the headers keep advertising the full content-length — the §4.3
+        logging-inconsistency shape, server-made.
+        """
+        status, headers, body_size = self.inner.handle_request(
+            domain, path, method=method, credentials=credentials
+        )
+        if status != 200:
+            return status, headers, body_size
+        if self._burst_remaining > 0:
+            self._burst_remaining -= 1
+            return self._unavailable()
+        if self.faults.fires(FaultKind.SRV_ERROR_BURST):
+            self._burst_remaining = max(
+                0, int(self.faults.param(FaultKind.SRV_ERROR_BURST, 1.0)) - 1
+            )
+            return self._unavailable()
+        if self.faults.fires(FaultKind.SRV_TRUNCATED_BODY):
+            factor = self.faults.param(FaultKind.SRV_TRUNCATED_BODY, 0.25)
+            return status, headers, int(body_size * factor)
+        return status, headers, body_size
+
+    @staticmethod
+    def _unavailable() -> tuple[int, list[tuple[str, str]], int]:
+        return (
+            503,
+            [("content-type", "text/plain"), ("content-length", "0"),
+             ("retry-after", "1")],
+            0,
+        )
+
+    def advertised_origins(self) -> tuple[str, ...]:
+        return self.inner.advertised_origins()
 
 
 def build_fleet(

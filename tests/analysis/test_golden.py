@@ -11,36 +11,30 @@ regenerate and review the snapshots:
 from __future__ import annotations
 
 import difflib
-import importlib.util
-import sys
 from pathlib import Path
 
 import pytest
-
-from repro.analysis.study import Study
 
 pytestmark = pytest.mark.golden
 
 _GOLDEN_DIR = Path(__file__).resolve().parents[1] / "golden"
 
 
-def _load_regenerate():
-    """Import tests/golden/regenerate.py (tests are not a package)."""
-    spec = importlib.util.spec_from_file_location(
-        "golden_regenerate", _GOLDEN_DIR / "regenerate.py"
-    )
-    module = importlib.util.module_from_spec(spec)
-    sys.modules.setdefault("golden_regenerate", module)
-    spec.loader.exec_module(module)
-    return module
-
-
 @pytest.fixture(scope="module")
-def golden_artifacts() -> dict[str, str]:
-    """Live render of every golden artefact at the pinned config."""
-    regenerate = _load_regenerate()
-    study = Study.run(regenerate.golden_config())
-    return regenerate.render_artifacts(study)
+def golden_artifacts(
+    golden_regen, golden_study, faulted_golden_study
+) -> dict[str, str]:
+    """Live render of every golden artefact at the pinned configs.
+
+    The two studies come from session-scoped fixtures (see conftest),
+    so the faults differential suite reuses them instead of re-running
+    a second n=120 pipeline.
+    """
+    artifacts = golden_regen.render_artifacts(golden_study)
+    artifacts.update(
+        golden_regen.render_faulted_artifacts(faulted_golden_study)
+    )
+    return artifacts
 
 
 def _golden_names() -> list[str]:

@@ -7,7 +7,10 @@ few seconds to build.
 
 from __future__ import annotations
 
+import importlib.util
 import random
+import sys
+from pathlib import Path
 
 import pytest
 
@@ -15,6 +18,8 @@ from repro.analysis.study import Study, StudyConfig
 from repro.browser.browser import BrowserConfig, ChromiumBrowser
 from repro.util.clock import SimClock
 from repro.web.ecosystem import Ecosystem, EcosystemConfig
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
 
 
 @pytest.fixture(scope="session")
@@ -27,6 +32,31 @@ def small_ecosystem() -> Ecosystem:
 def small_study() -> Study:
     """A complete study over a 200-site universe."""
     return Study.run(StudyConfig(seed=7, n_sites=200, dns_study_days=0.25))
+
+
+@pytest.fixture(scope="session")
+def golden_regen():
+    """The tests/golden/regenerate.py module (tests are not a package)."""
+    spec = importlib.util.spec_from_file_location(
+        "golden_regenerate", GOLDEN_DIR / "regenerate.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("golden_regenerate", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="session")
+def golden_study(golden_regen) -> Study:
+    """The pinned-config study (seed=7, n=120), shared by every golden
+    assertion so the suite builds it exactly once."""
+    return Study.run(golden_regen.golden_config())
+
+
+@pytest.fixture(scope="session")
+def faulted_golden_study(golden_regen) -> Study:
+    """The canonical faulted study (same scale, chaos profile)."""
+    return Study.run(golden_regen.faulted_config())
 
 
 @pytest.fixture()

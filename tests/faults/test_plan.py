@@ -1,0 +1,204 @@
+"""Unit tests for the fault-plan model itself."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.analysis.study import StudyConfig
+from repro.faults import (
+    PROFILES,
+    FaultKind,
+    FaultPlan,
+    FaultProfile,
+    FaultSpec,
+    fault_profile,
+    merge_counts,
+    profile_names,
+)
+from repro.sweep import SweepSpec
+
+
+def _always(kind: FaultKind, param: float = 0.0) -> FaultProfile:
+    """A single-kind profile that fires on every draw."""
+    return FaultProfile(
+        name=f"always-{kind.value}", description="test",
+        specs=(FaultSpec(kind, rate=1.0, param=param),),
+    )
+
+
+class TestRegistry:
+    def test_required_profiles_registered(self):
+        for name in ("none", "flaky-dns", "broken-tls", "h2-churn",
+                     "slow-origin", "chaos"):
+            assert name in PROFILES
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault profile"):
+            fault_profile("fire-everything")
+
+    def test_profile_names_sorted(self):
+        assert profile_names() == sorted(PROFILES)
+
+    def test_none_profile_is_empty(self):
+        assert fault_profile("none").empty
+
+    def test_chaos_covers_every_named_profile(self):
+        named = set()
+        for name in ("flaky-dns", "broken-tls", "h2-churn", "slow-origin"):
+            named |= fault_profile(name).kinds
+        assert fault_profile("chaos").kinds == named
+
+    def test_duplicate_kinds_rejected(self):
+        with pytest.raises(ValueError, match="duplicate fault kinds"):
+            FaultProfile(
+                "dup", "test",
+                (FaultSpec(FaultKind.H2_GOAWAY, 0.1),
+                 FaultSpec(FaultKind.H2_GOAWAY, 0.2)),
+            )
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ValueError, match="rate"):
+            FaultSpec(FaultKind.H2_GOAWAY, rate=1.5)
+
+
+class TestCompile:
+    def test_empty_profile_compiles_to_none(self):
+        assert FaultPlan.compile(
+            "none", seed=7, run="alexa-fetch", domain="site000001.com"
+        ) is None
+
+    def test_named_profile_compiles_to_plan(self):
+        plan = FaultPlan.compile(
+            "flaky-dns", seed=7, run="alexa-fetch", domain="site000001.com"
+        )
+        assert plan is not None
+        assert plan.profile.name == "flaky-dns"
+
+    def test_profile_instances_accepted(self):
+        plan = FaultPlan.compile(
+            _always(FaultKind.H2_GOAWAY), seed=1, run="r", domain="d"
+        )
+        assert plan.fires(FaultKind.H2_GOAWAY)
+
+    def test_verifies_tls_only_for_tls_profiles(self):
+        tls = FaultPlan.compile("broken-tls", seed=1, run="r", domain="d")
+        dns = FaultPlan.compile("flaky-dns", seed=1, run="r", domain="d")
+        chaos = FaultPlan.compile("chaos", seed=1, run="r", domain="d")
+        assert tls.verifies_tls
+        assert not dns.verifies_tls
+        assert chaos.verifies_tls
+
+
+class TestDeterminism:
+    def _draws(self, seed: int, run: str, domain: str, n: int = 200):
+        plan = FaultPlan.compile("chaos", seed=seed, run=run, domain=domain)
+        return [
+            (plan.fires(FaultKind.DNS_TIMEOUT), plan.fires(FaultKind.H2_GOAWAY))
+            for _ in range(n)
+        ]
+
+    def test_identical_coordinates_identical_draws(self):
+        assert self._draws(7, "alexa-fetch", "a.com") == (
+            self._draws(7, "alexa-fetch", "a.com")
+        )
+
+    def test_domains_decorrelated(self):
+        assert self._draws(7, "alexa-fetch", "a.com") != (
+            self._draws(7, "alexa-fetch", "b.com")
+        )
+
+    def test_runs_decorrelated(self):
+        assert self._draws(7, "alexa-fetch", "a.com") != (
+            self._draws(7, "alexa-nofetch", "a.com")
+        )
+
+    def test_seeds_decorrelated(self):
+        assert self._draws(7, "alexa-fetch", "a.com") != (
+            self._draws(8, "alexa-fetch", "a.com")
+        )
+
+    def test_kind_streams_independent(self):
+        # Consuming draws of one kind must not shift another kind's
+        # sequence — this is what lets a profile tune one rate without
+        # reshuffling every other fault.
+        plan_a = FaultPlan.compile("chaos", seed=7, run="r", domain="d")
+        plan_b = FaultPlan.compile("chaos", seed=7, run="r", domain="d")
+        for _ in range(50):
+            plan_b.fires(FaultKind.DNS_SERVFAIL)  # extra traffic on one kind
+        seq_a = [plan_a.fires(FaultKind.H2_RST_STREAM) for _ in range(100)]
+        seq_b = [plan_b.fires(FaultKind.H2_RST_STREAM) for _ in range(100)]
+        assert seq_a == seq_b
+
+    def test_unlisted_kind_never_fires_and_draws_nothing(self):
+        plan = FaultPlan.compile("flaky-dns", seed=7, run="r", domain="d")
+        reference = FaultPlan.compile("flaky-dns", seed=7, run="r", domain="d")
+        for _ in range(20):
+            assert not plan.fires(FaultKind.H2_GOAWAY)
+        # The DNS streams must be untouched by the no-op draws above.
+        seq = [plan.fires(FaultKind.DNS_TIMEOUT) for _ in range(50)]
+        ref = [reference.fires(FaultKind.DNS_TIMEOUT) for _ in range(50)]
+        assert seq == ref
+
+
+class TestCounts:
+    def test_counts_tally_fired_only(self):
+        plan = FaultPlan.compile(
+            _always(FaultKind.SRV_ERROR_BURST), seed=1, run="r", domain="d"
+        )
+        assert plan.counts() == ()
+        for _ in range(3):
+            assert plan.fires(FaultKind.SRV_ERROR_BURST)
+        assert plan.counts() == (("srv-5xx-burst", 3),)
+
+    def test_param_defaults(self):
+        plan = FaultPlan.compile(
+            _always(FaultKind.SRV_LATENCY_SPIKE, param=10.0),
+            seed=1, run="r", domain="d",
+        )
+        assert plan.param(FaultKind.SRV_LATENCY_SPIKE) == 10.0
+        assert plan.param(FaultKind.H2_GOAWAY, 42.0) == 42.0
+
+    def test_merge_counts(self):
+        totals: dict[str, int] = {}
+        merge_counts(totals, (("a", 1), ("b", 2)))
+        merge_counts(totals, (("b", 3),))
+        assert totals == {"a": 1, "b": 5}
+
+    def test_plan_pickles(self):
+        # Plans never cross process boundaries today (workers rebuild
+        # them), but the RNG streams must not make them unpicklable if
+        # a future artefact embeds one.
+        plan = FaultPlan.compile("chaos", seed=7, run="r", domain="d")
+        plan.fires(FaultKind.DNS_TIMEOUT)
+        clone = pickle.loads(pickle.dumps(plan))
+        seq = [plan.fires(FaultKind.DNS_TIMEOUT) for _ in range(20)]
+        cloned_seq = [clone.fires(FaultKind.DNS_TIMEOUT) for _ in range(20)]
+        assert seq == cloned_seq
+
+
+class TestConfigIntegration:
+    def test_study_config_validates_profile(self):
+        StudyConfig(fault_profile="flaky-dns").validate()
+        with pytest.raises(ValueError, match="unknown fault profile"):
+            StudyConfig(fault_profile="bogus").validate()
+
+    def test_small_config_keeps_profile(self):
+        config = StudyConfig(n_sites=2000, fault_profile="h2-churn")
+        assert config.small().fault_profile == "h2-churn"
+
+    def test_sweep_axis_parses(self):
+        axes = SweepSpec.parse_axes(["fault_profile=none,flaky-dns"])
+        assert axes == (("fault_profile", ("none", "flaky-dns")),)
+        spec = SweepSpec(base=StudyConfig(n_sites=40), axes=axes)
+        labels = [cell.variant_label() for cell in spec.cells()]
+        assert labels == ["fault_profile=none", "fault_profile=flaky-dns"]
+
+    def test_sweep_axis_bad_value_fails_eagerly(self):
+        spec = SweepSpec(
+            base=StudyConfig(n_sites=40),
+            axes=(("fault_profile", ("bogus",)),),
+        )
+        with pytest.raises(ValueError, match="unknown fault profile"):
+            spec.cells()

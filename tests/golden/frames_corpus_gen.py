@@ -1,0 +1,102 @@
+"""Regenerate the HTTP/2 frame-codec golden byte-stream corpus.
+
+Like the HPACK corpus, this pins the codec's exact wire output: every
+refactor of ``repro.h2.frames`` must keep these bytes identical, and
+decoding the pinned bytes must reproduce the same frame structure.  The
+stream exercises every registered frame type (including the RFC 8336
+ORIGIN frame), the flag bits the reproduction uses, boundary lengths
+and an unknown-type frame (must-ignore carriage).
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python tests/golden/frames_corpus_gen.py
+
+Only regenerate after a *deliberate* wire-format change — which would
+be a protocol change, not a refactor.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.h2.frames import (
+    DataFrame,
+    Flags,
+    Frame,
+    GoawayFrame,
+    HeadersFrame,
+    OriginFrame,
+    PingFrame,
+    RstStreamFrame,
+    SettingsFrame,
+    UnknownFrame,
+    WindowUpdateFrame,
+    encode_frames,
+)
+
+CORPUS_PATH = Path(__file__).with_name("frames_corpus.json")
+
+
+def build_frames() -> list[Frame]:
+    """The canonical frame sequence (deterministic, hand-picked)."""
+    return [
+        SettingsFrame(pairs=((0x1, 4096), (0x3, 100), (0x4, 65_535))),
+        SettingsFrame(flags=Flags.ACK),
+        HeadersFrame(
+            stream_id=1,
+            flags=Flags.END_HEADERS | Flags.END_STREAM,
+            header_block=bytes(range(32)),
+        ),
+        DataFrame(stream_id=1, data=b""),
+        DataFrame(stream_id=3, flags=Flags.END_STREAM, data=b"\x00" * 17),
+        WindowUpdateFrame(stream_id=0, increment=(1 << 31) - 1),
+        WindowUpdateFrame(stream_id=3, increment=1),
+        PingFrame(opaque=b"\x01\x02\x03\x04\x05\x06\x07\x08"),
+        PingFrame(flags=Flags.ACK, opaque=b"\xff" * 8),
+        RstStreamFrame(stream_id=5, error_code=0x8),  # CANCEL
+        OriginFrame(
+            origins=(
+                "https://site000001.com",
+                "https://cdn.site000001.com",
+                "",
+            )
+        ),
+        GoawayFrame(
+            last_stream_id=5, error_code=0x0, debug_data=b"test-end"
+        ),
+        UnknownFrame(stream_id=7, raw_type=0xFA, raw_payload=b"\xde\xad"),
+    ]
+
+
+def describe(frame: Frame) -> dict:
+    """A JSON-stable structural summary of one frame."""
+    summary = {
+        "type": type(frame).__name__,
+        "stream_id": frame.stream_id,
+        "flags": int(frame.flags),
+        "payload_hex": frame.payload().hex(),
+    }
+    if isinstance(frame, UnknownFrame):
+        summary["raw_type"] = frame.raw_type
+    return summary
+
+
+def build_corpus() -> dict:
+    frames = build_frames()
+    return {
+        "comment": "pinned HTTP/2 frame codec wire bytes; see "
+                   "frames_corpus_gen.py",
+        "stream_hex": encode_frames(frames).hex(),
+        "frames": [describe(frame) for frame in frames],
+    }
+
+
+def main() -> int:
+    CORPUS_PATH.write_text(json.dumps(build_corpus(), indent=1) + "\n")
+    print(f"wrote {CORPUS_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

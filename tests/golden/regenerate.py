@@ -24,6 +24,10 @@ GOLDEN_DIR = Path(__file__).resolve().parent
 GOLDEN_SEED = 7
 GOLDEN_N_SITES = 120
 
+#: The canonical fault scenario pinned alongside the clean goldens: the
+#: combined profile, so every injection hook contributes to the digest.
+FAULTED_PROFILE = "chaos"
+
 
 def golden_config():
     from repro.analysis.study import StudyConfig
@@ -32,8 +36,15 @@ def golden_config():
                        dns_study_days=0.25)
 
 
+def faulted_config():
+    """The faulted-golden configuration (seed=7, n=120, chaos)."""
+    from dataclasses import replace
+
+    return replace(golden_config(), fault_profile=FAULTED_PROFILE)
+
+
 def render_artifacts(study) -> dict[str, str]:
-    """Every golden artefact name -> rendered text."""
+    """Every clean-study golden artefact name -> rendered text."""
     from repro.analysis import ALL_TABLES, headline, study_digest
 
     artifacts = {"headline.txt": headline(study).render() + "\n"}
@@ -43,11 +54,21 @@ def render_artifacts(study) -> dict[str, str]:
     return artifacts
 
 
+def render_faulted_artifacts(faulted_study) -> dict[str, str]:
+    """The faulted-study goldens: the digest that regression-locks the
+    resilience numbers the way Table 1 locks the clean ones."""
+    from repro.analysis import study_digest
+
+    return {"faulted_digest.txt": study_digest(faulted_study) + "\n"}
+
+
 def main() -> int:
     from repro.analysis.study import Study
 
     study = Study.run(golden_config())
-    for name, text in render_artifacts(study).items():
+    artifacts = render_artifacts(study)
+    artifacts.update(render_faulted_artifacts(Study.run(faulted_config())))
+    for name, text in artifacts.items():
         (GOLDEN_DIR / name).write_text(text)
         print(f"wrote {GOLDEN_DIR / name}")
     return 0

@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
+import os
 import threading
+import time
+from concurrent.futures import BrokenExecutor
 
 import pytest
 
@@ -22,6 +25,23 @@ def _square(value: int) -> int:
 
 def _boom(value: int) -> int:
     raise RuntimeError(f"boom {value}")
+
+
+class _InjectedFault(RuntimeError):
+    """A typed, picklable fault error (single-message, like the real
+    ServFail/StreamResetError/CertificateError family)."""
+
+
+def _fault_at_three(value: int) -> int:
+    if value == 3:
+        raise _InjectedFault(f"injected fault at {value}")
+    return value
+
+
+def _kill_worker(value: int) -> int:
+    if value == 1:
+        os._exit(13)  # simulates a worker crash (OOM-kill, segfault)
+    return value
 
 
 EXECUTOR_FACTORIES = [
@@ -114,6 +134,58 @@ class TestMapSites:
             with pytest.raises(RuntimeError):
                 executor.map_sites(_boom, [1, 2, 3], chunk_size=1)
             assert executor.map_sites(_square, [2, 3]) == [4, 9]
+
+    def test_process_executor_surfaces_typed_fault_error(self):
+        # A fault-raised exception inside a worker process must come
+        # back as the original typed error (which requires it to pickle
+        # cleanly), not as a pool-layer wrapper.
+        with ProcessExecutor(2) as executor:
+            with pytest.raises(_InjectedFault, match="injected fault at 3"):
+                executor.map_sites(
+                    _fault_at_three, list(range(8)), chunk_size=2
+                )
+
+    def test_process_executor_usable_after_fault(self):
+        with ProcessExecutor(2) as executor:
+            with pytest.raises(_InjectedFault):
+                executor.map_sites(
+                    _fault_at_three, list(range(8)), chunk_size=1
+                )
+            assert executor.map_sites(_square, [4, 5]) == [16, 25]
+
+    def test_process_executor_recovers_from_broken_pool(self):
+        # A dying worker breaks the whole ProcessPoolExecutor; the
+        # executor must discard the carcass so the next map starts a
+        # fresh pool instead of failing forever.
+        with ProcessExecutor(2) as executor:
+            with pytest.raises(BrokenExecutor):
+                executor.map_sites(_kill_worker, [0, 1, 2], chunk_size=1)
+            assert executor.map_sites(_square, [3]) == [9]
+
+    def test_late_chunk_failure_does_not_drain_queue(self):
+        # The failing chunk sits *behind* a slow one: the map must
+        # notice the failure as it happens (FIRST_EXCEPTION), cancel
+        # the still-queued chunks and raise — not sequentially await
+        # the slow chunk and let the queue churn meanwhile.
+        executed = []
+        lock = threading.Lock()
+
+        def work(value: int) -> int:
+            if value == 0:
+                time.sleep(0.5)
+                return value
+            if value == 1:
+                raise RuntimeError("boom 1")
+            with lock:
+                executed.append(value)
+            return value
+
+        with ThreadExecutor(2) as executor:
+            with pytest.raises(RuntimeError, match="boom 1"):
+                executor.map_sites(work, list(range(64)), chunk_size=1)
+        # Worker 2 may race a couple of chunks past the failure before
+        # the cancellations land, but nowhere near the full queue.
+        assert len(executed) < 32
 
     def test_pool_reused_across_maps(self):
         with ThreadExecutor(2) as executor:
