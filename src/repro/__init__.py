@@ -21,6 +21,8 @@ The public surface re-exports the layers a downstream user needs:
   harnesses;
 * :mod:`repro.runtime` — the pluggable serial/thread/process execution
   substrate the crawl and classification stages map over;
+* :mod:`repro.evolve` — temporal ecosystem evolution (churn policies,
+  epoch plans, the longitudinal runner);
 * :mod:`repro.analysis` — the study driver plus renderers for every
   table and figure of the paper.
 
@@ -81,6 +83,7 @@ from repro.core import (
 )
 from repro.crawl import AlexaCrawler, HttpArchiveCrawler
 from repro.dnsstudy import DnsLoadBalancingStudy
+from repro.evolve import run_longitudinal
 from repro.perf import (
     CorpusImpact,
     PathModel,
@@ -107,9 +110,9 @@ __all__ = [
     "Cause", "CorpusReport", "LifetimeModel", "SessionRecord",
     "SiteClassification", "classify_site", "could_reuse",
     "records_from_visit",
-    # crawl / dns study / web
+    # crawl / dns study / web / evolution
     "AlexaCrawler", "HttpArchiveCrawler", "DnsLoadBalancingStudy",
-    "Ecosystem", "EcosystemConfig",
+    "Ecosystem", "EcosystemConfig", "run_longitudinal",
     # runtime
     "Executor", "SerialExecutor", "ThreadExecutor", "ProcessExecutor",
     "StageTimings", "make_executor", "study_digest",

@@ -8,6 +8,12 @@ from repro.analysis.ablation import (
 from repro.analysis.digest import dataset_digest, study_digest
 from repro.analysis.figures import Figure2Result, Figure3Result, figure2, figure3
 from repro.analysis.headline import HeadlineStats, headline
+from repro.analysis.longitudinal import (
+    EpochSnapshot,
+    LongitudinalResult,
+    longitudinal_report,
+    snapshot_study,
+)
 from repro.analysis.resilience import ResilienceResult, resilience_report
 from repro.analysis.robustness import robustness_report
 from repro.analysis.study import DATASET_LABELS, Study, StudyConfig
@@ -40,6 +46,10 @@ __all__ = [
     "figure3",
     "HeadlineStats",
     "headline",
+    "EpochSnapshot",
+    "LongitudinalResult",
+    "longitudinal_report",
+    "snapshot_study",
     "ResilienceResult",
     "resilience_report",
     "robustness_report",

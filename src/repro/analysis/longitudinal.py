@@ -1,0 +1,251 @@
+"""Longitudinal analysis: one scenario measured across churn epochs.
+
+The evolution engine (:mod:`repro.evolve`) advances the synthetic
+ecosystem through epochs of certificate rotation, DNS churn, CDN
+migration or shard consolidation; this module quantifies what that
+churn does to the paper's observables over time:
+
+* **reuse trajectory** — per dataset and epoch: HTTP/2 connection
+  counts, redundant connections, the redundant share and its
+  percentage-point delta against epoch 0;
+* **attribution drift** — the Table-1 cause split (CERT / IP / CRED)
+  per epoch, because e.g. SAN merges move redundancy out of cause CERT
+  while pool reshuffles move cause IP;
+* **reuse-opportunity half-life** — per dataset, the (interpolated)
+  epoch at which redundant connections fall to half their epoch-0
+  count: the decay constant of the paper's headline phenomenon under
+  e.g. shard consolidation;
+* **churn ledger** — every mutation the engine applied, per epoch.
+
+Every epoch's study shares the seed, site list and crawl schedule, so
+the deltas are attributable to ecosystem churn alone (the runner,
+:func:`repro.evolve.run_longitudinal`, enforces this by construction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.digest import study_digest
+from repro.analysis.study import Study, StudyConfig
+from repro.core.causes import Cause
+from repro.util.formatting import align_table
+
+__all__ = [
+    "DatasetDrift",
+    "EpochSnapshot",
+    "LongitudinalResult",
+    "half_life",
+    "longitudinal_report",
+    "snapshot_study",
+]
+
+
+@dataclass(frozen=True)
+class DatasetDrift:
+    """One dataset's reuse numbers at one epoch, detached from the study."""
+
+    h2_connections: int
+    redundant_connections: int
+    cause_connections: dict[str, int]
+
+    @property
+    def redundant_share(self) -> float:
+        if not self.h2_connections:
+            return 0.0
+        return self.redundant_connections / self.h2_connections
+
+
+@dataclass(frozen=True)
+class EpochSnapshot:
+    """Everything the longitudinal report keeps from one epoch's study."""
+
+    epoch: int
+    digest: str
+    datasets: dict[str, DatasetDrift]
+    #: Mutations the engine applied in *this* epoch (empty at epoch 0).
+    churn: tuple[tuple[str, int], ...]
+
+
+def snapshot_study(epoch: int, study: Study) -> EpochSnapshot:
+    """Reduce one epoch's full study to its longitudinal snapshot."""
+    churn: tuple[tuple[str, int], ...] = ()
+    for ledger_epoch, counts in study.ecosystem.evolution_ledger:
+        if ledger_epoch == epoch:
+            churn = counts
+    return EpochSnapshot(
+        epoch=epoch,
+        digest=study_digest(study),
+        datasets={
+            name: DatasetDrift(
+                h2_connections=dataset.report.h2_connections,
+                redundant_connections=dataset.report.redundant_connections,
+                cause_connections={
+                    cause.value: dataset.report.by_cause[cause].connections
+                    for cause in Cause
+                },
+            )
+            for name, dataset in study.datasets.items()
+        },
+        churn=churn,
+    )
+
+
+def half_life(values: list[float]) -> float | None:
+    """The interpolated index where ``values`` first halves, or ``None``.
+
+    ``values[0]`` is the epoch-0 level; the half-life is the first
+    (linearly interpolated) epoch at which the series reaches half of
+    it.  ``None`` means the series never decayed that far — including
+    trajectories that grow.
+    """
+    if not values or values[0] <= 0:
+        return None
+    target = values[0] / 2.0
+    for index in range(1, len(values)):
+        if values[index] <= target:
+            previous, current = values[index - 1], values[index]
+            if previous == current:
+                return float(index)
+            return (index - 1) + (previous - target) / (previous - current)
+    return None
+
+
+@dataclass(frozen=True)
+class LongitudinalResult:
+    """The rendered-ready epoch sequence of one evolution scenario."""
+
+    policy: str
+    config: StudyConfig
+    snapshots: tuple[EpochSnapshot, ...]
+
+    @property
+    def epochs(self) -> list[int]:
+        return [snapshot.epoch for snapshot in self.snapshots]
+
+    def digests(self) -> list[tuple[int, str]]:
+        return [(s.epoch, s.digest) for s in self.snapshots]
+
+    def shared_datasets(self) -> list[str]:
+        """Dataset keys present at every epoch, epoch-0 order."""
+        if not self.snapshots:
+            return []
+        names = list(self.snapshots[0].datasets)
+        for snapshot in self.snapshots[1:]:
+            names = [n for n in names if n in snapshot.datasets]
+        return names
+
+    # ------------------------------------------------------------------
+    def reuse_rows(self) -> list[list[str]]:
+        rows = []
+        for name in self.shared_datasets():
+            base = self.snapshots[0].datasets[name]
+            for snapshot in self.snapshots:
+                drift = snapshot.datasets[name]
+                delta = (drift.redundant_share - base.redundant_share) * 100
+                rows.append([
+                    name,
+                    str(snapshot.epoch),
+                    str(drift.h2_connections),
+                    str(drift.redundant_connections),
+                    f"{drift.redundant_share:.1%}",
+                    f"{round(delta, 1) + 0.0:+.1f} pp",
+                ])
+        return rows
+
+    def drift_rows(self) -> list[list[str]]:
+        """CERT/IP/CRED connection counts, one column per epoch."""
+        rows = []
+        for name in self.shared_datasets():
+            for cause in (Cause.CERT, Cause.IP, Cause.CRED):
+                counts = [
+                    snapshot.datasets[name].cause_connections[cause.value]
+                    for snapshot in self.snapshots
+                ]
+                if not any(counts):
+                    continue
+                rows.append([name, cause.value] + [str(n) for n in counts])
+        return rows
+
+    def half_life_rows(self) -> list[list[str]]:
+        rows = []
+        horizon = self.snapshots[-1].epoch if self.snapshots else 0
+        for name in self.shared_datasets():
+            series = [
+                float(snapshot.datasets[name].redundant_connections)
+                for snapshot in self.snapshots
+            ]
+            life = half_life(series)
+            rows.append([
+                name,
+                str(int(series[0])),
+                str(int(series[-1])),
+                f"{life:.1f} epochs" if life is not None
+                else f"> {horizon} epochs",
+            ])
+        return rows
+
+    def churn_rows(self) -> list[list[str]]:
+        rows = []
+        for snapshot in self.snapshots:
+            if snapshot.epoch == 0:
+                continue
+            applied = ", ".join(
+                f"{kind}={count}" for kind, count in snapshot.churn
+            )
+            rows.append([str(snapshot.epoch), applied or "(nothing fired)"])
+        return rows
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        config = self.config
+        epoch_headers = [f"e{epoch}" for epoch in self.epochs]
+        parts = [
+            f"Longitudinal report — policy '{self.policy}' over "
+            f"{self.snapshots[-1].epoch} epochs "
+            f"(seed={config.seed}, n_sites={config.n_sites})",
+            "",
+            "Reuse trajectory per dataset",
+            align_table(
+                self.reuse_rows(),
+                header=["Dataset", "Epoch", "h2", "Redundant", "Share",
+                        "vs e0"],
+            ),
+            "",
+            "Attribution drift (redundant connections by cause)",
+            align_table(
+                self.drift_rows(),
+                header=["Dataset", "Cause"] + epoch_headers,
+            ),
+            "",
+            "Reuse-opportunity half-life (redundant connections)",
+            align_table(
+                self.half_life_rows(),
+                header=["Dataset", "e0", f"e{self.snapshots[-1].epoch}",
+                        "Half-life"],
+            ),
+            "",
+            "Churn ledger (mutations applied per epoch)",
+        ]
+        ledger = self.churn_rows()
+        if ledger:
+            parts.append(align_table(ledger, header=["Epoch", "Applied"]))
+        else:
+            parts.append("  (no churn epochs)")
+        return "\n".join(parts)
+
+
+def longitudinal_report(result: LongitudinalResult) -> LongitudinalResult:
+    """Identity hook mirroring ``resilience_report``'s shape.
+
+    The runner already produces the result object; this exists so call
+    sites read uniformly (``print(longitudinal_report(result).render())``)
+    and future validation (e.g. epoch continuity checks) has one home.
+    """
+    epochs = [snapshot.epoch for snapshot in result.snapshots]
+    if epochs != list(range(len(epochs))):
+        raise ValueError(
+            f"longitudinal snapshots must cover epochs 0..N without gaps, "
+            f"got {epochs}"
+        )
+    return result

@@ -28,6 +28,7 @@ from repro.crawl.classify import ClassifiedDataset
 from repro.crawl.httparchive import HarCorpus, HttpArchiveCrawler
 from repro.crawl.overlap import overlap_datasets
 from repro.core.session import LifetimeModel
+from repro.evolve.policy import evolution_policy
 from repro.faults.plan import fault_profile, merge_counts
 from repro.dnsstudy.study import DnsLoadBalancingStudy, DnsStudyResult
 from repro.runtime import (
@@ -90,13 +91,25 @@ class StudyConfig:
     #: default ``"none"`` compiles to no plan at all, leaving every
     #: layer on its pre-fault code path (the golden digest pins this).
     fault_profile: str = "none"
+    #: How many churn epochs of ``evolution_policy`` the world is
+    #: advanced through before measuring (see :mod:`repro.evolve`); a
+    #: first-class study/sweep/cache axis.  0 measures the pristine
+    #: world every pre-evolution study saw (the golden digest pins it).
+    epochs: int = 0
+    #: Named ecosystem-churn policy for the evolution epochs; the
+    #: default ``"none"`` never enters the evolution engine at all.
+    evolution_policy: str = "none"
 
     def make_executor(self) -> "Executor":
         return make_executor(self.executor, self.parallelism)
 
     def ecosystem_config(self) -> EcosystemConfig:
         return EcosystemConfig(
-            seed=self.seed, n_sites=self.n_sites, **self.ecosystem_overrides
+            seed=self.seed,
+            n_sites=self.n_sites,
+            evolution_policy=self.evolution_policy,
+            epoch=self.epochs,
+            **self.ecosystem_overrides,
         )
 
     def validate(self) -> None:
@@ -123,6 +136,15 @@ class StudyConfig:
                 f"duplicate alexa_variants in {self.alexa_variants!r}"
             )
         fault_profile(self.fault_profile)  # raises ValueError on unknowns
+        evolution_policy(self.evolution_policy)  # raises on unknowns
+        if self.epochs < 0:
+            raise ValueError(f"epochs must be >= 0, got {self.epochs}")
+        overlap = {"evolution_policy", "epoch"} & set(self.ecosystem_overrides)
+        if overlap:
+            raise ValueError(
+                f"set evolution via StudyConfig.epochs/evolution_policy, "
+                f"not ecosystem_overrides ({sorted(overlap)})"
+            )
 
     def small(self) -> "StudyConfig":
         """A scaled-down copy for quick tests.

@@ -10,6 +10,9 @@ Usage (after ``pip install -e .``)::
     python -m repro study --sites 400 --fault-profile flaky-dns --headline
     python -m repro sweep --sites 200 --grid fault_profile=none,h2-churn
     python -m repro resilience --sites 200 --fault-profile chaos
+    python -m repro study --sites 400 --epochs 3 --evolution-policy dns-churn
+    python -m repro sweep --sites 200 --epochs 2 --grid evolution_policy=none,mixed
+    python -m repro evolve --sites 200 --policy cert-rotation --epochs 5
     python -m repro audit site000004.com --sites 150
     python -m repro dnsstudy --days 2
     python -m repro mitigations --sites 200
@@ -33,6 +36,12 @@ __all__ = ["build_parser", "main"]
 
 def _add_runtime_args(parser: argparse.ArgumentParser) -> None:
     """Executor/cache knobs shared by every study-running command."""
+    # SUPPRESS: only overwrite the root parser's --seed when the flag
+    # is actually given after the subcommand.
+    parser.add_argument(
+        "--seed", type=int, default=argparse.SUPPRESS,
+        help="root seed (equivalent to the pre-subcommand --seed)",
+    )
     parser.add_argument(
         "--executor", default="serial",
         help="execution substrate: serial, thread or process, "
@@ -53,6 +62,17 @@ def _add_runtime_args(parser: argparse.ArgumentParser) -> None:
         help="named fault scenario injected into every crawl visit: "
              "none, flaky-dns, broken-tls, h2-churn, slow-origin or "
              "chaos (see repro.faults)",
+    )
+    parser.add_argument(
+        "--epochs", type=int, default=0,
+        help="advance the world through this many churn epochs of "
+             "--evolution-policy before measuring (see repro.evolve)",
+    )
+    parser.add_argument(
+        "--evolution-policy", default="none",
+        help="named ecosystem-churn policy evolving the world per "
+             "epoch: none, cert-rotation, dns-churn, cdn-migration, "
+             "shard-consolidation or mixed (see repro.evolve)",
     )
 
 
@@ -79,6 +99,8 @@ def _study_from_args(args):
         executor=args.executor,
         parallelism=args.jobs,
         fault_profile=getattr(args, "fault_profile", "none"),
+        epochs=getattr(args, "epochs", 0),
+        evolution_policy=getattr(args, "evolution_policy", "none"),
     )
     try:
         config.validate()
@@ -168,6 +190,23 @@ def build_parser() -> argparse.ArgumentParser:
     resilience.add_argument("--sites", type=int, default=200)
     _add_runtime_args(resilience)
 
+    evolve = commands.add_parser(
+        "evolve",
+        help="run a longitudinal study: the same scenario measured at "
+             "every churn epoch (reuse trajectory, attribution drift, "
+             "reuse-opportunity half-life)",
+    )
+    evolve.add_argument("--sites", type=int, default=200)
+    evolve.add_argument(
+        "--policy", default=None,
+        help="named evolution policy: cert-rotation, dns-churn, "
+             "cdn-migration, shard-consolidation or mixed",
+    )
+    _add_runtime_args(evolve)
+    # For evolve, --epochs is the longitudinal horizon, not a world
+    # offset; default to a 5-epoch sequence (0 = baseline study only).
+    evolve.set_defaults(epochs=5)
+
     bench = commands.add_parser(
         "bench",
         help="measure pipeline + hot-path performance; write/check "
@@ -253,6 +292,8 @@ def _cmd_sweep(args) -> int:
         executor=args.executor,
         parallelism=args.jobs,
         fault_profile=args.fault_profile,
+        epochs=args.epochs,
+        evolution_policy=args.evolution_policy,
     )
     try:
         spec = SweepSpec(
@@ -376,6 +417,8 @@ def _cmd_resilience(args) -> int:
         executor=args.executor,
         parallelism=args.jobs,
         fault_profile=args.fault_profile,
+        epochs=args.epochs,
+        evolution_policy=args.evolution_policy,
     )
     try:
         faulted_config.validate()
@@ -391,6 +434,39 @@ def _cmd_resilience(args) -> int:
         )
         faulted = Study.run(faulted_config, executor=executor, cache=cache)
     print(resilience_report(baseline, faulted).render())
+    return 0
+
+
+def _cmd_evolve(args) -> int:
+    from repro.analysis.study import StudyConfig
+    from repro.evolve import run_longitudinal
+
+    # --policy is the canonical spelling; fall back to the shared
+    # --evolution-policy flag so both read naturally.
+    policy = args.policy or (
+        args.evolution_policy if args.evolution_policy != "none" else None
+    )
+    if policy is None or policy == "none":
+        print("error: evolve needs --policy (e.g. cert-rotation, dns-churn, "
+              "cdn-migration, shard-consolidation, mixed)", file=sys.stderr)
+        return 2
+    config = StudyConfig(
+        seed=args.seed,
+        n_sites=args.sites,
+        executor=args.executor,
+        parallelism=args.jobs,
+        fault_profile=args.fault_profile,
+    )
+    try:
+        result = run_longitudinal(
+            config, policy=policy, epochs=args.epochs,
+            cache=_cache_from_args(args), progress=print,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print()
+    print(result.render())
     return 0
 
 
@@ -482,6 +558,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "validate": _cmd_validate,
     "resilience": _cmd_resilience,
+    "evolve": _cmd_evolve,
     "bench": _cmd_bench,
 }
 

@@ -83,6 +83,15 @@ class DnsNamespace:
         """Delete ``name`` (simulates a site becoming unreachable)."""
         self._entries.pop(normalize(name), None)
 
+    def entry(self, name: str) -> AddressEntry | AliasEntry | None:
+        """The raw entry registered for ``name`` (``None`` if absent).
+
+        This is the read half of the evolution engine's DNS mutation
+        hook: churn policies inspect the current pool/salt, then write
+        back via :meth:`add_address` / :meth:`add_alias`.
+        """
+        return self._entries.get(normalize(name))
+
     def __contains__(self, name: str) -> bool:
         return normalize(name) in self._entries
 

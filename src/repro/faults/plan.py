@@ -22,6 +22,17 @@ The empty profile (``"none"``) compiles to ``None``: hook points
 short-circuit on ``plan is None`` before touching any RNG, so a study
 without faults is byte-identical to one built before this module
 existed (the pinned golden digest proves it).
+
+>>> from repro.faults import FaultPlan, fault_profile, profile_names
+>>> profile_names()
+['broken-tls', 'chaos', 'flaky-dns', 'h2-churn', 'none', 'slow-origin']
+>>> FaultPlan.compile("none", seed=7, run="alexa-fetch", domain="a.com") is None
+True
+>>> plan = FaultPlan.compile("chaos", seed=7, run="alexa-fetch", domain="a.com")
+>>> again = FaultPlan.compile("chaos", seed=7, run="alexa-fetch", domain="a.com")
+>>> kind = next(iter(sorted(fault_profile("chaos").kinds, key=lambda k: k.value)))
+>>> [plan.fires(kind) for _ in range(8)] == [again.fires(kind) for _ in range(8)]
+True
 """
 
 from __future__ import annotations

@@ -27,6 +27,27 @@ is trusted local state, not an interchange format.  The synthetic
 ecosystem itself is *not* stored here — it regenerates deterministically
 from its config in well under a second and is shared between studies of
 one process via :func:`repro.runtime.ecosystem_for`.
+
+Keys are pure functions of their parts — equal by value, sensitive to
+every knob:
+
+>>> from repro.store import stable_key
+>>> stable_key("alexa-crawl", 7, ("a.com", "b.com")) == \\
+...     stable_key("alexa-crawl", 7, ("a.com", "b.com"))
+True
+>>> stable_key("alexa-crawl", 7, ("a.com",)) == \\
+...     stable_key("alexa-crawl", 8, ("a.com",))
+False
+
+And round-trips store whatever pickles:
+
+>>> import tempfile
+>>> from repro.store import StudyCache
+>>> with tempfile.TemporaryDirectory() as tmp:
+...     cache = StudyCache(tmp)
+...     _ = cache.put("classify", stable_key("demo"), {"sites": 3})
+...     cache.get("classify", stable_key("demo"))
+{'sites': 3}
 """
 
 from __future__ import annotations
@@ -43,8 +64,10 @@ from typing import Any, Iterator
 __all__ = ["CACHE_FORMAT", "CacheStats", "StudyCache", "stable_key"]
 
 #: Bump when the pickled artefact layout changes incompatibly; every
-#: key embeds it, so old entries simply stop matching.
-CACHE_FORMAT = 1
+#: key embeds it, so old entries simply stop matching.  Format 2:
+#: EcosystemConfig grew the evolution axes (evolution_policy, epoch),
+#: which every stage key hashes through the ecosystem config.
+CACHE_FORMAT = 2
 
 
 def _canonical(value: Any) -> Any:

@@ -11,8 +11,26 @@ Axes come either from code (any field, any values) or from the CLI's
 ``--grid field=v1,v2`` syntax parsed by :meth:`SweepSpec.parse_axes`;
 tuple-valued fields (``har_models``, ``alexa_variants``) join their
 elements with ``+``, e.g. ``--grid alexa_variants=fetch+nofetch,fetch``.
-Fault scenarios sweep like any other axis:
-``--grid fault_profile=none,flaky-dns,h2-churn``.
+Fault and evolution scenarios sweep like any other axis (a policy only
+applies when ``epochs`` is positive, so pair the two):
+``--grid fault_profile=none,flaky-dns``,
+``--epochs 2 --grid evolution_policy=none,mixed``.
+
+>>> from repro.sweep import SweepSpec
+>>> SweepSpec.parse_axes(["n_sites=120,240", "evolution_policy=none,mixed"])
+(('n_sites', (120, 240)), ('evolution_policy', ('none', 'mixed')))
+>>> spec = SweepSpec(seeds=(7, 8), axes=SweepSpec.parse_axes(["epochs=0,2"]))
+>>> spec.n_cells
+4
+>>> [cell.label() for cell in spec.cells()]
+['seed=7 epochs=0', 'seed=8 epochs=0', 'seed=7 epochs=2', 'seed=8 epochs=2']
+>>> SweepSpec.parse_axes(["bogus=1"])
+Traceback (most recent call last):
+    ...
+ValueError: field 'bogus' is not sweepable from the CLI; choose from \
+['alexa_share', 'alexa_variants', 'dns_study_days', 'epochs', \
+'evolution_policy', 'executor', 'fault_profile', 'ha_sample_share', \
+'har_models', 'n_sites', 'parallelism']
 """
 
 from __future__ import annotations
@@ -40,6 +58,8 @@ _AXIS_PARSERS = {
     "har_models": _plus_tuple,
     "alexa_variants": _plus_tuple,
     "fault_profile": str,
+    "epochs": int,
+    "evolution_policy": str,
 }
 
 _CONFIG_FIELDS = frozenset(spec.name for spec in fields(StudyConfig))

@@ -105,6 +105,13 @@ class EcosystemConfig:
     #: Sharding operators merge their per-shard certificates into one
     #: (the certbot-education fix for the CERT cause).
     merged_certificates: bool = False
+    # ---- temporal evolution (see repro.evolve) -----------------------
+    #: Named churn policy evolving the world across epochs; ``"none"``
+    #: applies no mutation at all (the hooks are provably inert).
+    evolution_policy: str = "none"
+    #: How many churn epochs have been applied to this world; 0 is the
+    #: pristine just-generated state every pre-evolution study measured.
+    epoch: int = 0
 
 
 @dataclass
@@ -125,6 +132,10 @@ class Ecosystem:
     _ha_samples: dict[tuple[float, int], list[str]] = field(
         default_factory=dict, repr=False
     )
+    #: One ``(epoch, ((kind, count), ...))`` entry per applied churn
+    #: epoch; empty for pristine worlds.  Rebuilt identically inside
+    #: every process worker, so the longitudinal report can render it.
+    evolution_ledger: tuple[tuple[int, tuple[tuple[str, int], ...]], ...] = ()
 
     @classmethod
     def generate(cls, config: EcosystemConfig | None = None) -> "Ecosystem":
@@ -196,6 +207,12 @@ class Ecosystem:
             websites=websites,
         )
         ecosystem._by_domain = {site.domain: site for site in websites}
+        if config.epoch > 0 and config.evolution_policy != "none":
+            # Imported lazily: repro.evolve sits above the web layer and
+            # is only needed for worlds that actually evolve.
+            from repro.evolve.engine import evolve_ecosystem
+
+            evolve_ecosystem(ecosystem)
         return ecosystem
 
     # ------------------------------------------------------------------
@@ -216,6 +233,146 @@ class Ecosystem:
     def geo_rewrites(self, country: str) -> dict[str, str]:
         """Vantage-dependent domain rewrites for a crawler in ``country``."""
         return dict(_GEO_REWRITES.get(country.upper(), {}))
+
+    # ------------------------------------------------------------------
+    # Evolution hooks (driven by repro.evolve.engine)
+    #
+    # Each hook is one primitive ecosystem mutation — SAN-set edits,
+    # IP-pool repointing, fleet migration, ORIGIN-frame flips.  They are
+    # deliberately dumb: all policy (what mutates, how often, with which
+    # RNG stream) lives in the engine, so the hooks stay reusable for
+    # future scenario axes.
+    # ------------------------------------------------------------------
+    def dns_pool(self, domain: str) -> tuple[str, ...]:
+        """The address pool ``domain`` currently resolves from.
+
+        Follows at most one CNAME hop (the only alias depth the
+        generator mints); unknown names yield an empty tuple.
+        """
+        from repro.dns.zone import AddressEntry, AliasEntry
+
+        entry = self.namespace.entry(domain)
+        if isinstance(entry, AliasEntry):
+            entry = self.namespace.entry(entry.target)
+        if isinstance(entry, AddressEntry):
+            return entry.pool
+        return ()
+
+    def repoint_dns(
+        self,
+        domain: str,
+        *,
+        pool: tuple[str, ...] | None = None,
+        salt: str | None | type(...) = ...,
+    ) -> bool:
+        """Rewrite ``domain``'s address entry, preserving policy and TTL.
+
+        ``pool`` replaces the answer pool; ``salt`` (when passed)
+        replaces the balancing salt.  Returns ``False`` for names
+        without a direct address entry (aliases are left alone).
+        """
+        from repro.dns.zone import AddressEntry
+
+        entry = self.namespace.entry(domain)
+        if not isinstance(entry, AddressEntry):
+            return False
+        self.namespace.add_address(
+            domain,
+            AddressEntry(
+                pool=entry.pool if pool is None else tuple(pool),
+                policy=entry.policy,
+                ttl=entry.ttl,
+                salt=entry.salt if salt is ... else salt,
+            ),
+        )
+        return True
+
+    def fleet_for(self, domains: list[str]) -> list[OriginServer]:
+        """The distinct servers behind ``domains``, in pool order."""
+        seen: dict[str, OriginServer] = {}
+        for domain in domains:
+            for ip in self.dns_pool(domain):
+                server = self.servers.get(ip)
+                if server is not None and ip not in seen:
+                    seen[ip] = server
+        return list(seen.values())
+
+    def swap_certificates(
+        self, servers: list[OriginServer], mapping: dict[str, "Certificate"]
+    ) -> int:
+        """Replace certificates on ``servers`` by fingerprint.
+
+        ``mapping`` maps an old certificate's fingerprint to its
+        replacement; every ``cert_map`` slot and default certificate
+        matching a fingerprint is swapped.  Returns the slot count.
+        """
+        swapped = 0
+        for server in servers:
+            for sni, certificate in server.cert_map.items():
+                replacement = mapping.get(certificate.fingerprint)
+                if replacement is not None:
+                    server.cert_map[sni] = replacement
+                    swapped += 1
+            replacement = mapping.get(server.default_certificate.fingerprint)
+            if replacement is not None:
+                server.default_certificate = replacement
+        return swapped
+
+    def migrate_fleet(
+        self, domains: list[str], provider: "HostingProvider"
+    ) -> dict[str, str]:
+        """Move the fleet behind ``domains`` onto fresh ``provider`` IPs.
+
+        Allocates one new address per distinct old endpoint, installs
+        configuration-identical servers there, repoints every domain's
+        pool positionally, and decommissions the old endpoints.
+        Returns the old-to-new address mapping.
+        """
+        old_servers = self.fleet_for(domains)
+        if not old_servers:
+            return {}
+        new_ips = provider.addresses(len(old_servers))
+        moves: dict[str, str] = {}
+        for old, ip in zip(old_servers, new_ips):
+            moves[old.ip] = ip
+            self.servers[ip] = OriginServer(
+                ip=ip,
+                name=old.name,
+                cert_map=dict(old.cert_map),
+                default_certificate=old.default_certificate,
+                alpn=old.alpn,
+                alt_svc_h3=old.alt_svc_h3,
+                origin_frame_origins=old.origin_frame_origins,
+                excluded_domains=set(old.excluded_domains),
+            )
+        for domain in domains:
+            pool = self.dns_pool(domain)
+            if pool:
+                self.repoint_dns(
+                    domain, pool=tuple(moves.get(ip, ip) for ip in pool)
+                )
+        for old_ip in moves:
+            del self.servers[old_ip]
+        return moves
+
+    def set_origin_frames(
+        self, servers: list[OriginServer], advertise: bool
+    ) -> None:
+        """Toggle RFC 8336 ORIGIN-frame advertisement on ``servers``.
+
+        When enabling, each endpoint advertises every non-excluded
+        domain of its certificate map (the generator's own convention).
+        Only measured by browsers with ``honor_origin_frame`` set.
+        """
+        for server in servers:
+            if not advertise:
+                server.origin_frame_origins = ()
+                continue
+            server.origin_frame_origins = tuple(
+                f"https://{domain}"
+                for domain in server.cert_map
+                if domain not in server.excluded_domains
+            )
 
     def alexa_list(self, top: int) -> list[str]:
         """The top-``top`` site domains by rank (the synthetic Alexa list)."""

@@ -93,6 +93,12 @@ class Website:
     sharding: ShardingStyle
     document: Resource
     supports_h2: bool = True
+    #: The shard hostnames minted for this site (empty when unsharded).
+    #: Kept explicitly rather than derived from the page trees: a shard
+    #: can exist in DNS without any sampled resource landing on it, and
+    #: evolution (shard consolidation, fleet migration) must still see
+    #: it.
+    shards: tuple[str, ...] = ()
     embedded_services: tuple[str, ...] = ()
     internal_documents: dict[str, Resource] = field(default_factory=dict)
 
@@ -112,6 +118,37 @@ class Website:
     @property
     def internal_paths(self) -> list[str]:
         return sorted(self.internal_documents)
+
+    # -- evolution hooks (see repro.evolve) ----------------------------
+    def all_documents(self) -> list[Resource]:
+        """The landing page plus every internal page tree."""
+        return [self.document] + [
+            self.internal_documents[path] for path in self.internal_paths
+        ]
+
+    def shard_domains(self) -> list[str]:
+        """This site's current shard hostnames, sorted.
+
+        Includes shards that carry no resources (they still exist in
+        DNS and on the servers); emptied by shard consolidation.
+        """
+        return sorted(self.shards)
+
+    def rewrite_domains(self, mapping: dict[str, str]) -> int:
+        """Re-home resources per ``mapping`` (old domain -> new domain).
+
+        The shard-consolidation churn uses this to fold shard resources
+        back onto the root domain.  Returns the number of resources
+        rewritten.
+        """
+        rewritten = 0
+        for document in self.all_documents():
+            for resource in document.walk():
+                target = mapping.get(resource.domain)
+                if target is not None and target != resource.domain:
+                    resource.domain = target
+                    rewritten += 1
+        return rewritten
 
 
 @dataclass
@@ -277,4 +314,5 @@ class WebsiteFactory:
             sharding=style,
             document=document,
             supports_h2=supports_h2,
+            shards=tuple(shards),
         )

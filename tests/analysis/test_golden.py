@@ -22,17 +22,23 @@ _GOLDEN_DIR = Path(__file__).resolve().parents[1] / "golden"
 
 @pytest.fixture(scope="module")
 def golden_artifacts(
-    golden_regen, golden_study, faulted_golden_study
+    golden_regen, golden_study, faulted_golden_study,
+    longitudinal_golden_result,
 ) -> dict[str, str]:
     """Live render of every golden artefact at the pinned configs.
 
-    The two studies come from session-scoped fixtures (see conftest),
-    so the faults differential suite reuses them instead of re-running
-    a second n=120 pipeline.
+    The studies come from session-scoped fixtures (see conftest), so
+    the faults and evolve differential suites reuse them instead of
+    re-running more n=120 pipelines.
     """
     artifacts = golden_regen.render_artifacts(golden_study)
     artifacts.update(
         golden_regen.render_faulted_artifacts(faulted_golden_study)
+    )
+    artifacts["longitudinal_digest.txt"] = (
+        golden_regen.render_longitudinal_artifact(
+            longitudinal_golden_result.digests()
+        )
     )
     return artifacts
 

@@ -59,6 +59,23 @@ def faulted_golden_study(golden_regen) -> Study:
     return Study.run(golden_regen.faulted_config())
 
 
+@pytest.fixture(scope="session")
+def longitudinal_golden_result(golden_regen):
+    """The pinned longitudinal sequence (mixed policy, epochs 0..2).
+
+    Session-scoped for the same reason as the golden studies: the
+    golden diff and the evolve differential suite both consume it, and
+    it costs three n=120 pipelines.
+    """
+    from repro.evolve import run_longitudinal
+
+    return run_longitudinal(
+        golden_regen.golden_config(),
+        policy=golden_regen.LONGITUDINAL_POLICY,
+        epochs=golden_regen.LONGITUDINAL_EPOCHS,
+    )
+
+
 @pytest.fixture()
 def browser(small_ecosystem: Ecosystem) -> ChromiumBrowser:
     """A fresh browser over the shared world (own clock/resolver)."""

@@ -1,0 +1,66 @@
+"""Smoke-run every script under ``examples/``.
+
+The examples are living documentation; several predate the sweep,
+bench and faults subsystems and used to break silently when an API
+moved.  Each script must exit 0 within its time budget, producing
+non-empty output — nothing about the *content* is asserted, the golden
+suite owns that.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.slow
+
+_REPO_ROOT = Path(__file__).resolve().parents[2]
+_EXAMPLES_DIR = _REPO_ROOT / "examples"
+_TIMEOUT_S = 180
+
+
+def _example_scripts() -> list[str]:
+    scripts = sorted(
+        path.name for path in _EXAMPLES_DIR.glob("*.py")
+    )
+    assert scripts, "examples/ has no scripts to smoke-test"
+    return scripts
+
+
+def test_every_example_is_covered():
+    """The parametrization below must track the directory contents."""
+    assert set(_example_scripts()) == {
+        "audit_single_site.py",
+        "dns_loadbalancing_study.py",
+        "har_pipeline_demo.py",
+        "longitudinal_study.py",
+        "mitigation_ablations.py",
+        "performance_whatif.py",
+        "quickstart.py",
+    }, "new example script: it is smoke-tested automatically, update this set"
+
+
+@pytest.mark.parametrize("script", _example_scripts())
+def test_example_runs_clean(script):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(_REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    completed = subprocess.run(
+        [sys.executable, str(_EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=_TIMEOUT_S,
+        env=env,
+        cwd=_REPO_ROOT,
+    )
+    assert completed.returncode == 0, (
+        f"{script} exited {completed.returncode}\n"
+        f"stdout:\n{completed.stdout[-2000:]}\n"
+        f"stderr:\n{completed.stderr[-2000:]}"
+    )
+    assert completed.stdout.strip(), f"{script} printed nothing"

@@ -28,6 +28,12 @@ GOLDEN_N_SITES = 120
 #: combined profile, so every injection hook contributes to the digest.
 FAULTED_PROFILE = "chaos"
 
+#: The canonical evolution scenario: the combined policy, so every
+#: churn axis contributes, across enough epochs to show drift while
+#: keeping the tier-1 suite fast.
+LONGITUDINAL_POLICY = "mixed"
+LONGITUDINAL_EPOCHS = 2
+
 
 def golden_config():
     from repro.analysis.study import StudyConfig
@@ -41,6 +47,17 @@ def faulted_config():
     from dataclasses import replace
 
     return replace(golden_config(), fault_profile=FAULTED_PROFILE)
+
+
+def render_longitudinal_artifact(digests) -> str:
+    """``longitudinal_digest.txt`` content from (epoch, digest) pairs.
+
+    One ``epoch N <digest>`` line per epoch; line 0 must always equal
+    ``digest.txt`` — epoch 0 under any policy is the pristine world.
+    """
+    return "".join(
+        f"epoch {epoch} {digest}\n" for epoch, digest in digests
+    )
 
 
 def render_artifacts(study) -> dict[str, str]:
@@ -64,10 +81,18 @@ def render_faulted_artifacts(faulted_study) -> dict[str, str]:
 
 def main() -> int:
     from repro.analysis.study import Study
+    from repro.evolve import run_longitudinal
 
     study = Study.run(golden_config())
     artifacts = render_artifacts(study)
     artifacts.update(render_faulted_artifacts(Study.run(faulted_config())))
+    longitudinal = run_longitudinal(
+        golden_config(), policy=LONGITUDINAL_POLICY,
+        epochs=LONGITUDINAL_EPOCHS,
+    )
+    artifacts["longitudinal_digest.txt"] = render_longitudinal_artifact(
+        longitudinal.digests()
+    )
     for name, text in artifacts.items():
         (GOLDEN_DIR / name).write_text(text)
         print(f"wrote {GOLDEN_DIR / name}")

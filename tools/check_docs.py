@@ -1,0 +1,158 @@
+"""Dead-link / dead-path / dead-flag checker for the Markdown docs.
+
+Scans ``README.md`` and ``docs/*.md`` for three classes of rot:
+
+1. **relative Markdown links** (``[text](path)``) whose target file or
+   directory no longer exists;
+2. **backtick path references** (`` `src/repro/...` ``, `` `tests/...`
+   ``, `` `docs/...` ``, `` `examples/...` ``, `` `benchmarks/...` ``)
+   pointing at files that no longer exist;
+3. **CLI flag references** (`` --flag `` inside backticks or console
+   blocks) that no CLI parser registers any more.
+
+External URLs are deliberately not fetched — CI must not depend on the
+network.  Run standalone (exit 1 on any finding)::
+
+    PYTHONPATH=src python tools/check_docs.py
+
+or through the tier-1 suite (``tests/docs/test_docs.py``).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Markdown files the checker covers.
+DOC_GLOBS = ("README.md", "docs/*.md")
+
+_MD_LINK = re.compile(r"\[[^\]]*\]\(([^)#\s]+)(?:#[^)\s]*)?\)")
+_BACKTICK = re.compile(r"`([^`\n]+)`")
+#: Path-looking backtick content: starts with a known tree root and
+#: names a concrete file or directory (no globs/placeholders).
+_PATH_ROOTS = ("src/", "tests/", "docs/", "examples/", "benchmarks/",
+               "tools/")
+_FLAG = re.compile(r"(--[a-z][a-z0-9-]+)\b")
+#: Flag-like strings that are not CLI flags of this repo.
+_FLAG_ALLOWLIST = frozenset((
+    "--doctest-modules",  # pytest's own flag, quoted in the docs
+    "--benchmark-only",   # pytest-benchmark
+    "--bench-json",       # registered by benchmarks/conftest.py
+    "--json",             # benchmarks/bench_runtime.py
+))
+
+
+def doc_files() -> list[Path]:
+    files: list[Path] = []
+    for pattern in DOC_GLOBS:
+        files.extend(sorted(REPO_ROOT.glob(pattern)))
+    return files
+
+
+def registered_cli_flags() -> set[str]:
+    """Every ``--flag`` any repro CLI parser accepts."""
+    from repro.cli import build_parser
+
+    flags: set[str] = set()
+
+    def harvest(parser) -> None:
+        for action in parser._actions:
+            flags.update(
+                opt for opt in action.option_strings if opt.startswith("--")
+            )
+            choices = getattr(action, "choices", None)
+            if isinstance(choices, dict):  # a subparsers action
+                for sub in choices.values():
+                    if hasattr(sub, "_actions"):
+                        harvest(sub)
+
+    harvest(build_parser())
+    return flags
+
+
+def _looks_like_path(text: str) -> bool:
+    if any(ch in text for ch in " *<>{}$|"):
+        return False
+    return text.startswith(_PATH_ROOTS) or text in (
+        "README.md", "ROADMAP.md", "CHANGES.md", "PAPER.md", "pytest.ini",
+        "setup.py",
+    )
+
+
+def check_file(path: Path, cli_flags: set[str]) -> list[str]:
+    """All findings for one Markdown file, as printable strings."""
+    findings: list[str] = []
+    text = path.read_text()
+    base = path.parent
+    try:
+        shown = path.relative_to(REPO_ROOT)
+    except ValueError:  # a file outside the repo (tests plant these)
+        shown = path
+
+    in_fence = False
+    for number, line in enumerate(text.splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            # Fenced code blocks (console transcripts): every flag on
+            # the line must be one some parser registers.
+            for flag in _FLAG.findall(line):
+                if flag not in cli_flags and flag not in _FLAG_ALLOWLIST:
+                    findings.append(
+                        f"{shown}:{number}: unknown "
+                        f"CLI flag ({flag})"
+                    )
+            continue
+        for match in _MD_LINK.finditer(line):
+            target = match.group(1)
+            if "://" in target or target.startswith("mailto:"):
+                continue
+            resolved = (base / target).resolve()
+            if not resolved.exists():
+                findings.append(
+                    f"{shown}:{number}: dead link "
+                    f"({target})"
+                )
+        for match in _BACKTICK.finditer(line):
+            content = match.group(1)
+            for flag in _FLAG.findall(content):
+                if flag not in cli_flags and flag not in _FLAG_ALLOWLIST:
+                    findings.append(
+                        f"{shown}:{number}: unknown "
+                        f"CLI flag ({flag})"
+                    )
+            if _looks_like_path(content):
+                candidate = content.rstrip("/")
+                if not (REPO_ROOT / candidate).exists():
+                    findings.append(
+                        f"{shown}:{number}: dead path "
+                        f"({content})"
+                    )
+    return findings
+
+
+def check_all() -> list[str]:
+    cli_flags = registered_cli_flags()
+    findings: list[str] = []
+    for path in doc_files():
+        findings.extend(check_file(path, cli_flags))
+    return findings
+
+
+def main() -> int:
+    files = doc_files()
+    findings = check_all()
+    for finding in findings:
+        print(finding)
+    print(
+        f"checked {len(files)} file(s): "
+        + ("OK" if not findings else f"{len(findings)} finding(s)")
+    )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
