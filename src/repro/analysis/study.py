@@ -24,9 +24,10 @@ from dataclasses import dataclass, field, replace
 from functools import cached_property
 
 from repro.crawl.alexa import AlexaCrawler, AlexaRun
-from repro.crawl.classify import ClassifiedDataset
+from repro.crawl.classify import ClassifiedDataset, merge_classified_datasets
 from repro.crawl.httparchive import HarCorpus, HttpArchiveCrawler
 from repro.crawl.overlap import overlap_datasets
+from repro.crawl.shards import pending_items
 from repro.core.session import LifetimeModel
 from repro.evolve.policy import evolution_policy
 from repro.faults.plan import fault_profile, merge_counts
@@ -99,6 +100,15 @@ class StudyConfig:
     #: Named ecosystem-churn policy for the evolution epochs; the
     #: default ``"none"`` never enters the evolution engine at all.
     evolution_policy: str = "none"
+    #: How many deterministic site shards each crawl/classification
+    #: stage is partitioned into (see :mod:`repro.crawl.shards`).  A
+    #: site's shard is a hash of the domain alone, and per-shard
+    #: artefacts cache under per-site-set keys, so sharded studies
+    #: recompute incrementally — including across evolution epochs,
+    #: where only ledger-touched shards recrawl.  Output is
+    #: shard-count-invariant: the N-shard fold digests byte-identical
+    #: to the 1-shard (monolithic) study.
+    shards: int = 1
 
     def make_executor(self) -> "Executor":
         return make_executor(self.executor, self.parallelism)
@@ -139,6 +149,8 @@ class StudyConfig:
         evolution_policy(self.evolution_policy)  # raises on unknowns
         if self.epochs < 0:
             raise ValueError(f"epochs must be >= 0, got {self.epochs}")
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
         overlap = {"evolution_policy", "epoch"} & set(self.ecosystem_overrides)
         if overlap:
             raise ValueError(
@@ -221,19 +233,7 @@ class Study:
         ):
             ecosystem = ecosystem_for(eco_config)
         asdb = ecosystem.asdb
-
-        def crawl_plan(kind, make_key, n_items: int) -> tuple[str | None, int]:
-            """The (precomputed key, timed item count) of a crawl stage.
-
-            ``make_key`` is a thunk so uncached runs never hash the
-            stage configuration at all; cached runs hash it exactly
-            once and pass the key down into the stage entry point.
-            Cached stages record zero items.
-            """
-            if cache is None:
-                return None, n_items
-            key = make_key()
-            return key, 0 if cache.contains(kind, key) else n_items
+        n_shards = config.shards
 
         ha_crawler = HttpArchiveCrawler(
             ecosystem=ecosystem, seed=config.seed + 100,
@@ -242,13 +242,17 @@ class Study:
         ha_domains = ecosystem.httparchive_sample(
             config.ha_sample_share, seed=config.seed + 1
         )
-        ha_key, ha_items = crawl_plan(
-            "har-crawl", lambda: ha_crawler.stage_key(ha_domains),
-            len(ha_domains),
+        # Each crawl plans its deterministic shard partition up front
+        # (one shard on the default config): per-shard keys are hashed
+        # at most once, cached shards record zero items, and the same
+        # plan drives the crawl, the per-shard classifications and the
+        # item accounting, so the three cannot drift.
+        ha_plan = ha_crawler.plan_shards(
+            ha_domains, shards=n_shards, cache=cache
         )
-        with timings.stage("crawl-httparchive", items=ha_items):
+        with timings.stage("crawl-httparchive", items=pending_items(ha_plan)):
             har_corpus = ha_crawler.crawl(
-                ha_domains, executor=executor, cache=cache, cache_key=ha_key
+                ha_domains, executor=executor, cache=cache, plan=ha_plan
             )
 
         alexa_count = max(1, int(config.n_sites * config.alexa_share))
@@ -259,29 +263,27 @@ class Study:
         )
         alexa_run: AlexaRun | None = None
         alexa_nofetch: AlexaRun | None = None
+        fetch_plan = nofetch_plan = None
         if "fetch" in config.alexa_variants:
-            fetch_key, fetch_items = crawl_plan(
-                "alexa-crawl",
-                lambda: alexa_crawler.stage_key(
-                    alexa_domains, run_name="alexa-fetch"
-                ),
-                len(alexa_domains),
+            fetch_plan = alexa_crawler.plan_shards(
+                alexa_domains, shards=n_shards, run_name="alexa-fetch",
+                cache=cache,
             )
-            with timings.stage("crawl-alexa-fetch", items=fetch_items):
+            with timings.stage(
+                "crawl-alexa-fetch", items=pending_items(fetch_plan)
+            ):
                 alexa_run = alexa_crawler.run(
                     alexa_domains, run_name="alexa-fetch", executor=executor,
-                    cache=cache, cache_key=fetch_key,
+                    cache=cache, plan=fetch_plan,
                 )
         if "nofetch" in config.alexa_variants:
-            nofetch_key, nofetch_items = crawl_plan(
-                "alexa-crawl",
-                lambda: alexa_crawler.stage_key(
-                    alexa_domains, run_name="alexa-nofetch",
-                    ignore_privacy_mode=True, run_offset=500_000.0,
-                ),
-                len(alexa_domains),
+            nofetch_plan = alexa_crawler.plan_shards(
+                alexa_domains, shards=n_shards, run_name="alexa-nofetch",
+                ignore_privacy_mode=True, run_offset=500_000.0, cache=cache,
             )
-            with timings.stage("crawl-alexa-nofetch", items=nofetch_items):
+            with timings.stage(
+                "crawl-alexa-nofetch", items=pending_items(nofetch_plan)
+            ):
                 alexa_nofetch = alexa_crawler.run(
                     alexa_domains,
                     run_name="alexa-nofetch",
@@ -289,7 +291,7 @@ class Study:
                     run_offset=500_000.0,
                     executor=executor,
                     cache=cache,
-                    cache_key=nofetch_key,
+                    plan=nofetch_plan,
                 )
         # "We review the intersection of websites for comparability."
         reachable_sets = [
@@ -299,54 +301,78 @@ class Study:
         ]
         common = sorted(set.intersection(*reachable_sets))
 
-        # One classification plan entry per dataset — the single source
-        # of truth for the stage's item accounting AND the classify
-        # calls, so the two cannot drift.  Each entry carries the key
-        # (computed at most once, only when a cache is in play), the
-        # item count, and the classify thunk the key is passed into.
-        plan: list[tuple[str, int, str | None, object]] = []
+        # One classification job per (dataset, crawl shard): each job
+        # classifies its shard's sub-corpus under the shard's own cache
+        # key, and the per-dataset fold merges the partials.  With one
+        # shard the single partial *is* the dataset — the monolithic
+        # path, byte for byte.
+        dataset_specs: list[tuple[str, LifetimeModel, list]] = []
         for model_value in config.har_models:
             model = LifetimeModel(model_value)
             name = f"har-{model_value}"
-            key = (
-                har_corpus.classify_cache_key(model, name)
-                if cache is not None else None
-            )
-            plan.append((
-                name, len(har_corpus.hars), key,
-                lambda model=model, name=name, key=key: har_corpus.classify(
-                    model=model, asdb=asdb, name=name, executor=executor,
-                    cache=cache, cache_key=key,
-                ),
-            ))
-        alexa_datasets: list[tuple[AlexaRun, str, LifetimeModel]] = []
+            shard_jobs = []
+            for shard in ha_plan:
+                view = har_corpus.shard_view(shard)
+                key = (
+                    view.classify_cache_key(model, name)
+                    if cache is not None else None
+                )
+                shard_jobs.append((
+                    len(view.hars), key,
+                    lambda view=view, model=model, name=name, key=key:
+                        view.classify(
+                            model=model, asdb=asdb, name=name,
+                            executor=executor, cache=cache, cache_key=key,
+                        ),
+                ))
+            dataset_specs.append((name, model, shard_jobs))
+        alexa_datasets: list[tuple[AlexaRun, list, str, LifetimeModel]] = []
         if alexa_run is not None:
             alexa_datasets += [
-                (alexa_run, "alexa-endless", LifetimeModel.ENDLESS),
-                (alexa_run, "alexa", LifetimeModel.ACTUAL),
+                (alexa_run, fetch_plan, "alexa-endless", LifetimeModel.ENDLESS),
+                (alexa_run, fetch_plan, "alexa", LifetimeModel.ACTUAL),
             ]
         if alexa_nofetch is not None:
             alexa_datasets.append(
-                (alexa_nofetch, "alexa-nofetch", LifetimeModel.ACTUAL)
+                (alexa_nofetch, nofetch_plan, "alexa-nofetch",
+                 LifetimeModel.ACTUAL)
             )
-        for run, name, model in alexa_datasets:
-            key = (
-                run.classify_cache_key(model, name, common)
-                if cache is not None else None
-            )
-            plan.append((
-                name, len(common), key,
-                lambda run=run, model=model, name=name, key=key: run.classify(
-                    model=model, asdb=asdb, name=name, sites=common,
-                    executor=executor, cache=cache, cache_key=key,
-                ),
-            ))
+        for run, run_plan, name, model in alexa_datasets:
+            shard_jobs = []
+            for shard in run_plan:
+                members = set(shard.domains)
+                sites = [site for site in common if site in members]
+                view = run.shard_view(shard)
+                key = (
+                    view.classify_cache_key(model, name, sites)
+                    if cache is not None else None
+                )
+                shard_jobs.append((
+                    len(sites), key,
+                    lambda view=view, model=model, name=name, key=key,
+                    sites=sites:
+                        view.classify(
+                            model=model, asdb=asdb, name=name, sites=sites,
+                            executor=executor, cache=cache, cache_key=key,
+                        ),
+                ))
+            dataset_specs.append((name, model, shard_jobs))
         n_classified = sum(
-            items for _, items, key, _ in plan
+            items
+            for _, _, shard_jobs in dataset_specs
+            for items, key, _ in shard_jobs
             if key is None or not cache.contains("classify", key)
         )
         with timings.stage("classify-datasets", items=n_classified):
-            datasets = {name: classify() for name, _, _, classify in plan}
+            datasets = {}
+            for name, model, shard_jobs in dataset_specs:
+                partials = [job() for _, _, job in shard_jobs]
+                if len(partials) == 1:
+                    datasets[name] = partials[0]
+                else:
+                    datasets[name] = merge_classified_datasets(
+                        name, model, partials, asdb=asdb
+                    )
         if "har-endless" in datasets and "alexa-endless" in datasets:
             with timings.stage("overlap"):
                 har_overlap, alexa_overlap = overlap_datasets(

@@ -5,6 +5,7 @@ Usage (after ``pip install -e .``)::
     python -m repro study --sites 400 --table 1 --headline
     python -m repro study --sites 400 --table all --figure 2
     python -m repro study --sites 2000 --executor process --jobs 8 --profile
+    python -m repro study --sites 400 --shards 8 --cache-dir .repro-cache
     python -m repro sweep --sites 200 --seeds 7,8,9 --grid n_sites=120,240 \\
         --cache-dir .repro-cache --profile
     python -m repro study --sites 400 --fault-profile flaky-dns --headline
@@ -58,6 +59,12 @@ def _add_runtime_args(parser: argparse.ArgumentParser) -> None:
              "recomputing (see repro.store)",
     )
     parser.add_argument(
+        "--shards", type=int, default=1,
+        help="partition each crawl into this many deterministic site "
+             "shards, cached and recomputed independently (output is "
+             "shard-count-invariant; see repro.crawl.shards)",
+    )
+    parser.add_argument(
         "--fault-profile", default="none",
         help="named fault scenario injected into every crawl visit: "
              "none, flaky-dns, broken-tls, h2-churn, slow-origin or "
@@ -101,6 +108,7 @@ def _study_from_args(args):
         fault_profile=getattr(args, "fault_profile", "none"),
         epochs=getattr(args, "epochs", 0),
         evolution_policy=getattr(args, "evolution_policy", "none"),
+        shards=getattr(args, "shards", 1),
     )
     try:
         config.validate()
@@ -214,8 +222,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--scales", default="smoke,golden,stress",
-        help="comma-separated pipeline scales to run "
-             "(smoke, golden, stress)",
+        help="comma-separated pipeline scales to run (smoke, golden, "
+             "stress, smoke-sharded, golden-sharded)",
     )
     bench.add_argument("--repeat", type=int, default=3,
                        help="repetitions per measurement (best one wins)")
@@ -294,6 +302,7 @@ def _cmd_sweep(args) -> int:
         fault_profile=args.fault_profile,
         epochs=args.epochs,
         evolution_policy=args.evolution_policy,
+        shards=args.shards,
     )
     try:
         spec = SweepSpec(
@@ -419,6 +428,7 @@ def _cmd_resilience(args) -> int:
         fault_profile=args.fault_profile,
         epochs=args.epochs,
         evolution_policy=args.evolution_policy,
+        shards=args.shards,
     )
     try:
         faulted_config.validate()
@@ -456,6 +466,7 @@ def _cmd_evolve(args) -> int:
         executor=args.executor,
         parallelism=args.jobs,
         fault_profile=args.fault_profile,
+        shards=args.shards,
     )
     try:
         result = run_longitudinal(

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 from repro.browser.browser import BrowserConfig, ChromiumBrowser
 from repro.crawl.classify import ClassifiedDataset, classify_dataset
+from repro.crawl.shards import CrawlShard, plan_crawl_shards
 from repro.core.session import LifetimeModel, SessionRecord
 from repro.faults.plan import FaultPlan, merge_counts
 from repro.netlog.events import NetLog
@@ -212,6 +213,25 @@ class AlexaRun:
             cache.put("classify", key, dataset)
         return dataset
 
+    def shard_view(self, shard: CrawlShard) -> "AlexaRun":
+        """The sub-run of one crawl shard, with shard provenance.
+
+        Measurements keep their run order restricted to the shard's
+        domains; provenance is the shard's own cache key, so per-shard
+        classifications cache under per-shard keys.
+        """
+        members = set(shard.domains)
+        return AlexaRun(
+            name=self.name,
+            ignore_privacy_mode=self.ignore_privacy_mode,
+            measurements={
+                domain: measurement
+                for domain, measurement in self.measurements.items()
+                if domain in members
+            },
+            provenance=shard.key,
+        )
+
 
 @dataclass
 class AlexaCrawler:
@@ -244,19 +264,25 @@ class AlexaCrawler:
             self.seed, domain, self.permanent_unreachable_share
         )
 
-    def stage_key(
+    def shard_key(
         self,
-        domains: list[str],
+        domains: tuple[str, ...],
+        offsets: tuple[int, ...],
         *,
         run_name: str,
         ignore_privacy_mode: bool = False,
         honor_origin_frame: bool = False,
         run_offset: float = 0.0,
     ) -> str:
-        """Stable cache key of one run configuration over ``domains``."""
+        """Stable cache key of one shard of one run configuration.
+
+        Like the HTTP Archive shard key: the shard domains' world
+        identity (pristine config + evolution token), the run knobs,
+        and the domains with their global schedule slots.
+        """
         return stable_key(
             "alexa-crawl",
-            self.ecosystem.config,
+            *self.ecosystem.cache_world_key(domains),
             self.seed,
             self.vantage_country,
             self.start_time,
@@ -269,7 +295,62 @@ class AlexaCrawler:
             ignore_privacy_mode,
             honor_origin_frame,
             run_offset,
-            tuple(domains),
+            domains,
+            offsets,
+        )
+
+    def stage_key(
+        self,
+        domains: list[str],
+        *,
+        run_name: str,
+        ignore_privacy_mode: bool = False,
+        honor_origin_frame: bool = False,
+        run_offset: float = 0.0,
+    ) -> str:
+        """The 1-shard (whole-list) :meth:`shard_key` of ``domains``."""
+        return self.shard_key(
+            tuple(domains), tuple(range(len(domains))),
+            run_name=run_name, ignore_privacy_mode=ignore_privacy_mode,
+            honor_origin_frame=honor_origin_frame, run_offset=run_offset,
+        )
+
+    def plan_shards(
+        self,
+        domains: list[str],
+        *,
+        shards: int = 1,
+        run_name: str,
+        ignore_privacy_mode: bool = False,
+        honor_origin_frame: bool = False,
+        run_offset: float = 0.0,
+        cache: StudyCache | None = None,
+        cache_key: str | None = None,
+    ) -> list[CrawlShard]:
+        """The deterministic shard plan for one run over ``domains``."""
+        if shards == 1 and cache_key is not None:
+            return [CrawlShard(
+                index=0, domains=tuple(domains),
+                offsets=tuple(range(len(domains))), key=cache_key,
+                cached=cache.contains("alexa-crawl", cache_key)
+                if cache is not None else False,
+            )]
+
+        def keyer(members: tuple[str, ...], offsets: tuple[int, ...]) -> str:
+            return self.shard_key(
+                members, offsets, run_name=run_name,
+                ignore_privacy_mode=ignore_privacy_mode,
+                honor_origin_frame=honor_origin_frame,
+                run_offset=run_offset,
+            )
+
+        return plan_crawl_shards(
+            domains, shards,
+            keyer=keyer if cache is not None else None,
+            contains=(
+                (lambda key: cache.contains("alexa-crawl", key))
+                if cache is not None else None
+            ),
         )
 
     def run(
@@ -283,54 +364,84 @@ class AlexaCrawler:
         executor: Executor | None = None,
         cache: StudyCache | None = None,
         cache_key: str | None = None,
+        shards: int = 1,
+        plan: list[CrawlShard] | None = None,
     ) -> AlexaRun:
         """One crawl over ``domains`` with the given browser patch.
 
-        With a ``cache``, a run previously crawled under an identical
-        configuration is loaded from disk and no site is visited;
-        ``cache_key`` passes a precomputed :meth:`stage_key`.
+        With a ``cache``, shards previously crawled under an identical
+        configuration load from disk and only the missing shards visit
+        any site; ``cache_key`` passes a precomputed :meth:`stage_key`
+        (1-shard runs), ``plan`` a precomputed :meth:`plan_shards`.
         """
-        # Key computation hashes the whole config + domain list; skip it
-        # (and leave provenance unset) on uncached runs.
-        key = cache_key
-        if key is None and cache is not None:
-            key = self.stage_key(
-                domains,
-                run_name=run_name,
+        if plan is None:
+            plan = self.plan_shards(
+                domains, shards=shards, run_name=run_name,
                 ignore_privacy_mode=ignore_privacy_mode,
                 honor_origin_frame=honor_origin_frame,
-                run_offset=run_offset,
+                run_offset=run_offset, cache=cache, cache_key=cache_key,
             )
-        if key is not None:
-            cached = cache.get("alexa-crawl", key)
-            if cached is not None:
-                return cached
         executor = executor or SerialExecutor()
-        prime_ecosystem(self.ecosystem)
-        tasks = [
-            _AlexaSiteTask(
-                ecosystem_config=self.ecosystem.config,
-                seed=self.seed,
-                run_name=run_name,
-                domain=domain,
-                start_time=self.start_time + run_offset + index * self.site_slot_s,
-                vantage_country=self.vantage_country,
-                ignore_privacy_mode=ignore_privacy_mode,
-                honor_origin_frame=honor_origin_frame,
-                observe_s=self.observe_s,
-                permanent_unreachable_share=self.permanent_unreachable_share,
-                transient_unreachable_share=self.transient_unreachable_share,
-                keep_netlog=self.keep_netlogs,
-                fault_profile=self.fault_profile,
-            )
-            for index, domain in enumerate(domains)
-        ]
-        run = AlexaRun(
-            name=run_name, ignore_privacy_mode=ignore_privacy_mode,
-            provenance=key,
+        parts: dict[int, AlexaRun] = {}
+        pending: list[CrawlShard] = []
+        for shard in plan:
+            if shard.key is not None and cache is not None:
+                cached = cache.get("alexa-crawl", shard.key)
+                if cached is not None:
+                    parts[shard.index] = cached
+                    continue
+            pending.append(shard)
+        if pending:
+            prime_ecosystem(self.ecosystem)
+            tasks = [
+                _AlexaSiteTask(
+                    ecosystem_config=self.ecosystem.config,
+                    seed=self.seed,
+                    run_name=run_name,
+                    domain=domain,
+                    start_time=(
+                        self.start_time + run_offset
+                        + offset * self.site_slot_s
+                    ),
+                    vantage_country=self.vantage_country,
+                    ignore_privacy_mode=ignore_privacy_mode,
+                    honor_origin_frame=honor_origin_frame,
+                    observe_s=self.observe_s,
+                    permanent_unreachable_share=self.permanent_unreachable_share,
+                    transient_unreachable_share=self.transient_unreachable_share,
+                    keep_netlog=self.keep_netlogs,
+                    fault_profile=self.fault_profile,
+                )
+                for shard in pending
+                for domain, offset in zip(shard.domains, shard.offsets)
+            ]
+            results = executor.map_sites(_measure_one_site, tasks)
+            position = 0
+            for shard in pending:
+                part = AlexaRun(
+                    name=run_name, ignore_privacy_mode=ignore_privacy_mode,
+                    provenance=shard.key,
+                )
+                for measurement in results[
+                    position:position + len(shard.domains)
+                ]:
+                    part.measurements[measurement.domain] = measurement
+                position += len(shard.domains)
+                if shard.key is not None and cache is not None:
+                    cache.put("alexa-crawl", shard.key, part)
+                parts[shard.index] = part
+        if len(plan) == 1:
+            return parts[plan[0].index]
+        merged = AlexaRun(
+            name=run_name,
+            ignore_privacy_mode=ignore_privacy_mode,
+            provenance=stable_key(
+                "alexa-crawl-fold",
+                tuple(shard.key for shard in plan),
+            ) if plan and all(
+                shard.key is not None for shard in plan
+            ) else None,
         )
-        for measurement in executor.map_sites(_measure_one_site, tasks):
-            run.measurements[measurement.domain] = measurement
-        if key is not None:
-            cache.put("alexa-crawl", key, run)
-        return run
+        for shard in sorted(plan, key=lambda shard: shard.index):
+            merged.measurements.update(parts[shard.index].measurements)
+        return merged

@@ -18,7 +18,12 @@ from repro.core.session import LifetimeModel, SessionRecord
 from repro.net.asdb import AsDatabase
 from repro.runtime import Executor, SerialExecutor
 
-__all__ = ["ClassifiedDataset", "classify_dataset", "aggregate_classifications"]
+__all__ = [
+    "ClassifiedDataset",
+    "classify_dataset",
+    "aggregate_classifications",
+    "merge_classified_datasets",
+]
 
 
 @dataclass
@@ -91,6 +96,37 @@ def aggregate_classifications(
         attribution=attribution,
         classifications=classifications,
     )
+
+
+def merge_classified_datasets(
+    name: str,
+    model: LifetimeModel,
+    partials: Iterable[ClassifiedDataset],
+    *,
+    asdb: AsDatabase | None = None,
+) -> ClassifiedDataset:
+    """Fold per-shard partial datasets into the whole.
+
+    Rebuilds the report and attribution index from the concatenated
+    per-site classifications, so the merge is a pure function of the
+    partials' contents: folding one partial reproduces it, and folding
+    a disjoint site partition reproduces the monolithic aggregate.
+    Per-shard ``filter_stats`` (the HAR sanitisation counters) merge
+    additively when present.
+    """
+    pairs: list[tuple[str, SiteClassification]] = []
+    stats = None
+    for partial in partials:
+        pairs.extend(partial.classifications.items())
+        partial_stats = getattr(partial, "filter_stats", None)
+        if partial_stats is not None:
+            if stats is None:
+                stats = type(partial_stats)()
+            stats.merge(partial_stats)
+    dataset = aggregate_classifications(name, model, pairs, asdb=asdb)
+    if stats is not None:
+        dataset.filter_stats = stats  # type: ignore[attr-defined]
+    return dataset
 
 
 def classify_dataset(

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 from repro.browser.browser import BrowserConfig, ChromiumBrowser
 from repro.crawl.classify import ClassifiedDataset, aggregate_classifications
+from repro.crawl.shards import CrawlShard, plan_crawl_shards
 from repro.core.classifier import SiteClassification, classify_site
 from repro.core.session import LifetimeModel
 from repro.faults.plan import FaultPlan, merge_counts
@@ -174,6 +175,27 @@ class HarCorpus:
             cache.put("classify", key, dataset)
         return dataset
 
+    def shard_view(self, shard: CrawlShard) -> "HarCorpus":
+        """The sub-corpus of one crawl shard, with shard provenance.
+
+        HARs keep their crawl order restricted to the shard's domains;
+        provenance is the shard's own cache key, so per-shard
+        classifications cache under per-shard keys.  Fault counts are
+        not split — the merged corpus keeps the study-wide totals.
+        """
+        members = set(shard.domains)
+        return HarCorpus(
+            name=self.name,
+            hars={
+                site: har for site, har in self.hars.items()
+                if site in members
+            },
+            unreachable=[
+                site for site in self.unreachable if site in members
+            ],
+            provenance=shard.key,
+        )
+
 
 @dataclass
 class HttpArchiveCrawler:
@@ -195,16 +217,21 @@ class HttpArchiveCrawler:
         """Simulated time reserved per site (visits + inter-load gaps)."""
         return self.loads_per_site * (self.observe_s + 5.0) + 10.0
 
-    def stage_key(self, domains: list[str]) -> str:
-        """Stable cache key of this crawl over ``domains``.
+    def shard_key(
+        self, domains: tuple[str, ...], offsets: tuple[int, ...]
+    ) -> str:
+        """Stable cache key of one crawl shard.
 
-        Covers every knob the crawl output depends on: the full
-        ecosystem config, the crawl seed, vantage point, noise model,
-        schedule and the exact domain list.
+        Covers every knob the shard's output depends on: the world
+        identity *of these domains* (pristine ecosystem config plus
+        their evolution token — worlds whose churn never touched them
+        share keys), the crawl seed, vantage point, noise model,
+        schedule knobs, and the shard's domains with their global
+        schedule slots.
         """
         return stable_key(
             "har-crawl",
-            self.ecosystem.config,
+            *self.ecosystem.cache_world_key(domains),
             self.seed,
             self.vantage_country,
             self.noise,
@@ -212,54 +239,120 @@ class HttpArchiveCrawler:
             self.loads_per_site,
             self.observe_s,
             self.fault_profile,
-            tuple(domains),
+            domains,
+            offsets,
+        )
+
+    def stage_key(self, domains: list[str]) -> str:
+        """The 1-shard (whole-list) :meth:`shard_key` of ``domains``."""
+        return self.shard_key(tuple(domains), tuple(range(len(domains))))
+
+    def plan_shards(
+        self, domains: list[str], *, shards: int = 1,
+        cache: StudyCache | None = None, cache_key: str | None = None,
+    ) -> list[CrawlShard]:
+        """The deterministic shard plan for a crawl over ``domains``.
+
+        Uncached plans skip key hashing entirely; ``cache_key`` passes
+        a precomputed whole-list key through to a 1-shard plan.
+        """
+        if shards == 1 and cache_key is not None:
+            return [CrawlShard(
+                index=0, domains=tuple(domains),
+                offsets=tuple(range(len(domains))), key=cache_key,
+                cached=cache.contains("har-crawl", cache_key)
+                if cache is not None else False,
+            )]
+        return plan_crawl_shards(
+            domains, shards,
+            keyer=self.shard_key if cache is not None else None,
+            contains=(
+                (lambda key: cache.contains("har-crawl", key))
+                if cache is not None else None
+            ),
         )
 
     def crawl(
         self, domains: list[str] | None = None,
         *, executor: Executor | None = None, cache: StudyCache | None = None,
-        cache_key: str | None = None,
+        cache_key: str | None = None, shards: int = 1,
+        plan: list[CrawlShard] | None = None,
     ) -> HarCorpus:
         """Crawl ``domains`` (default: the ecosystem's CrUX-like sample).
 
-        With a ``cache``, a corpus previously crawled under an identical
-        configuration is loaded from disk and no site is visited;
-        ``cache_key`` passes a precomputed :meth:`stage_key`.
+        With a ``cache``, shards previously crawled under an identical
+        configuration load from disk and only the missing shards visit
+        any site; ``cache_key`` passes a precomputed :meth:`stage_key`
+        (1-shard runs), ``plan`` a precomputed :meth:`plan_shards`.
+        The fold over shard sub-corpora is output-identical to the
+        monolithic crawl for every shard count.
         """
         if domains is None:
             domains = self.ecosystem.httparchive_sample(seed=self.seed)
-        # Key computation hashes the whole config + domain list; skip it
-        # (and leave provenance unset) on uncached runs.
-        key = cache_key
-        if key is None and cache is not None:
-            key = self.stage_key(domains)
-        if key is not None:
-            cached = cache.get("har-crawl", key)
-            if cached is not None:
-                return cached
-        executor = executor or SerialExecutor()
-        prime_ecosystem(self.ecosystem)
-        tasks = [
-            _HaSiteTask(
-                ecosystem_config=self.ecosystem.config,
-                seed=self.seed,
-                domain=domain,
-                start_time=self.start_time + index * self.site_slot_s,
-                vantage_country=self.vantage_country,
-                noise=self.noise,
-                loads_per_site=self.loads_per_site,
-                observe_s=self.observe_s,
-                fault_profile=self.fault_profile,
+        if plan is None:
+            plan = self.plan_shards(
+                domains, shards=shards, cache=cache, cache_key=cache_key
             )
-            for index, domain in enumerate(domains)
-        ]
-        corpus = HarCorpus(name="httparchive", provenance=key)
-        for domain, har, counts in executor.map_sites(_crawl_one_site, tasks):
-            if har is None:
-                corpus.unreachable.append(domain)
-            else:
-                corpus.hars[domain] = har
-            merge_counts(corpus.fault_counts, counts)
-        if key is not None:
-            cache.put("har-crawl", key, corpus)
-        return corpus
+        executor = executor or SerialExecutor()
+        parts: dict[int, HarCorpus] = {}
+        pending: list[CrawlShard] = []
+        for shard in plan:
+            if shard.key is not None and cache is not None:
+                cached = cache.get("har-crawl", shard.key)
+                if cached is not None:
+                    parts[shard.index] = cached
+                    continue
+            pending.append(shard)
+        if pending:
+            prime_ecosystem(self.ecosystem)
+            tasks = [
+                _HaSiteTask(
+                    ecosystem_config=self.ecosystem.config,
+                    seed=self.seed,
+                    domain=domain,
+                    start_time=self.start_time + offset * self.site_slot_s,
+                    vantage_country=self.vantage_country,
+                    noise=self.noise,
+                    loads_per_site=self.loads_per_site,
+                    observe_s=self.observe_s,
+                    fault_profile=self.fault_profile,
+                )
+                for shard in pending
+                for domain, offset in zip(shard.domains, shard.offsets)
+            ]
+            results = executor.map_sites(_crawl_one_site, tasks)
+            position = 0
+            for shard in pending:
+                part = HarCorpus(name="httparchive", provenance=shard.key)
+                for domain, har, counts in results[
+                    position:position + len(shard.domains)
+                ]:
+                    if har is None:
+                        part.unreachable.append(domain)
+                    else:
+                        part.hars[domain] = har
+                    merge_counts(part.fault_counts, counts)
+                position += len(shard.domains)
+                if shard.key is not None and cache is not None:
+                    cache.put("har-crawl", shard.key, part)
+                parts[shard.index] = part
+        if len(plan) == 1:
+            return parts[plan[0].index]
+        # Fold shard sub-corpora in bucket order.  Shards partition the
+        # domain list, so the union is lossless; everything downstream
+        # is order-insensitive (the digest sorts sites, counters add).
+        merged = HarCorpus(
+            name="httparchive",
+            provenance=stable_key(
+                "har-crawl-fold",
+                tuple(shard.key for shard in plan),
+            ) if plan and all(
+                shard.key is not None for shard in plan
+            ) else None,
+        )
+        for shard in sorted(plan, key=lambda shard: shard.index):
+            part = parts[shard.index]
+            merged.hars.update(part.hars)
+            merged.unreachable.extend(part.unreachable)
+            merge_counts(merged.fault_counts, tuple(part.fault_counts.items()))
+        return merged

@@ -45,35 +45,71 @@ def evolve_ecosystem(ecosystem: "Ecosystem") -> None:
     Called by :meth:`Ecosystem.generate` as the last build step; the
     caller guarantees ``epoch > 0`` and a non-``"none"`` policy, so the
     pristine path never reaches this module at all.
+
+    Alongside the churn-count ledger, every epoch records the set of
+    *touched names* — site root domains whose measurable state the
+    epoch mutated, plus any non-site (shared service) names it churned.
+    That record is what lets the sharded study cache decide, per site
+    shard, whether an epoch-N artefact is still valid at epoch N+1
+    (:meth:`Ecosystem.evolution_token`).
     """
     policy = evolution_policy(ecosystem.config.evolution_policy)
     ledger = list(ecosystem.evolution_ledger)
+    touched_log = list(ecosystem.evolution_touched)
     for epoch in range(1, ecosystem.config.epoch + 1):
-        counts = advance_epoch(ecosystem, policy, epoch)
+        touched: set[str] = set()
+        counts = advance_epoch(ecosystem, policy, epoch, touched=touched)
         ledger.append((epoch, tuple(sorted(counts.items()))))
+        touched_log.append((epoch, tuple(sorted(touched))))
     ecosystem.evolution_ledger = tuple(ledger)
+    ecosystem.evolution_touched = tuple(touched_log)
 
 
 def advance_epoch(
-    ecosystem: "Ecosystem", policy: EvolutionPolicy | str, epoch: int
+    ecosystem: "Ecosystem",
+    policy: EvolutionPolicy | str,
+    epoch: int,
+    *,
+    touched: set[str] | None = None,
 ) -> dict[str, int]:
-    """Apply one epoch of ``policy`` in place; returns the churn counts."""
+    """Apply one epoch of ``policy`` in place; returns the churn counts.
+
+    When ``touched`` is given, every name the epoch mutated is added to
+    it: site roots for site-pass churn, and — for DNS-pass churn — the
+    owning site root when the churned entry belongs to a site (root or
+    shard), or the raw name for shared (service) entries.  Recording is
+    conservative: a plan that fired counts as touching its domain even
+    when the mutation was a structural no-op.
+    """
     if isinstance(policy, str):
         policy = evolution_policy(policy)
     totals: dict[str, int] = {}
     if policy.empty:
         return totals
     seed = ecosystem.config.seed
+    # Owner map from the pre-pass world: shard domains normalise to
+    # their site root.  Built before SHARD_DROP can remove shards.
+    owners: dict[str, str] = {}
+    for site in ecosystem.websites:
+        owners[site.domain] = site.domain
+        for shard in site.shard_domains():
+            owners[shard] = site.domain
     for site in ecosystem.websites:
         plan = EpochPlan.compile(
             policy, seed=seed, epoch=epoch, domain=site.domain
         )
         _evolve_site(ecosystem, site, plan)
-        merge_churn(totals, plan.counts())
+        counts = plan.counts()
+        if counts and touched is not None:
+            touched.add(site.domain)
+        merge_churn(totals, counts)
     for name in ecosystem.namespace.names():
         plan = EpochPlan.compile(policy, seed=seed, epoch=epoch, domain=name)
         _evolve_dns_entry(ecosystem, name, plan)
-        merge_churn(totals, plan.counts())
+        counts = plan.counts()
+        if counts and touched is not None:
+            touched.add(owners.get(name, name))
+        merge_churn(totals, counts)
     return totals
 
 

@@ -67,16 +67,27 @@ def run_longitudinal(
     snapshots = []
     try:
         for epoch in range(epochs + 1):
+            before = cache.total_stats() if cache is not None else None
             study = Study.run(
                 replace(base, epochs=epoch), executor=executor, cache=cache
             )
             snapshot = snapshot_study(epoch, study)
             snapshots.append(snapshot)
             if progress is not None:
-                progress(
+                line = (
                     f"[epoch {epoch}/{epochs}] policy={policy}  "
                     f"digest={snapshot.digest[:12]}"
                 )
+                if before is not None:
+                    # Per-shard cache keys make this the incremental-
+                    # recompute ledger: hits are shards (and classified
+                    # datasets) the evolution left untouched.
+                    after = cache.total_stats()
+                    line += (
+                        f"  cache: {after.hits - before.hits} reused / "
+                        f"{after.misses - before.misses} recomputed"
+                    )
+                progress(line)
     finally:
         if owns_executor:
             executor.close()

@@ -25,11 +25,20 @@ __all__ = ["SCALES", "PipelineRun", "run_pipeline_bench"]
 
 #: Named benchmark scales.  ``golden`` is the config the regression
 #: snapshots pin; ``smoke`` is small enough for CI; ``stress`` is the
-#: scale where optimization wins actually matter.
+#: scale where optimization wins actually matter.  The ``-sharded``
+#: twins run the same studies through the shard-and-fold path — their
+#: digests must equal the unsharded entries at the same scale, so the
+#: benchmark history doubles as a standing shard-invariance check.
 SCALES: dict[str, StudyConfig] = {
     "smoke": StudyConfig(seed=7, n_sites=60, dns_study_days=0.25),
     "golden": StudyConfig(seed=7, n_sites=120, dns_study_days=0.25),
     "stress": StudyConfig(seed=7, n_sites=1200, dns_study_days=0.25),
+    "smoke-sharded": StudyConfig(
+        seed=7, n_sites=60, dns_study_days=0.25, shards=4
+    ),
+    "golden-sharded": StudyConfig(
+        seed=7, n_sites=120, dns_study_days=0.25, shards=4
+    ),
 }
 
 

@@ -22,6 +22,7 @@ from repro.runtime.executor import (
     ThreadExecutor,
     chunk_items,
     make_executor,
+    shard_items,
 )
 from repro.runtime.profile import StageTimings, null_timings
 from repro.runtime.worker import (
@@ -38,6 +39,7 @@ __all__ = [
     "ProcessExecutor",
     "chunk_items",
     "make_executor",
+    "shard_items",
     "StageTimings",
     "null_timings",
     "clear_ecosystem_cache",

@@ -37,6 +37,7 @@ __all__ = [
     "ProcessExecutor",
     "chunk_items",
     "make_executor",
+    "shard_items",
 ]
 
 
@@ -57,6 +58,32 @@ def chunk_items(items: Sequence[T], chunk_size: int) -> list[list[T]]:
         list(items[start:start + chunk_size])
         for start in range(0, len(items), chunk_size)
     ]
+
+
+def shard_items(
+    items: Sequence[T],
+    n_shards: int,
+    *,
+    key: Callable[[T], object] = lambda item: item,
+) -> list[list[T]]:
+    """Partition ``items`` into ``n_shards`` deterministic buckets.
+
+    An item's bucket is a pure function of ``key(item)`` and
+    ``n_shards`` — not of the other items, their order, or the process
+    — so shard membership is stable across runs and across studies
+    that share sites.  That stability is what lets per-shard cache
+    entries survive from one study (or evolution epoch) to the next.
+    Within a bucket, items keep their input order; empty buckets are
+    returned as empty lists so indices always line up with shard ids.
+    """
+    from repro.util.rng import stable_hash
+
+    if n_shards <= 0:
+        raise ValueError(f"n_shards must be positive, got {n_shards}")
+    buckets: list[list[T]] = [[] for _ in range(n_shards)]
+    for item in items:
+        buckets[stable_hash("shard", key(item)) % n_shards].append(item)
+    return buckets
 
 
 def _run_chunk(fn: Callable[[T], R], chunk: list[T]) -> list[R]:

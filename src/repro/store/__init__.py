@@ -1,5 +1,17 @@
 """Content-addressed persistence for study artefacts."""
 
-from repro.store.cache import CACHE_FORMAT, CacheStats, StudyCache, stable_key
+from repro.store.cache import (
+    CACHE_FORMAT,
+    KNOWN_KINDS,
+    CacheStats,
+    StudyCache,
+    stable_key,
+)
 
-__all__ = ["CACHE_FORMAT", "CacheStats", "StudyCache", "stable_key"]
+__all__ = [
+    "CACHE_FORMAT",
+    "KNOWN_KINDS",
+    "CacheStats",
+    "StudyCache",
+    "stable_key",
+]

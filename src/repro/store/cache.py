@@ -55,19 +55,38 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import re
 import tempfile
 from dataclasses import dataclass, fields, is_dataclass
 from enum import Enum
 from pathlib import Path
 from typing import Any, Iterator
 
-__all__ = ["CACHE_FORMAT", "CacheStats", "StudyCache", "stable_key"]
+__all__ = [
+    "CACHE_FORMAT",
+    "KNOWN_KINDS",
+    "CacheStats",
+    "StudyCache",
+    "stable_key",
+]
 
 #: Bump when the pickled artefact layout changes incompatibly; every
 #: key embeds it, so old entries simply stop matching.  Format 2:
-#: EcosystemConfig grew the evolution axes (evolution_policy, epoch),
-#: which every stage key hashes through the ecosystem config.
-CACHE_FORMAT = 2
+#: EcosystemConfig grew the evolution axes (evolution_policy, epoch).
+#: Format 3: stage artefacts are stored per shard under per-site-set
+#: keys (base ecosystem config + evolution token + the shard's domain
+#: tuple) instead of one whole-study entry per stage.
+CACHE_FORMAT = 3
+
+#: The artefact kinds the cache stores.  ``_path`` validates against
+#: this set so a malformed kind can never address a directory outside
+#: the cache layout.
+KNOWN_KINDS = frozenset({"har-crawl", "alexa-crawl", "classify"})
+
+#: Keys are :func:`stable_key` digests: 32 lowercase hex characters.
+#: Anything else (``..``, ``..\\``, absolute paths) is rejected before
+#: it can form a filesystem path.
+_KEY_PATTERN = re.compile(r"[0-9a-f]{32}")
 
 
 def _canonical(value: Any) -> Any:
@@ -117,11 +136,17 @@ def stable_key(*parts: Any) -> str:
 
 @dataclass
 class CacheStats:
-    """Hit/miss/write counters for one artefact kind."""
+    """Hit/miss/write/error counters for one artefact kind.
+
+    ``errors`` counts entries that existed on disk but could not be
+    loaded (truncated or corrupt pickles); each such entry is evicted
+    and also counted as a miss, so ``lookups`` stays consistent.
+    """
 
     hits: int = 0
     misses: int = 0
     writes: int = 0
+    errors: int = 0
 
     @property
     def lookups(self) -> int:
@@ -146,26 +171,64 @@ class StudyCache:
 
     # ------------------------------------------------------------------
     def _path(self, kind: str, key: str) -> Path:
-        if not kind or "/" in kind or "/" in key:
-            raise ValueError(f"bad cache coordinates {kind!r}/{key!r}")
+        if kind not in KNOWN_KINDS:
+            raise ValueError(
+                f"unknown cache kind {kind!r}; expected one of "
+                f"{sorted(KNOWN_KINDS)}"
+            )
+        if not _KEY_PATTERN.fullmatch(key):
+            raise ValueError(
+                f"bad cache key {key!r}; expected a 32-character hex "
+                f"digest from stable_key()"
+            )
         return self.directory / kind / f"{key}.pkl"
 
     def _stats(self, kind: str) -> CacheStats:
         return self.counters.setdefault(kind, CacheStats())
+
+    def total_stats(self) -> CacheStats:
+        """Counters summed across kinds (a snapshot, not a live view)."""
+        total = CacheStats()
+        for stats in self.counters.values():
+            total.hits += stats.hits
+            total.misses += stats.misses
+            total.writes += stats.writes
+            total.errors += stats.errors
+        return total
 
     def contains(self, kind: str, key: str) -> bool:
         """Whether an artefact exists (does not touch the counters)."""
         return self._path(kind, key).exists()
 
     def get(self, kind: str, key: str) -> Any | None:
-        """The cached artefact, or ``None`` on miss."""
+        """The cached artefact, or ``None`` on miss.
+
+        Opens the file directly (no ``exists()`` pre-check) so a
+        concurrent ``prune()`` between check and open degrades to a
+        plain miss.  An entry that exists but cannot be unpickled —
+        truncated by a crashed writer, corrupted on disk — is evicted,
+        counted under ``errors``, and reported as a miss; a cached
+        stage never kills the study it was meant to speed up.
+        """
         path = self._path(kind, key)
         stats = self._stats(kind)
-        if not path.exists():
+        try:
+            with path.open("rb") as handle:
+                artefact = pickle.load(handle)
+        except FileNotFoundError:
             stats.misses += 1
             return None
-        with path.open("rb") as handle:
-            artefact = pickle.load(handle)
+        except Exception:
+            # Unpickling a damaged file can raise almost anything
+            # (UnpicklingError, EOFError, AttributeError, ...); all of
+            # them mean the same thing here: the entry is unusable.
+            stats.errors += 1
+            stats.misses += 1
+            try:
+                path.unlink()
+            except FileNotFoundError:  # pragma: no cover - racing prune
+                pass
+            return None
         stats.hits += 1
         return artefact
 
@@ -191,19 +254,33 @@ class StudyCache:
 
     # ------------------------------------------------------------------
     def entries(self) -> Iterator[tuple[str, str]]:
-        """All ``(kind, key)`` pairs currently on disk."""
+        """All valid ``(kind, key)`` pairs currently on disk.
+
+        Files that do not fit the layout — unknown kind directories,
+        names that are not hex digests — are ignored rather than
+        yielded, so ``prune`` never tries to address them.
+        """
         for kind_dir in sorted(self.directory.iterdir()):
-            if not kind_dir.is_dir():
+            if not kind_dir.is_dir() or kind_dir.name not in KNOWN_KINDS:
                 continue
             for path in sorted(kind_dir.glob("*.pkl")):
-                yield kind_dir.name, path.stem
+                if _KEY_PATTERN.fullmatch(path.stem):
+                    yield kind_dir.name, path.stem
 
     def prune(self, live: set[tuple[str, str]]) -> int:
-        """Delete entries not in ``live``; returns the removed count."""
+        """Delete entries not in ``live``; returns the removed count.
+
+        Safe against concurrent prunes of the same directory: an entry
+        that vanishes between listing and unlink is simply skipped, and
+        only files this call actually removed are counted.
+        """
         removed = 0
         for kind, key in list(self.entries()):
             if (kind, key) not in live:
-                self._path(kind, key).unlink()
+                try:
+                    self._path(kind, key).unlink()
+                except FileNotFoundError:
+                    continue
                 removed += 1
         return removed
 
@@ -212,10 +289,13 @@ class StudyCache:
         from repro.util.formatting import align_table
 
         rows = [
-            [kind, str(stats.hits), str(stats.misses), str(stats.writes)]
+            [kind, str(stats.hits), str(stats.misses), str(stats.writes),
+             str(stats.errors)]
             for kind, stats in sorted(self.counters.items())
         ]
         if not rows:
             return "Cache: no lookups"
-        body = align_table(rows, header=["Kind", "Hits", "Misses", "Writes"])
+        body = align_table(
+            rows, header=["Kind", "Hits", "Misses", "Writes", "Errors"]
+        )
         return f"Cache ({self.directory})\n{body}"

@@ -1,6 +1,12 @@
 """The scenario sweep engine: grids of studies over one cached store."""
 
-from repro.sweep.runner import CellResult, DatasetSummary, SweepResult, run_sweep
+from repro.sweep.runner import (
+    CellResult,
+    DatasetSummary,
+    SweepResult,
+    run_sweep,
+    summarize_dataset,
+)
 from repro.sweep.spec import SweepCell, SweepSpec
 
 __all__ = [
@@ -10,4 +16,5 @@ __all__ = [
     "SweepSpec",
     "SweepResult",
     "run_sweep",
+    "summarize_dataset",
 ]

@@ -30,7 +30,7 @@ Traceback (most recent call last):
 ValueError: field 'bogus' is not sweepable from the CLI; choose from \
 ['alexa_share', 'alexa_variants', 'dns_study_days', 'epochs', \
 'evolution_policy', 'executor', 'fault_profile', 'ha_sample_share', \
-'har_models', 'n_sites', 'parallelism']
+'har_models', 'n_sites', 'parallelism', 'shards']
 """
 
 from __future__ import annotations
@@ -60,6 +60,7 @@ _AXIS_PARSERS = {
     "fault_profile": str,
     "epochs": int,
     "evolution_policy": str,
+    "shards": int,
 }
 
 _CONFIG_FIELDS = frozenset(spec.name for spec in fields(StudyConfig))

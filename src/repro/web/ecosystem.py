@@ -12,8 +12,10 @@ This replaces the live web of the paper's measurements; see DESIGN.md
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.dns.resolver import RecursiveResolver, ResolverInfo
 from repro.dns.zone import DnsNamespace
@@ -136,6 +138,13 @@ class Ecosystem:
     #: epoch; empty for pristine worlds.  Rebuilt identically inside
     #: every process worker, so the longitudinal report can render it.
     evolution_ledger: tuple[tuple[int, tuple[tuple[str, int], ...]], ...] = ()
+    #: One ``(epoch, (name, ...))`` entry per applied churn epoch: the
+    #: sorted names each epoch mutated.  Site-attributable churn is
+    #: normalised to the owning root domain; names that are not site
+    #: roots (shared third-party service entries) stay raw and dirty
+    #: *every* site's measurements.  Drives per-shard cache
+    #: invalidation via :meth:`evolution_token`.
+    evolution_touched: tuple[tuple[int, tuple[str, ...]], ...] = ()
 
     @classmethod
     def generate(cls, config: EcosystemConfig | None = None) -> "Ecosystem":
@@ -373,6 +382,53 @@ class Ecosystem:
                 for domain in server.cert_map
                 if domain not in server.excluded_domains
             )
+
+    def affected_epochs(self, domains: Sequence[str]) -> tuple[int, ...]:
+        """The applied epochs whose churn can alter measurements of
+        ``domains``.
+
+        An epoch affects the set when it touched one of the domains
+        directly, or when it touched a name that is not a site root —
+        shared third-party service entries are embedded by arbitrary
+        sites, so churn there conservatively dirties everyone.
+        """
+        wanted = frozenset(domains)
+        roots = frozenset(self._by_domain)
+        affected = []
+        for epoch, touched in self.evolution_touched:
+            for name in touched:
+                if name in wanted or name not in roots:
+                    affected.append(epoch)
+                    break
+        return tuple(affected)
+
+    def evolution_token(self, domains: Sequence[str]) -> tuple:
+        """The evolution-history component of a per-shard cache key.
+
+        ``()`` when no applied epoch touched ``domains`` — making the
+        key equal to the pristine world's, so an epoch-N+1 study reuses
+        epoch-N (or epoch-0) shard artefacts untouched by the ledger.
+        Otherwise the policy name plus the affected epoch numbers: any
+        churn that could change these domains' measurements changes
+        the token, and with it the key.
+        """
+        affected = self.affected_epochs(domains)
+        if not affected:
+            return ()
+        return (self.config.evolution_policy, affected)
+
+    def cache_world_key(self, domains: Sequence[str]) -> tuple:
+        """The world-identity part of a stage key for ``domains``.
+
+        The base (pristine) config plus the domains' evolution token,
+        instead of the raw config: two worlds differing only in epochs
+        whose churn never touched ``domains`` produce equal keys, which
+        is exactly the sharing per-shard incremental recompute needs.
+        """
+        base = dataclasses.replace(
+            self.config, evolution_policy="none", epoch=0
+        )
+        return (base, self.evolution_token(domains))
 
     def alexa_list(self, top: int) -> list[str]:
         """The top-``top`` site domains by rank (the synthetic Alexa list)."""

@@ -1,0 +1,68 @@
+"""Shard-count invariance against the pinned golden digest.
+
+The tentpole guarantee: partitioning the crawls into N shards and
+folding the partials is byte-identical to the monolithic study — for
+every shard count, under every executor.  The serial 1-shard study is
+the golden fixture itself; everything else must digest to the same
+pinned value (``tests/golden/digest.txt``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.digest import dataset_digest, study_digest
+from repro.analysis.study import Study
+from repro.runtime import ProcessExecutor, ThreadExecutor
+
+pytestmark = [pytest.mark.slow, pytest.mark.golden]
+
+_GOLDEN_DIR = Path(__file__).resolve().parents[1] / "golden"
+
+
+@pytest.fixture(scope="module")
+def pinned_digest() -> str:
+    return (_GOLDEN_DIR / "digest.txt").read_text().strip()
+
+
+class TestShardCountInvariance:
+    def test_golden_fixture_is_the_one_shard_fold(self, golden_study,
+                                                  pinned_digest):
+        assert golden_study.config.shards == 1
+        assert study_digest(golden_study) == pinned_digest
+
+    @pytest.mark.parametrize("shards", [2, 3, 7])
+    def test_serial_n_shard_fold_matches_golden(self, golden_regen,
+                                                pinned_digest, shards):
+        config = replace(golden_regen.golden_config(), shards=shards)
+        assert study_digest(Study.run(config)) == pinned_digest
+
+    def test_thread_executor_sharded_matches_golden(self, golden_regen,
+                                                    pinned_digest):
+        config = replace(golden_regen.golden_config(), shards=3)
+        with ThreadExecutor(4) as executor:
+            study = Study.run(config, executor=executor)
+        assert study_digest(study) == pinned_digest
+
+    def test_process_executor_sharded_matches_golden(self, golden_regen,
+                                                     pinned_digest):
+        config = replace(golden_regen.golden_config(), shards=7)
+        with ProcessExecutor(2) as executor:
+            study = Study.run(config, executor=executor)
+        assert study_digest(study) == pinned_digest
+
+    def test_sharded_datasets_match_per_dataset(self, golden_study,
+                                                golden_regen):
+        """Invariance holds dataset by dataset, not just in aggregate."""
+        config = replace(golden_regen.golden_config(), shards=3)
+        sharded = Study.run(config)
+        assert sharded.datasets.keys() == golden_study.datasets.keys()
+        for key in golden_study.datasets:
+            assert dataset_digest(sharded.datasets[key]) == (
+                dataset_digest(golden_study.datasets[key])
+            ), key
+        assert sharded.alexa_common_sites == golden_study.alexa_common_sites
+        assert sharded.fault_counts() == golden_study.fault_counts()

@@ -1,0 +1,112 @@
+"""Properties of the hash-stable shard partition.
+
+Incremental recompute rests on shard membership being a pure function
+of the item (and shard count) alone: adding, removing or reordering
+*other* items must never move an item between buckets, or cached shard
+artefacts would invalidate for spurious reasons.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crawl import plan_crawl_shards
+from repro.runtime import shard_items
+
+_domains = st.lists(
+    st.sampled_from([f"site{index:03d}.com" for index in range(40)]),
+    unique=True, max_size=40,
+)
+
+
+class TestShardItems:
+    @given(items=_domains, n_shards=st.integers(1, 9))
+    @settings(max_examples=60, deadline=None)
+    def test_partition_is_exact(self, items, n_shards):
+        buckets = shard_items(items, n_shards)
+        assert len(buckets) == n_shards
+        flattened = [item for bucket in buckets for item in bucket]
+        assert sorted(flattened) == sorted(items)
+
+    @given(items=_domains, n_shards=st.integers(1, 9))
+    @settings(max_examples=60, deadline=None)
+    def test_buckets_preserve_input_order(self, items, n_shards):
+        position = {item: index for index, item in enumerate(items)}
+        for bucket in shard_items(items, n_shards):
+            assert [position[item] for item in bucket] == sorted(
+                position[item] for item in bucket
+            )
+
+    @given(items=_domains, n_shards=st.integers(1, 9),
+           shuffle_seed=st.integers())
+    @settings(max_examples=60, deadline=None)
+    def test_membership_ignores_other_items(self, items, n_shards,
+                                            shuffle_seed):
+        """An item's bucket id never depends on the rest of the list."""
+        import random
+
+        def bucket_of(universe):
+            buckets = shard_items(universe, n_shards)
+            return {
+                item: bucket_id
+                for bucket_id, bucket in enumerate(buckets)
+                for item in bucket
+            }
+
+        whole = bucket_of(items)
+        shuffled = list(items)
+        random.Random(shuffle_seed).shuffle(shuffled)
+        assert bucket_of(shuffled) == whole
+        if len(items) > 1:
+            subset = items[: len(items) // 2]
+            assert bucket_of(subset) == {
+                item: whole[item] for item in subset
+            }
+
+    def test_rejects_nonpositive_counts(self):
+        with pytest.raises(ValueError):
+            shard_items(["a"], 0)
+        with pytest.raises(ValueError):
+            shard_items(["a"], -3)
+
+
+class TestPlanCrawlShards:
+    @given(items=_domains, n_shards=st.integers(1, 9))
+    @settings(max_examples=60, deadline=None)
+    def test_offsets_are_global_positions(self, items, n_shards):
+        plan = plan_crawl_shards(items, n_shards)
+        for shard in plan:
+            assert shard.domains
+            assert shard.offsets == tuple(
+                items.index(domain) for domain in shard.domains
+            )
+        covered = [
+            domain for shard in plan for domain in shard.domains
+        ]
+        assert sorted(covered) == sorted(items)
+
+    def test_single_shard_is_the_whole_list(self):
+        items = ["b.com", "a.com", "c.com"]
+        (shard,) = plan_crawl_shards(items, 1)
+        assert shard.domains == ("b.com", "a.com", "c.com")
+        assert shard.offsets == (0, 1, 2)
+        assert shard.key is None and not shard.cached
+
+    def test_keyer_and_contains_mark_cached_shards(self):
+        items = [f"site{index:03d}.com" for index in range(10)]
+        keys = {}
+
+        def keyer(domains, offsets):
+            key = f"{'-'.join(domains)}@{offsets}"
+            keys[key] = domains
+            return key
+
+        plan = plan_crawl_shards(
+            items, 3, keyer=keyer,
+            contains=lambda key: key.startswith("site000"),
+        )
+        assert {shard.key for shard in plan} == set(keys)
+        for shard in plan:
+            assert shard.cached == shard.key.startswith("site000")

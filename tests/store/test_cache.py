@@ -48,44 +48,108 @@ class TestStudyCache:
     def test_miss_then_hit(self, tmp_path):
         cache = StudyCache(tmp_path)
         key = stable_key("payload", 1)
-        assert cache.get("things", key) is None
-        cache.put("things", key, {"value": 41})
-        assert cache.get("things", key) == {"value": 41}
-        assert cache.counters["things"] == CacheStats(hits=1, misses=1, writes=1)
+        assert cache.get("classify", key) is None
+        cache.put("classify", key, {"value": 41})
+        assert cache.get("classify", key) == {"value": 41}
+        assert cache.counters["classify"] == CacheStats(
+            hits=1, misses=1, writes=1
+        )
 
     def test_contains_does_not_count(self, tmp_path):
         cache = StudyCache(tmp_path)
         key = stable_key("x")
-        assert not cache.contains("things", key)
-        cache.put("things", key, 1)
-        assert cache.contains("things", key)
-        assert cache.counters["things"].lookups == 0
+        assert not cache.contains("classify", key)
+        cache.put("classify", key, 1)
+        assert cache.contains("classify", key)
+        assert cache.counters["classify"].lookups == 0
 
     def test_persists_across_instances(self, tmp_path):
         key = stable_key("x")
-        StudyCache(tmp_path).put("things", key, [1, 2, 3])
-        assert StudyCache(tmp_path).get("things", key) == [1, 2, 3]
+        StudyCache(tmp_path).put("classify", key, [1, 2, 3])
+        assert StudyCache(tmp_path).get("classify", key) == [1, 2, 3]
 
     def test_entries_and_prune(self, tmp_path):
         cache = StudyCache(tmp_path)
         keep = stable_key("keep")
         drop = stable_key("drop")
-        cache.put("things", keep, 1)
-        cache.put("things", drop, 2)
-        assert set(cache.entries()) == {("things", keep), ("things", drop)}
-        assert cache.prune({("things", keep)}) == 1
-        assert set(cache.entries()) == {("things", keep)}
+        cache.put("classify", keep, 1)
+        cache.put("classify", drop, 2)
+        assert set(cache.entries()) == {
+            ("classify", keep), ("classify", drop)
+        }
+        assert cache.prune({("classify", keep)}) == 1
+        assert set(cache.entries()) == {("classify", keep)}
 
     def test_rejects_path_separators(self, tmp_path):
         cache = StudyCache(tmp_path)
         with pytest.raises(ValueError):
-            cache.get("bad/kind", "key")
+            cache.get("bad/kind", stable_key("x"))
+
+    def test_rejects_unknown_kinds(self, tmp_path):
+        cache = StudyCache(tmp_path)
+        with pytest.raises(ValueError):
+            cache.put("things", stable_key("x"), 1)
+
+    def test_rejects_traversal_keys(self, tmp_path):
+        cache = StudyCache(tmp_path)
+        for key in ("..", "..\\", "../../etc/passwd", "", "KEY", "abc"):
+            with pytest.raises(ValueError):
+                cache.put("classify", key, 1)
+        outside = tmp_path.parent / "...pkl"
+        assert not outside.exists()
+
+    def test_corrupt_entry_is_an_evicted_miss(self, tmp_path):
+        cache = StudyCache(tmp_path)
+        key = stable_key("soon-corrupt")
+        path = cache.put("classify", key, {"value": 1})
+        # Truncate the pickle the way a crashed writer would.
+        path.write_bytes(path.read_bytes()[:7])
+        assert cache.get("classify", key) is None
+        assert cache.counters["classify"] == CacheStats(
+            hits=0, misses=1, writes=1, errors=1
+        )
+        # The bad file is evicted, so the next lookup is a clean miss.
+        assert not cache.contains("classify", key)
+        assert cache.get("classify", key) is None
+        assert cache.counters["classify"].errors == 1
+
+    def test_garbage_entry_is_an_evicted_miss(self, tmp_path):
+        cache = StudyCache(tmp_path)
+        key = stable_key("garbage")
+        path = cache._path("classify", key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"not a pickle at all")
+        assert cache.get("classify", key) is None
+        assert cache.counters["classify"].errors == 1
+        assert not path.exists()
+
+    def test_prune_skips_vanished_files(self, tmp_path):
+        cache = StudyCache(tmp_path)
+        key = stable_key("x")
+        cache.put("classify", key, 1)
+        entries = list(cache.entries())
+        cache._path("classify", key).unlink()
+        # A concurrent prune removed the file first; ours counts zero.
+        assert entries == [("classify", key)]
+        assert cache.prune(set()) == 0
+
+    def test_entries_ignores_planted_garbage(self, tmp_path):
+        cache = StudyCache(tmp_path)
+        key = stable_key("x")
+        cache.put("classify", key, 1)
+        (tmp_path / "notakind").mkdir()
+        (tmp_path / "notakind" / "deadbeef.pkl").write_bytes(b"x")
+        (tmp_path / "classify" / "...pkl").write_bytes(b"x")
+        (tmp_path / "classify" / "UPPER.pkl").write_bytes(b"x")
+        assert set(cache.entries()) == {("classify", key)}
+        assert cache.prune({("classify", key)}) == 0
 
     def test_render_stats(self, tmp_path):
         cache = StudyCache(tmp_path)
         assert "no lookups" in cache.render_stats()
-        cache.get("things", stable_key("x"))
-        assert "things" in cache.render_stats()
+        cache.get("classify", stable_key("x"))
+        assert "classify" in cache.render_stats()
+        assert "Errors" in cache.render_stats()
 
 
 class TestCrawlCaching:

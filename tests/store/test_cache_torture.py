@@ -1,0 +1,151 @@
+"""Concurrency torture for the study cache.
+
+Many workers — threads in one process, then whole forked processes —
+hammer a single cache directory with interleaved gets, puts, prunes
+and deliberately injected corruption.  The invariants under fire:
+
+* no worker ever sees an exception (a corrupt or vanished entry is a
+  recorded miss, never a crash);
+* a ``get`` returns either ``None`` or a value some worker actually
+  put (no torn reads: writes are atomic rename);
+* the counters stay coherent (``lookups == hits + misses``,
+  ``errors <= misses``) and every injected corruption that a reader
+  observed was evicted rather than served.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import random
+import threading
+
+import pytest
+
+from repro.store import StudyCache, stable_key
+
+#: A small hot key set so operations genuinely collide.
+_KEYS = tuple(stable_key("torture", index) for index in range(12))
+_ROUNDS = 150
+
+
+def _hammer(directory, seed: int) -> tuple[int, int, int, int]:
+    """One worker's randomized op loop; returns its final counters."""
+    cache = StudyCache(directory)
+    rng = random.Random(seed)
+    live = {("classify", key) for key in _KEYS}
+    for _ in range(_ROUNDS):
+        key = rng.choice(_KEYS)
+        roll = rng.random()
+        if roll < 0.40:
+            value = cache.get("classify", key)
+            assert value is None or value == ("payload", key), value
+        elif roll < 0.75:
+            cache.put("classify", key, ("payload", key))
+        elif roll < 0.85:
+            # Concurrent prunes of a random half of the key space: the
+            # other workers' gets must degrade to misses, never raise.
+            keep = {
+                ("classify", k) for k in rng.sample(_KEYS, len(_KEYS) // 2)
+            }
+            cache.prune(keep)
+        elif roll < 0.95:
+            # Crash-mid-write simulation: clobber the entry with a
+            # truncated pickle, bypassing the atomic put.
+            path = cache.directory / "classify" / f"{key}.pkl"
+            try:
+                path.write_bytes(b"\x80\x05corrupt"[:7])
+            except OSError:  # pragma: no cover - racing directory prune
+                pass
+        else:
+            cache.prune(live)
+    stats = cache.total_stats()
+    return stats.hits, stats.misses, stats.writes, stats.errors
+
+
+def _assert_coherent(hits: int, misses: int, writes: int,
+                     errors: int) -> None:
+    assert hits >= 0 and misses >= 0 and writes >= 0
+    assert errors <= misses
+    assert hits + misses > 0
+
+
+class TestTortureThreads:
+    def test_threaded_hammering_never_breaks(self, tmp_path):
+        results: list = []
+        failures: list[BaseException] = []
+
+        def worker(seed: int) -> None:
+            try:
+                results.append(_hammer(tmp_path, seed))
+            except BaseException as error:  # noqa: BLE001 - recorded
+                failures.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(seed,))
+            for seed in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures, failures
+        assert len(results) == 6
+        for hits, misses, writes, errors in results:
+            _assert_coherent(hits, misses, writes, errors)
+
+    def test_survivors_are_loadable(self, tmp_path):
+        for seed in range(2):
+            _hammer(tmp_path, seed)
+        cache = StudyCache(tmp_path)
+        for kind, key in cache.entries():
+            value = cache.get(kind, key)
+            # A final corruption injection may still sit on disk; the
+            # read either succeeds with the real payload or evicts.
+            assert value is None or value == ("payload", key)
+        stats = cache.total_stats()
+        assert stats.misses == stats.errors  # only corrupt entries miss
+
+
+class TestTortureProcesses:
+    def test_forked_processes_share_one_directory(self, tmp_path):
+        context = multiprocessing.get_context("fork")
+        with context.Pool(4) as pool:
+            results = pool.starmap(
+                _hammer, [(tmp_path, 100 + seed) for seed in range(4)]
+            )
+        assert len(results) == 4
+        for hits, misses, writes, errors in results:
+            _assert_coherent(hits, misses, writes, errors)
+
+    def test_cross_process_payloads_round_trip(self, tmp_path):
+        context = multiprocessing.get_context("fork")
+        writer = StudyCache(tmp_path)
+        for key in _KEYS:
+            writer.put("classify", key, ("payload", key))
+        with context.Pool(2) as pool:
+            results = pool.starmap(
+                _read_all, [(tmp_path,), (tmp_path,)]
+            )
+        for loaded in results:
+            assert loaded == len(_KEYS)
+
+
+def _read_all(directory) -> int:
+    cache = StudyCache(directory)
+    loaded = 0
+    for key in _KEYS:
+        if cache.get("classify", key) == ("payload", key):
+            loaded += 1
+    return loaded
+
+
+@pytest.mark.parametrize("junk", [b"", b"\x80", b"\x80\x05}q\x00"])
+def test_every_truncation_shape_is_an_evicted_miss(tmp_path, junk):
+    cache = StudyCache(tmp_path)
+    key = _KEYS[0]
+    path = cache.put("classify", key, ("payload", key))
+    path.write_bytes(junk)
+    assert cache.get("classify", key) is None
+    assert not path.exists()
+    stats = cache.total_stats()
+    assert (stats.misses, stats.errors) == (1, 1)

@@ -1,0 +1,114 @@
+"""Properties of the per-shard :class:`DatasetSummary` fold."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.causes import Cause
+from repro.sweep import DatasetSummary, summarize_dataset
+
+_CAUSES = tuple(cause.value for cause in Cause)
+
+
+def _summary(name, h2_sites, h2_connections, redundant_sites,
+             redundant_connections, cause_counts) -> DatasetSummary:
+    return DatasetSummary(
+        name=name,
+        h2_sites=h2_sites,
+        h2_connections=h2_connections,
+        redundant_sites=redundant_sites,
+        redundant_connections=redundant_connections,
+        redundant_site_share=(
+            redundant_sites / h2_sites if h2_sites else 0.0
+        ),
+        cause_sites=dict(zip(_CAUSES, cause_counts)),
+        cause_connections=dict(zip(_CAUSES, cause_counts)),
+    )
+
+
+_summaries = st.builds(
+    _summary,
+    st.just("alexa"),
+    st.integers(0, 50),
+    st.integers(0, 500),
+    st.integers(0, 50),
+    st.integers(0, 500),
+    st.tuples(*(st.integers(0, 20) for _ in _CAUSES)),
+)
+
+
+class TestMergeLaws:
+    @given(parts=st.lists(_summaries, min_size=1, max_size=6),
+           shuffle_seed=st.integers())
+    @settings(max_examples=60, deadline=None)
+    def test_merge_is_order_insensitive(self, parts, shuffle_seed):
+        import random
+
+        shuffled = list(parts)
+        random.Random(shuffle_seed).shuffle(shuffled)
+        assert DatasetSummary.merge(shuffled) == DatasetSummary.merge(parts)
+
+    @given(parts=st.lists(_summaries, min_size=3, max_size=3))
+    @settings(max_examples=60, deadline=None)
+    def test_merge_is_associative(self, parts):
+        a, b, c = parts
+        left = DatasetSummary.merge([DatasetSummary.merge([a, b]), c])
+        right = DatasetSummary.merge([a, DatasetSummary.merge([b, c])])
+        assert left == right
+
+    @given(part=_summaries)
+    @settings(max_examples=30, deadline=None)
+    def test_single_part_is_identity(self, part):
+        assert DatasetSummary.merge([part]) == part
+
+    @given(parts=st.lists(_summaries, min_size=1, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_counts_add_and_share_recomputes(self, parts):
+        merged = DatasetSummary.merge(parts)
+        h2_sites = sum(part.h2_sites for part in parts)
+        redundant = sum(part.redundant_sites for part in parts)
+        assert merged.h2_sites == h2_sites
+        assert merged.redundant_sites == redundant
+        expected_share = redundant / h2_sites if h2_sites else 0.0
+        assert merged.redundant_site_share == pytest.approx(expected_share)
+        for cause in _CAUSES:
+            assert merged.cause_sites[cause] == sum(
+                part.cause_sites.get(cause, 0) for part in parts
+            )
+
+
+class TestMergeErrors:
+    def test_zero_parts_raise(self):
+        with pytest.raises(ValueError, match="zero"):
+            DatasetSummary.merge([])
+
+    def test_mixed_datasets_raise(self):
+        a = _summary("alexa", 1, 1, 0, 0, (0,) * len(_CAUSES))
+        b = DatasetSummary(
+            name="har-actual", h2_sites=1, h2_connections=1,
+            redundant_sites=0, redundant_connections=0,
+            redundant_site_share=0.0, cause_sites={}, cause_connections={},
+        )
+        with pytest.raises(ValueError, match="different datasets"):
+            DatasetSummary.merge([a, b])
+
+
+class TestAgainstRealStudy:
+    def test_shard_partials_fold_to_the_whole(self, small_study):
+        """Summaries of per-shard sub-datasets fold to the study's own."""
+        from repro.crawl import plan_crawl_shards
+
+        dataset = small_study.dataset("har-endless")
+        whole = summarize_dataset("har-endless", dataset)
+        sites = sorted(dataset.classifications)
+        plan = plan_crawl_shards(sites, 4)
+        partials = [
+            summarize_dataset(
+                "har-endless",
+                dataset.subset(shard.domains, name="har-endless"),
+            )
+            for shard in plan
+        ]
+        assert DatasetSummary.merge(partials) == whole
