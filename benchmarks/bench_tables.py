@@ -7,7 +7,6 @@ tables; see EXPERIMENTS.md for the side-by-side).
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import emit
 from repro.analysis import tables

@@ -95,7 +95,8 @@ class Figure3Result:
             for _, count in points:
                 index = min(
                     len(shades) - 1,
-                    round(count / max(1, self.study.resolver_count) * (len(shades) - 1)),
+                    round(count / max(1, self.study.resolver_count)
+                          * (len(shades) - 1)),
                 )
                 cells.append(shades[index])
             label = f"{timeline.pair.domain} / prev: {timeline.pair.prev}"

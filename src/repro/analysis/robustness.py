@@ -72,7 +72,8 @@ def _spread(values: list[float], style: str) -> list[str]:
 def _headline_table(cells: "list[CellResult]") -> str:
     with_stats = [cell for cell in cells if cell.headline is not None]
     if not with_stats:
-        return "  (no cell produced headline statistics — variant ablates a required dataset)"
+        return ("  (no cell produced headline statistics — variant "
+                "ablates a required dataset)")
     rows = []
     for label, attribute, style in _HEADLINE_ROWS:
         values = [

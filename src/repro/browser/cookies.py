@@ -20,6 +20,8 @@ __all__ = ["CookieJar"]
 class CookieJar:
     """Cookies stored per registrable domain ("site")."""
 
+    # thread-safe: one CookieJar per visit (built in Browser.visit), and
+    # a visit runs entirely on one executor task.
     _store: dict[str, dict[str, str]] = field(default_factory=dict)
 
     @staticmethod

@@ -78,7 +78,10 @@ class ConnectionPool:
     faults: "FaultPlan | None" = None
     port: int = 443
     sessions: list[Http2Connection] = field(default_factory=list)
+    # thread-safe: one ConnectionPool per visit (built in Browser.visit),
+    # and a visit runs entirely on one executor task.
     _aliases: dict[SessionKey, Http2Connection] = field(default_factory=dict)
+    # thread-safe: per-visit, like _aliases above.
     _interned_keys: dict[tuple[str, bool], SessionKey] = field(
         default_factory=dict, repr=False
     )

@@ -249,6 +249,30 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--tolerance", type=float, default=0.25,
                        help="allowed relative wall-clock regression for "
                             "--check (0.25 == 25%%)")
+
+    lint = commands.add_parser(
+        "lint",
+        help="run the determinism/cache-key/shared-state/typed-error "
+             "static checks",
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src", "tools"],
+        help="files or directories to lint (default: src tools)",
+    )
+    lint.add_argument(
+        "--baseline", default="tools/lint_baseline.txt",
+        help="baseline file of accepted findings (default: "
+             "tools/lint_baseline.txt)",
+    )
+    lint.add_argument(
+        "--write-baseline", action="store_true",
+        help="rewrite the baseline file from the current findings",
+    )
+    lint.add_argument(
+        "--check", action="store_true",
+        help="CI mode: also fail when the baseline lists findings that "
+             "no longer fire (the baseline may only shrink)",
+    )
     return parser
 
 
@@ -559,6 +583,44 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from pathlib import Path
+
+    from repro.lint import (
+        Project,
+        default_rules,
+        load_baseline,
+        run_lint,
+        write_baseline,
+    )
+
+    root = Path.cwd()
+    baseline_path = root / args.baseline
+    project = Project.load(root, args.paths)
+    baseline = load_baseline(baseline_path)
+    report = run_lint(project, default_rules(), baseline=baseline)
+
+    if args.write_baseline:
+        write_baseline(baseline_path, report.findings)
+        print(f"wrote {len(report.findings)} finding(s) to {args.baseline}")
+        return 0
+
+    for finding in report.new:
+        print(finding.render())
+    if args.check:
+        for key in sorted(report.stale):
+            print(f"stale baseline entry (finding no longer fires): "
+                  f"{key.replace(chr(9), ' ')}")
+    ok = report.ok(check=args.check)
+    if not ok:
+        print(
+            f"repro lint: {len(report.new)} new finding(s), "
+            f"{len(report.stale)} stale baseline entr(y/ies)",
+            file=sys.stderr,
+        )
+    return 0 if ok else 1
+
+
 _COMMANDS = {
     "study": _cmd_study,
     "sweep": _cmd_sweep,
@@ -571,6 +633,7 @@ _COMMANDS = {
     "resilience": _cmd_resilience,
     "evolve": _cmd_evolve,
     "bench": _cmd_bench,
+    "lint": _cmd_lint,
 }
 
 

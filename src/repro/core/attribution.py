@@ -84,7 +84,9 @@ class AttributionIndex:
                 domain.previous[hit.previous.domain] += 1
                 self.cert_domain_issuer[hit.record.domain] = hit.record.issuer
 
-    def attribute_ases(self, asdb: AsDatabase, classification: SiteClassification) -> None:
+    def attribute_ases(
+        self, asdb: AsDatabase, classification: SiteClassification
+    ) -> None:
         """IP-cause AS attribution (Table 6) — needs the AS database."""
         for hit in classification.hits:
             if hit.cause is not Cause.IP:

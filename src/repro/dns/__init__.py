@@ -6,11 +6,21 @@ from repro.dns.loadbalancer import (
     RotationPolicy,
     StaticPolicy,
 )
+from repro.dns.errors import DnsError
 from repro.dns.records import DEFAULT_TTL, Answer, RecordType
-from repro.dns.resolver import RecursiveResolver, ResolverInfo, default_fleet
+from repro.dns.resolver import (
+    DnsTimeout,
+    RecursiveResolver,
+    ResolverInfo,
+    ServFail,
+    default_fleet,
+)
 from repro.dns.zone import AddressEntry, AliasEntry, DnsNamespace, NxDomain
 
 __all__ = [
+    "DnsError",
+    "DnsTimeout",
+    "ServFail",
     "AnycastPolicy",
     "LoadBalancingPolicy",
     "RotationPolicy",

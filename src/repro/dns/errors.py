@@ -1,0 +1,21 @@
+"""The DNS subsystem's typed error root.
+
+Every exception the resolver/namespace layer raises for a *simulated*
+network outcome (SERVFAIL, NXDOMAIN, timeout) derives from
+:class:`DnsError`, so stage code can catch the whole subsystem with one
+clause and the ``repro lint`` typed-error rule can verify no raise site
+escapes the hierarchy.  Argument-contract violations (bad hostnames,
+negative TTLs) stay plain :class:`ValueError`.
+"""
+
+from __future__ import annotations
+
+__all__ = ["DnsError"]
+
+
+class DnsError(RuntimeError):
+    """Root of the DNS subsystem's typed error hierarchy.
+
+    Subclasses carry only their message, so they survive pickling
+    across process-pool workers intact.
+    """

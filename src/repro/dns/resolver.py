@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro.dns.errors import DnsError
 from repro.dns.loadbalancer import narrow_answer
 from repro.dns.records import Answer
 from repro.dns.zone import DnsNamespace, NxDomain
@@ -24,6 +25,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.plan import FaultPlan
 
 __all__ = [
+    "DnsError",
     "DnsTimeout",
     "RecursiveResolver",
     "ResolverInfo",
@@ -32,11 +34,11 @@ __all__ = [
 ]
 
 
-class ServFail(RuntimeError):
+class ServFail(DnsError):
     """The resolver answered SERVFAIL (RCODE 2) for this query."""
 
 
-class DnsTimeout(RuntimeError):
+class DnsTimeout(DnsError):
     """The query to the resolver timed out."""
 
 
@@ -102,6 +104,9 @@ class RecursiveResolver:
     #: Optional :class:`~repro.faults.plan.FaultPlan` consulted at each
     #: query; ``None`` (the default) keeps every code path untouched.
     faults: "FaultPlan | None" = None
+    # thread-safe: resolvers are created per task (ecosystem.make_resolver
+    # inside each crawl/visit task) and never shared across tasks; the
+    # shared DnsNamespace underneath is read-only after world build.
     _cache: dict[str, tuple[float, Answer]] = field(default_factory=dict)
     queries: int = 0
     cache_hits: int = 0

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.dns.errors import DnsError
 from repro.dns.loadbalancer import LoadBalancingPolicy, StaticPolicy
 from repro.dns.records import DEFAULT_TTL, Answer
 from repro.util.domains import is_valid_hostname, normalize
@@ -21,8 +22,13 @@ __all__ = ["AddressEntry", "AliasEntry", "DnsNamespace", "NxDomain"]
 _MAX_CHAIN = 16
 
 
-class NxDomain(LookupError):
-    """Raised when a hostname has no entry (the paper's unreachable sites)."""
+class NxDomain(DnsError, LookupError):
+    """Raised when a hostname has no entry (the paper's unreachable sites).
+
+    Keeps its historical :class:`LookupError` base alongside the
+    subsystem root, so pre-existing ``except LookupError`` callers
+    still catch it.
+    """
 
 
 @dataclass

@@ -98,7 +98,9 @@ class DnsStudyResult:
     interval_s: float
 
     def by_classification(self) -> dict[str, list[PairTimeline]]:
-        out: dict[str, list[PairTimeline]] = {"never": [], "sometimes": [], "always": []}
+        out: dict[str, list[PairTimeline]] = {
+            "never": [], "sometimes": [], "always": []
+        }
         for timeline in self.timelines:
             out[timeline.classification()].append(timeline)
         return out

@@ -60,9 +60,12 @@ class EpochPlan:
     seed: int
     epoch: int
     domain: str
+    # thread-safe: one EpochPlan per (domain, epoch), consulted only by
+    # the single-threaded epoch application inside world generation.
     _streams: dict[ChurnKind, random.Random] = field(
         default_factory=dict, repr=False
     )
+    # thread-safe: per-(domain, epoch), like _streams above.
     _fired: dict[ChurnKind, int] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:

@@ -241,9 +241,12 @@ class FaultPlan:
     seed: int
     run: str
     domain: str
+    # thread-safe: one FaultPlan per (run, domain) visit, and a visit
+    # runs entirely on one executor task (see class docstring).
     _streams: dict[FaultKind, random.Random] = field(
         default_factory=dict, repr=False
     )
+    # thread-safe: per-visit, like _streams above.
     _fired: dict[FaultKind, int] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:

@@ -25,11 +25,13 @@ from repro.h2.frames import (
     decode_frames,
     encode_frame,
 )
+from repro.h2.errors import H2Error
 from repro.h2.hpack import STATIC_TABLE, HpackDecoder, HpackEncoder, HpackError
 from repro.h2.settings import Http2Settings, SettingId
-from repro.h2.stream import Http2Stream, StreamError, StreamState
+from repro.h2.stream import Http2Stream, StreamError, StreamResetError, StreamState
 
 __all__ = [
+    "H2Error",
     "HTTP_MISDIRECTED_REQUEST",
     "ConnectionClosedError",
     "Http2Connection",
@@ -59,5 +61,6 @@ __all__ = [
     "SettingId",
     "Http2Stream",
     "StreamError",
+    "StreamResetError",
     "StreamState",
 ]

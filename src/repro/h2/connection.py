@@ -20,6 +20,7 @@ from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Protocol
 
 from repro.faults.plan import FaultKind
+from repro.h2.errors import H2Error
 from repro.h2.hpack import HpackDecoder, HpackEncoder
 from repro.h2.settings import Http2Settings
 from repro.h2.stream import Http2Stream, StreamResetError
@@ -41,7 +42,7 @@ HTTP_MISDIRECTED_REQUEST = 421
 _DEFAULT_SETTINGS = Http2Settings()
 
 
-class ConnectionClosedError(RuntimeError):
+class ConnectionClosedError(H2Error):
     """A request was attempted on a closed connection."""
 
 

@@ -15,6 +15,8 @@ import enum
 import struct
 from dataclasses import dataclass, field
 
+from repro.h2.errors import H2Error
+
 __all__ = [
     "FrameType",
     "Flags",
@@ -39,8 +41,13 @@ __all__ = [
 _HEADER = struct.Struct("!HBBBL")  # 24-bit length split as H+B, type, flags, stream.
 
 
-class FrameError(ValueError):
-    """Malformed frame bytes."""
+class FrameError(H2Error, ValueError):
+    """Malformed frame bytes.
+
+    Keeps its historical :class:`ValueError` base alongside the
+    subsystem root, so pre-existing ``except ValueError`` callers
+    still catch it.
+    """
 
 
 class FrameType(enum.IntEnum):
@@ -172,7 +179,8 @@ class GoawayFrame(Frame):
     frame_type: int = FrameType.GOAWAY
 
     def payload(self) -> bytes:
-        return struct.pack("!LL", self.last_stream_id, self.error_code) + self.debug_data
+        packed = struct.pack("!LL", self.last_stream_id, self.error_code)
+        return packed + self.debug_data
 
 
 @dataclass(frozen=True)

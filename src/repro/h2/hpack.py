@@ -18,11 +18,18 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
+from repro.h2.errors import H2Error
+
 __all__ = ["HpackEncoder", "HpackDecoder", "HpackError", "STATIC_TABLE"]
 
 
-class HpackError(ValueError):
-    """Malformed HPACK input."""
+class HpackError(H2Error, ValueError):
+    """Malformed HPACK input.
+
+    Keeps its historical :class:`ValueError` base alongside the
+    subsystem root, so pre-existing ``except ValueError`` callers
+    still catch it.
+    """
 
 
 #: RFC 7541 Appendix A static table (1-indexed).
@@ -205,7 +212,10 @@ class _DynamicTable:
     size: int = 0
     _sizes: deque[int] = field(default_factory=deque, repr=False)
     _next_id: int = field(default=0, repr=False)
+    # thread-safe: one dynamic table per HPACK encoder/decoder, one of
+    # those per connection, one connection per visit task.
     _by_pair: dict[tuple[str, str], int] = field(default_factory=dict, repr=False)
+    # thread-safe: per-connection, like _by_pair above.
     _by_name: dict[str, int] = field(default_factory=dict, repr=False)
 
     @staticmethod

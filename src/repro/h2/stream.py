@@ -11,14 +11,16 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+from repro.h2.errors import H2Error
+
 __all__ = ["StreamState", "StreamError", "StreamResetError", "Http2Stream"]
 
 
-class StreamError(RuntimeError):
+class StreamError(H2Error):
     """Illegal operation for the stream's current state."""
 
 
-class StreamResetError(RuntimeError):
+class StreamResetError(StreamError):
     """The peer tore the stream down with RST_STREAM before completion.
 
     Raised by the connection's request path (fault injection, or any

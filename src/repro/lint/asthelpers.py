@@ -1,0 +1,60 @@
+"""Small AST utilities shared by the lint rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+__all__ = ["dotted_name", "inside_lock", "walk_with_parents"]
+
+
+def walk_with_parents(
+    tree: ast.AST,
+) -> Iterator[tuple[ast.AST, tuple[ast.AST, ...]]]:
+    """Depth-first walk yielding ``(node, ancestors)`` pairs.
+
+    ``ancestors`` is ordered outermost-first and excludes ``node``
+    itself, so rules can ask "am I inside a ``with`` / function / class"
+    without mutating nodes.
+    """
+    stack: list[tuple[ast.AST, tuple[ast.AST, ...]]] = [(tree, ())]
+    while stack:
+        node, parents = stack.pop()
+        yield node, parents
+        child_parents = parents + (node,)
+        for child in ast.iter_child_nodes(node):
+            stack.append((child, child_parents))
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def inside_lock(parents: tuple[ast.AST, ...]) -> bool:
+    """Is the node under a ``with`` whose context looks like a lock?
+
+    The heuristic is lexical: any enclosing ``with`` item whose
+    expression's dotted name contains ``lock`` (``_LOCK``,
+    ``self._lock``, ``cache.lock()``) counts.  Precise enough for a
+    codebase that names its locks as locks, which the shared-state rule
+    requires anyway.
+    """
+    for parent in parents:
+        if not isinstance(parent, ast.With):
+            continue
+        for item in parent.items:
+            expr = item.context_expr
+            if isinstance(expr, ast.Call):
+                expr = expr.func
+            name = dotted_name(expr)
+            if name is not None and "lock" in name.lower():
+                return True
+    return False

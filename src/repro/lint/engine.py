@@ -1,0 +1,139 @@
+"""The lint driver: discover sources, run rules, apply the baseline.
+
+The baseline file is an escape hatch for *pre-existing* findings only:
+``repro lint`` exits nonzero on any finding that is not baselined, and
+``--check`` (the CI mode) additionally fails when a baseline entry no
+longer fires — so the baseline can only ever shrink.  New code must
+ship clean or carry an inline ``# repro-lint: ignore[rule]`` exemption
+at the offending line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Protocol, Sequence
+
+from repro.lint.findings import Finding
+from repro.lint.source import SourceModule
+
+__all__ = [
+    "LintReport",
+    "LintRule",
+    "Project",
+    "load_baseline",
+    "run_lint",
+    "write_baseline",
+]
+
+
+class LintRule(Protocol):
+    """One rule family: inspects the whole project, yields findings."""
+
+    rule_id: str
+
+    def check(self, project: "Project") -> Iterable[Finding]:
+        ...
+
+
+@dataclass
+class Project:
+    """Every parsed module the linter looks at, keyed by relative path."""
+
+    root: Path
+    modules: list[SourceModule] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, root: Path, paths: Sequence[str | Path]) -> "Project":
+        root = root.resolve()
+        files: list[Path] = []
+        for raw in paths:
+            target = (root / raw).resolve()
+            if target.is_dir():
+                files.extend(sorted(target.rglob("*.py")))
+            elif target.suffix == ".py":
+                files.append(target)
+            else:
+                raise FileNotFoundError(f"nothing to lint at {raw!r}")
+        seen: set[Path] = set()
+        modules = []
+        for path in files:
+            if path in seen:
+                continue
+            seen.add(path)
+            modules.append(SourceModule.load(path, root))
+        return cls(root=root, modules=modules)
+
+    def module(self, rel: str) -> SourceModule | None:
+        for candidate in self.modules:
+            if candidate.rel == rel:
+                return candidate
+        return None
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run against a baseline."""
+
+    findings: list[Finding]
+    #: Findings not covered by the baseline — these fail the run.
+    new: list[Finding]
+    #: Baseline entries that no longer fire — these fail ``--check``.
+    stale: list[str]
+
+    def ok(self, *, check: bool = False) -> bool:
+        return not self.new and not (check and self.stale)
+
+
+def run_lint(
+    project: Project,
+    rules: Sequence[LintRule],
+    *,
+    baseline: frozenset[str] = frozenset(),
+) -> LintReport:
+    """Run every rule, drop inline-ignored findings, split by baseline."""
+    findings: list[Finding] = []
+    by_rel = {module.rel: module for module in project.modules}
+    for rule in rules:
+        for finding in rule.check(project):
+            module = by_rel.get(finding.path)
+            if module is not None and module.is_ignored(
+                finding.line, finding.rule
+            ):
+                continue
+            findings.append(finding)
+    findings.sort()
+    used: set[str] = set()
+    new: list[Finding] = []
+    for finding in findings:
+        key = finding.baseline_key()
+        if key in baseline:
+            used.add(key)
+        else:
+            new.append(finding)
+    stale = sorted(baseline - used)
+    return LintReport(findings=findings, new=new, stale=stale)
+
+
+def load_baseline(path: Path) -> frozenset[str]:
+    """Baseline keys from ``path`` (missing file = empty baseline)."""
+    if not path.exists():
+        return frozenset()
+    keys = []
+    for line in path.read_text().splitlines():
+        if not line.strip() or line.lstrip().startswith("#"):
+            continue
+        keys.append(line)
+    return frozenset(keys)
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> None:
+    keys = sorted({finding.baseline_key() for finding in findings})
+    header = (
+        "# repro lint baseline — pre-existing findings only.\n"
+        "# This file may only shrink: `repro lint --check` fails when an\n"
+        "# entry stops firing (delete it) or a new finding is unbaselined\n"
+        "# (fix it, or exempt it inline with `# repro-lint: ignore[rule]`).\n"
+        "# Format: <path>\\t<rule>\\t<message>, one finding per line.\n"
+    )
+    path.write_text(header + "".join(key + "\n" for key in keys))

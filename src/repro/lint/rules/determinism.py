@@ -1,0 +1,151 @@
+"""Rule ``determinism``: no ambient entropy in result-bearing code.
+
+Digests, folds and cache keys must be pure functions of
+``(config, seed)``.  Anything that reads ambient process state — the
+module-level ``random`` RNG, wall clocks, ``os.urandom``/``uuid4``,
+environment variables — or iterates a ``set`` in hash order can differ
+between two runs that should be byte-identical, and the golden harness
+only catches it *after* the nondeterminism ships.
+
+Sanctioned alternatives, per forbidden form:
+
+* ``random.random()`` etc.  → a seeded per-kind stream:
+  ``repro.util.rng.RngFactory(...).stream(kind)`` or
+  ``random.Random(seed)``.
+* ``time.time()`` / ``datetime.now()`` → the simulated clock
+  (``repro.util.clock.SimClock``) or an explicit ``now`` parameter.
+* ``os.urandom`` / ``uuid.uuid4`` → ``repro.util.rng.stable_hash``.
+* ``os.environ`` / ``os.getenv`` → explicit config/CLI parameters.
+* iterating a set / ``.keys()`` → ``sorted(...)`` first.
+
+Wall-clock *measurement* code (``repro/perfbench``, the stage timer)
+is excluded by path: timing how long work took is its job.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.lint.asthelpers import dotted_name, walk_with_parents
+from repro.lint.engine import Project
+from repro.lint.findings import Finding
+
+__all__ = ["DeterminismRule"]
+
+#: ``random.<fn>`` module-level calls that draw from the shared RNG.
+_RANDOM_CALLS = frozenset((
+    "random.random", "random.randint", "random.randrange", "random.choice",
+    "random.choices", "random.sample", "random.shuffle", "random.uniform",
+    "random.gauss", "random.betavariate", "random.expovariate",
+    "random.getrandbits", "random.seed",
+))
+
+#: Wall-clock and ambient-entropy reads, with the sanctioned fix.
+_FORBIDDEN_CALLS: dict[str, str] = {
+    "time.time": "use the SimClock or pass `now` explicitly",
+    "time.time_ns": "use the SimClock or pass `now` explicitly",
+    "datetime.now": "use the SimClock or pass `now` explicitly",
+    "datetime.utcnow": "use the SimClock or pass `now` explicitly",
+    "datetime.today": "use the SimClock or pass `now` explicitly",
+    "datetime.datetime.now": "use the SimClock or pass `now` explicitly",
+    "datetime.datetime.utcnow": "use the SimClock or pass `now` explicitly",
+    "datetime.date.today": "use the SimClock or pass `now` explicitly",
+    "os.urandom": "derive bytes from util.rng.stable_hash",
+    "uuid.uuid4": "derive ids from util.rng.stable_hash",
+    "uuid.uuid1": "derive ids from util.rng.stable_hash",
+    "uuid4": "derive ids from util.rng.stable_hash",
+    "uuid1": "derive ids from util.rng.stable_hash",
+    "os.getenv": "thread configuration through StudyConfig/CLI flags",
+}
+
+
+def _is_set_expression(node: ast.AST) -> bool:
+    """Does ``node`` evaluate to a set (statically recognisable forms)?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        if name in ("set", "frozenset"):
+            return True
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "keys":
+            return True  # .keys(): order mirrors a possibly-shared dict
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        # set algebra: s | t, s & t, s - t, s ^ t
+        return _is_set_expression(node.left) or _is_set_expression(node.right)
+    return False
+
+
+@dataclass
+class DeterminismRule:
+    """Forbid ambient entropy on result-bearing code paths."""
+
+    rule_id: str = "determinism"
+    #: Path prefixes whose job is wall-clock measurement.
+    exclude_prefixes: tuple[str, ...] = (
+        "src/repro/perfbench/",
+        "src/repro/runtime/profile.py",
+    )
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for module in project.modules:
+            if module.rel.startswith(self.exclude_prefixes):
+                continue
+            yield from self._check_module(module)
+
+    def _check_module(self, module) -> Iterator[Finding]:
+        for node, parents in walk_with_parents(module.tree):
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name in _RANDOM_CALLS:
+                    yield Finding(
+                        path=module.rel, line=node.lineno, rule=self.rule_id,
+                        message=(
+                            f"call to the shared module-level RNG "
+                            f"({name}); use a seeded per-kind stream "
+                            f"(util.rng.RngFactory / random.Random(seed))"
+                        ),
+                    )
+                elif name in _FORBIDDEN_CALLS:
+                    yield Finding(
+                        path=module.rel, line=node.lineno, rule=self.rule_id,
+                        message=(
+                            f"nondeterministic call {name}(); "
+                            f"{_FORBIDDEN_CALLS[name]}"
+                        ),
+                    )
+            elif isinstance(node, ast.Attribute):
+                if (
+                    node.attr == "environ"
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == "os"
+                ):
+                    yield Finding(
+                        path=module.rel, line=node.lineno, rule=self.rule_id,
+                        message=(
+                            "os.environ read; thread configuration through "
+                            "StudyConfig/CLI flags"
+                        ),
+                    )
+            elif isinstance(node, ast.For):
+                if _is_set_expression(node.iter):
+                    yield Finding(
+                        path=module.rel, line=node.lineno, rule=self.rule_id,
+                        message=(
+                            "iteration over a set/.keys() view in hash "
+                            "order; wrap the iterable in sorted(...)"
+                        ),
+                    )
+            elif isinstance(node, ast.comprehension):
+                if _is_set_expression(node.iter):
+                    yield Finding(
+                        path=module.rel, line=node.iter.lineno,
+                        rule=self.rule_id,
+                        message=(
+                            "comprehension over a set/.keys() view in hash "
+                            "order; wrap the iterable in sorted(...)"
+                        ),
+                    )

@@ -1,0 +1,244 @@
+"""Rule ``shared-state``: no unguarded cross-task memo containers.
+
+The thread executor runs per-site tasks against *shared* objects — the
+ecosystem, its origin servers, the per-process world cache — so any
+mutable container those tasks write concurrently is a data race unless
+it is guarded.  The rule flags two statically recognisable shapes:
+
+1. **module-level mutable containers** (dict/list/set/OrderedDict/...)
+   that some function in the same module mutates — the classic
+   module-global memo cache;
+2. **private instance memo dicts** — a ``_``-prefixed dataclass field
+   (or ``self._x = {}`` in ``__init__``/``__post_init__``) of dict
+   shape that a method writes via ``self._x[key] = ...`` /
+   ``.setdefault`` — the per-object memo-dict idiom PR 3 introduced.
+
+Sanctioned alternatives, in preference order: ``functools.lru_cache``
+on a pure function (thread-safe, bounded); a ``threading.Lock`` around
+every access (the rule recognises mutations inside ``with <lock>:``);
+or, when the container is provably not shared across tasks — built
+once on the main thread, or owned by a per-task object — a
+``# thread-safe: <why>`` comment on the definition explaining exactly
+that.  Public (non-underscore) dataclass fields are out of scope: they
+are the data being computed, not caches bolted onto it.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.lint.asthelpers import dotted_name, inside_lock, walk_with_parents
+from repro.lint.engine import Project
+from repro.lint.findings import Finding
+from repro.lint.source import SourceModule
+
+__all__ = ["SharedStateRule"]
+
+_CONTAINER_CALLS = frozenset((
+    "dict", "list", "set", "collections.OrderedDict", "OrderedDict",
+    "collections.defaultdict", "defaultdict", "collections.deque", "deque",
+))
+_DICT_FACTORIES = frozenset((
+    "dict", "OrderedDict", "collections.OrderedDict", "defaultdict",
+    "collections.defaultdict",
+))
+_MUTATORS = frozenset((
+    "append", "add", "update", "setdefault", "pop", "popitem", "clear",
+    "extend", "insert", "move_to_end", "remove", "discard", "appendleft",
+))
+
+
+def _is_mutable_container(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Dict, ast.List, ast.Set, ast.DictComp,
+                         ast.ListComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        return name in _CONTAINER_CALLS
+    return False
+
+
+def _is_dict_field(node: ast.AST) -> bool:
+    """``field(default_factory=dict)`` / ``{}`` / ``dict()`` shapes."""
+    if isinstance(node, (ast.Dict, ast.DictComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        if name in _DICT_FACTORIES:
+            return True
+        if name in ("field", "dataclasses.field"):
+            for keyword in node.keywords:
+                if keyword.arg == "default_factory":
+                    factory = dotted_name(keyword.value)
+                    if factory in _DICT_FACTORIES:
+                        return True
+    return False
+
+
+@dataclass
+class SharedStateRule:
+    """Flag unguarded shared mutable containers."""
+
+    rule_id: str = "shared-state"
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for module in project.modules:
+            yield from self._module_globals(module)
+            for node in module.tree.body:
+                if isinstance(node, ast.ClassDef):
+                    yield from self._instance_memos(module, node)
+
+    # -- shape 1: module-level containers ------------------------------
+    def _module_globals(self, module: SourceModule) -> Iterator[Finding]:
+        containers: dict[str, int] = {}
+        for statement in module.tree.body:
+            target = value = None
+            if isinstance(statement, ast.Assign) and len(statement.targets) == 1:
+                target, value = statement.targets[0], statement.value
+            elif isinstance(statement, ast.AnnAssign) and statement.value:
+                target, value = statement.target, statement.value
+            if (
+                isinstance(target, ast.Name)
+                and value is not None
+                and _is_mutable_container(value)
+            ):
+                containers[target.id] = statement.lineno
+        if not containers:
+            return
+        mutated = self._mutated_globals(module.tree, set(containers))
+        for name in sorted(mutated):
+            line = containers[name]
+            if module.has_thread_safe_comment(line):
+                continue
+            yield Finding(
+                path=module.rel, line=line, rule=self.rule_id,
+                message=(
+                    f"module-level mutable container '{name}' is written "
+                    f"from function code without a lock; guard every "
+                    f"access with a threading.Lock, use functools."
+                    f"lru_cache, or justify with a '# thread-safe:' "
+                    f"comment"
+                ),
+            )
+
+    def _mutated_globals(
+        self, tree: ast.Module, names: set[str]
+    ) -> set[str]:
+        """Container names mutated inside a function without a lock."""
+        mutated: set[str] = set()
+        for node, parents in walk_with_parents(tree):
+            if not any(
+                isinstance(p, (ast.FunctionDef, ast.AsyncFunctionDef))
+                for p in parents
+            ):
+                continue
+            name = self._mutation_target(node)
+            if name in names and not inside_lock(parents):
+                mutated.add(name)
+        return mutated
+
+    @staticmethod
+    def _mutation_target(node: ast.AST) -> str | None:
+        """The bare name a statement mutates, if any."""
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.Delete)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign)
+                else [node.target] if isinstance(node, ast.AugAssign)
+                else node.targets
+            )
+            for target in targets:
+                if isinstance(target, ast.Subscript) and isinstance(
+                    target.value, ast.Name
+                ):
+                    return target.value.id
+        if isinstance(node, ast.Call) and isinstance(
+            node.func, ast.Attribute
+        ):
+            if node.func.attr in _MUTATORS and isinstance(
+                node.func.value, ast.Name
+            ):
+                return node.func.value.id
+        return None
+
+    # -- shape 2: private instance memo dicts --------------------------
+    def _instance_memos(
+        self, module: SourceModule, class_def: ast.ClassDef
+    ) -> Iterator[Finding]:
+        memo_fields: dict[str, int] = {}
+        for statement in class_def.body:
+            if (
+                isinstance(statement, ast.AnnAssign)
+                and isinstance(statement.target, ast.Name)
+                and statement.target.id.startswith("_")
+                and statement.value is not None
+                and _is_dict_field(statement.value)
+            ):
+                memo_fields[statement.target.id] = statement.lineno
+            elif isinstance(statement, ast.FunctionDef) and statement.name in (
+                "__init__", "__post_init__"
+            ):
+                for node in ast.walk(statement):
+                    if (
+                        isinstance(node, ast.Assign)
+                        and len(node.targets) == 1
+                        and isinstance(node.targets[0], ast.Attribute)
+                        and isinstance(node.targets[0].value, ast.Name)
+                        and node.targets[0].value.id == "self"
+                        and node.targets[0].attr.startswith("_")
+                        and _is_dict_field(node.value)
+                    ):
+                        memo_fields.setdefault(
+                            node.targets[0].attr, node.lineno
+                        )
+        if not memo_fields:
+            return
+        written = self._self_dict_writes(class_def, set(memo_fields))
+        for name in sorted(written):
+            line = memo_fields[name]
+            if module.has_thread_safe_comment(line):
+                continue
+            yield Finding(
+                path=module.rel, line=line, rule=self.rule_id,
+                message=(
+                    f"instance memo dict '{name}' is written by methods "
+                    f"without a lock; replace it with functools.lru_cache "
+                    f"on a pure function, guard it, or justify with a "
+                    f"'# thread-safe:' comment on the definition"
+                ),
+            )
+
+    @staticmethod
+    def _self_dict_writes(
+        class_def: ast.ClassDef, names: set[str]
+    ) -> set[str]:
+        written: set[str] = set()
+        for node, parents in walk_with_parents(class_def):
+            attribute = None
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Subscript) and isinstance(
+                        target.value, ast.Attribute
+                    ):
+                        attribute = target.value
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                if node.func.attr in ("setdefault", "update") and isinstance(
+                    node.func.value, ast.Attribute
+                ):
+                    attribute = node.func.value
+            if (
+                attribute is not None
+                and isinstance(attribute.value, ast.Name)
+                and attribute.value.id == "self"
+                and attribute.attr in names
+                and not inside_lock(parents)
+            ):
+                written.add(attribute.attr)
+        return written

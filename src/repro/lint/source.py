@@ -1,0 +1,81 @@
+"""Parsed source modules and the exemption-comment grammar.
+
+Two comment forms matter to the linter:
+
+* ``# repro-lint: ignore[rule-id]`` (comma-separated ids, or ``*``)
+  placed on the finding's line suppresses matching findings on that
+  line.  An exemption is part of the code it excuses: it travels with
+  the line through refactors, unlike a baseline entry.
+* ``# thread-safe: <why>`` on (or in the comment block directly above)
+  a shared-container definition is the shared-state rule's sanctioned
+  justification — it must say *why* the container needs no lock.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["SourceModule"]
+
+_IGNORE = re.compile(r"#\s*repro-lint:\s*ignore\[([^\]]*)\]")
+_THREAD_SAFE = re.compile(r"#\s*thread-safe:\s*\S")
+_COMMENT_OR_BLANK = re.compile(r"^\s*(#.*)?$")
+
+
+@dataclass
+class SourceModule:
+    """One parsed Python file plus its lint-relevant comment facts."""
+
+    path: Path
+    #: Repo-relative POSIX path ("src/repro/dns/resolver.py").
+    rel: str
+    text: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+    #: line number -> rule ids suppressed there ("*" element = all).
+    ignores: dict[int, frozenset[str]] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path, root: Path) -> "SourceModule":
+        text = path.read_text()
+        tree = ast.parse(text, filename=str(path))
+        lines = text.splitlines()
+        ignores: dict[int, frozenset[str]] = {}
+        for number, line in enumerate(lines, start=1):
+            match = _IGNORE.search(line)
+            if match:
+                rules = frozenset(
+                    part.strip() for part in match.group(1).split(",")
+                    if part.strip()
+                )
+                ignores[number] = rules or frozenset(("*",))
+        return cls(
+            path=path,
+            rel=path.resolve().relative_to(root.resolve()).as_posix(),
+            text=text,
+            tree=tree,
+            lines=lines,
+            ignores=ignores,
+        )
+
+    def is_ignored(self, line: int, rule: str) -> bool:
+        rules = self.ignores.get(line)
+        return rules is not None and (rule in rules or "*" in rules)
+
+    def has_thread_safe_comment(self, line: int) -> bool:
+        """A ``# thread-safe:`` justification on ``line`` or in the
+        contiguous comment block directly above it."""
+        index = line - 1  # 0-based
+        if index < 0 or index >= len(self.lines):
+            return False
+        if _THREAD_SAFE.search(self.lines[index]):
+            return True
+        above = index - 1
+        while above >= 0 and _COMMENT_OR_BLANK.match(self.lines[above]):
+            if _THREAD_SAFE.search(self.lines[above]):
+                return True
+            above -= 1
+        return False

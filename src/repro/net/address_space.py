@@ -48,6 +48,8 @@ class PrefixAllocator:
         default_factory=lambda: ipaddress.IPv4Network("10.0.0.0/8")
     )
     _next_slash24: int = 0
+    # thread-safe: allocation happens only during single-threaded world
+    # generation; the allocator is never touched from visit tasks.
     _host_cursor: dict[ipaddress.IPv4Network, int] = field(default_factory=dict)
     prefixes: list[Prefix] = field(default_factory=list)
 

@@ -17,6 +17,7 @@ the process.  Evicted worlds simply regenerate on next use.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 from repro.web.ecosystem import Ecosystem, EcosystemConfig
@@ -32,14 +33,20 @@ __all__ = [
 #: and only adjacent sweep cells benefit from extras.
 MAX_CACHED_WORLDS = 4
 
+# thread-safe: every access goes through _LOCK below.  Thread-executor
+# tasks all call ecosystem_for() on the shared per-process cache, and
+# even hits mutate it (the LRU move_to_end), so lookups and insertions
+# must be atomic; process workers each own a private copy.
 _CACHE: "OrderedDict[EcosystemConfig, Ecosystem]" = OrderedDict()
+_LOCK = threading.Lock()
 
 
 def _insert(config: EcosystemConfig, ecosystem: Ecosystem) -> None:
-    _CACHE[config] = ecosystem
-    _CACHE.move_to_end(config)
-    while len(_CACHE) > MAX_CACHED_WORLDS:
-        _CACHE.popitem(last=False)
+    with _LOCK:
+        _CACHE[config] = ecosystem
+        _CACHE.move_to_end(config)
+        while len(_CACHE) > MAX_CACHED_WORLDS:
+            _CACHE.popitem(last=False)
 
 
 def prime_ecosystem(ecosystem: Ecosystem) -> None:
@@ -49,12 +56,19 @@ def prime_ecosystem(ecosystem: Ecosystem) -> None:
 
 def ecosystem_is_cached(config: EcosystemConfig) -> bool:
     """Whether :func:`ecosystem_for` would hit (no regeneration)."""
-    return config in _CACHE
+    with _LOCK:
+        return config in _CACHE
 
 
 def ecosystem_for(config: EcosystemConfig) -> Ecosystem:
-    """The world for ``config``, regenerated deterministically on miss."""
-    ecosystem = _CACHE.get(config)
+    """The world for ``config``, regenerated deterministically on miss.
+
+    Concurrent misses for the same config may both regenerate; worlds
+    are pure functions of their config, so last-insert-wins leaves an
+    identical object either way.
+    """
+    with _LOCK:
+        ecosystem = _CACHE.get(config)
     if ecosystem is None:
         ecosystem = Ecosystem.generate(config)
     _insert(config, ecosystem)
@@ -63,4 +77,5 @@ def ecosystem_for(config: EcosystemConfig) -> Ecosystem:
 
 def clear_ecosystem_cache() -> None:
     """Drop all cached worlds (tests only)."""
-    _CACHE.clear()
+    with _LOCK:
+        _CACHE.clear()

@@ -102,6 +102,9 @@ class CertificateAuthority:
 class IssuerRegistry:
     """Lazily created authorities, one per issuer organisation."""
 
+    # thread-safe: authorities are created during single-threaded world
+    # generation and epoch evolution only; visit-time fault paths degrade
+    # existing certificates (degrade_certificate) without issuing new ones.
     _authorities: dict[str, CertificateAuthority] = field(default_factory=dict)
 
     def authority(self, org: str) -> CertificateAuthority:
@@ -110,7 +113,9 @@ class IssuerRegistry:
             self._authorities[org] = CertificateAuthority(org=org)
         return self._authorities[org]
 
-    def issue(self, org: str, sans: list[str] | tuple[str, ...], **kwargs) -> Certificate:
+    def issue(
+        self, org: str, sans: list[str] | tuple[str, ...], **kwargs
+    ) -> Certificate:
         """Convenience: issue via the ``org`` authority."""
         return self.authority(org).issue(sans, **kwargs)
 

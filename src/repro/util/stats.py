@@ -56,7 +56,9 @@ def median(values: Sequence[float]) -> float:
     return quantile(values, 0.5)
 
 
-def counter_to_series(counter: Counter, top: int | None = None) -> list[tuple[str, int]]:
+def counter_to_series(
+    counter: Counter, top: int | None = None
+) -> list[tuple[str, int]]:
     """Sort a counter by descending count, then key, optionally truncated."""
     series = sorted(counter.items(), key=lambda item: (-item[1], item[0]))
     if top is not None:

@@ -131,6 +131,8 @@ class Ecosystem:
     websites: list[Website]
     _by_domain: dict[str, Website] = field(default_factory=dict)
     _by_rank: list[Website] | None = field(default=None, repr=False)
+    # thread-safe: httparchive_sample is called only while planning
+    # crawls on the coordinating thread, before tasks fan out.
     _ha_samples: dict[tuple[float, int], list[str]] = field(
         default_factory=dict, repr=False
     )

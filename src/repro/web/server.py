@@ -46,6 +46,31 @@ def _session_cookie(domain: str) -> str:
     return f"sid={stable_hash('sid', domain) % 10**9}"
 
 
+@lru_cache(maxsize=1 << 16)
+def _response(
+    domain: str, path: str, with_cookie: bool, server_name: str
+) -> tuple[int, list[tuple[str, str]], int]:
+    """The 200 response for one distinct request shape (pure, memoized).
+
+    Responses are a pure function of (domain, path, cookie?, server
+    name), so the header list is built once per shape and handed out as
+    the same object; callers copy what they keep (Http2Stream stores
+    ``list(headers)``).  ``lru_cache`` replaces the per-server memo dict
+    the pre-lint code used: ecosystem servers are shared across
+    thread-executor crawl tasks, and an unguarded dict write from two
+    sites hitting the same endpoint concurrently was a data race.
+    """
+    body_size = _body_size(domain, path)
+    headers = [
+        ("content-type", "application/octet-stream"),
+        ("content-length", str(body_size)),
+        ("server", server_name),
+    ]
+    if with_cookie:
+        headers.append(("set-cookie", _session_cookie(domain)))
+    return (200, headers, body_size)
+
+
 @dataclass
 class OriginServer:
     """A TLS endpoint serving one or more domains on a single IP."""
@@ -66,7 +91,6 @@ class OriginServer:
     #: the :mod:`repro.runtime` contract).
     requests_served: int = 0
     misdirected_responses: int = 0
-    _response_cache: dict = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         self.cert_map = {normalize(k): v for k, v in self.cert_map.items()}
@@ -114,24 +138,9 @@ class OriginServer:
                 [("content-type", "text/plain"), ("content-length", "0")],
                 0,
             )
-        # Responses are a pure function of (domain, path, cookie?), so
-        # the header list is built once per distinct request shape and
-        # handed out as the same object; callers copy what they keep
-        # (Http2Stream stores list(headers)).
-        key = (domain, path, credentials and method == "GET")
-        cached = self._response_cache.get(key)
-        if cached is None:
-            body_size = _body_size(domain, path)
-            headers = [
-                ("content-type", "application/octet-stream"),
-                ("content-length", str(body_size)),
-                ("server", self.name),
-            ]
-            if key[2]:
-                headers.append(("set-cookie", _session_cookie(domain)))
-            cached = (200, headers, body_size)
-            self._response_cache[key] = cached
-        return cached
+        return _response(
+            domain, path, credentials and method == "GET", self.name
+        )
 
     def advertised_origins(self) -> tuple[str, ...]:
         return self.origin_frame_origins
@@ -161,6 +170,8 @@ class FaultedEndpoint:
     inner: OriginServer
     faults: "FaultPlan"
     clock: "SimClock"
+    # thread-safe: one FaultedEndpoint per connection attempt (see class
+    # docstring); the wrapper never outlives its visit task.
     _cert_decisions: dict[str, Certificate] = field(
         default_factory=dict, repr=False
     )

@@ -1087,7 +1087,9 @@ class ThirdPartyCatalog:
     #: These open exactly one well-reused connection each — the
     #: "unknown third party" mass that is not redundant (§3) and keeps
     #: the corpus' redundant-connection *share* at the paper's level.
-    _CLEAN_SERVICES: tuple[tuple[str, str, str, str, ResourceType, float, float], ...] = (
+    _CLEAN_SERVICES: tuple[
+        tuple[str, str, str, str, ResourceType, float, float], ...
+    ] = (
         ("consent", "cdn.consentbanner.com", "CLOUDFLARENET", DIGICERT,
          ResourceType.SCRIPT, 0.30, 1.4),
         ("jsdelivr", "cdn.jsdelivr.net", "FASTLY", SECTIGO,
@@ -1140,7 +1142,8 @@ class ThirdPartyCatalog:
             return [
                 Resource(
                     domain=domain,
-                    path=f"/{key}.js" if rtype is ResourceType.SCRIPT else f"/{key}.gif",
+                    path=(f"/{key}.js" if rtype is ResourceType.SCRIPT
+                          else f"/{key}.gif"),
                     rtype=rtype,
                     size=rng.randint(1_000, 80_000),
                 )

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.analysis.figures import ccdf_complement, figure2, figure3
 from repro.analysis.headline import headline

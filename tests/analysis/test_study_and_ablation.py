@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis.ablation import compare_mitigations
-from repro.analysis.study import DATASET_LABELS, Study, StudyConfig
+from repro.analysis.study import DATASET_LABELS, StudyConfig
 from repro.core.causes import Cause
 
 

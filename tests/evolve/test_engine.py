@@ -10,7 +10,6 @@ import pytest
 
 from repro.dns.zone import AddressEntry
 from repro.evolve.engine import advance_epoch
-from repro.evolve.plan import EpochPlan
 from repro.evolve.policy import ChurnKind
 from repro.web.ecosystem import Ecosystem, EcosystemConfig
 from repro.web.resources import RequestMode

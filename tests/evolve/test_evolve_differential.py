@@ -15,7 +15,6 @@ Three families of guarantees, mirroring the fault engine's suite:
 
 from __future__ import annotations
 
-from dataclasses import replace
 from pathlib import Path
 
 import pytest

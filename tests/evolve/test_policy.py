@@ -6,7 +6,6 @@ import pytest
 
 from repro.evolve.plan import EpochPlan, merge_churn
 from repro.evolve.policy import (
-    POLICIES,
     ChurnKind,
     ChurnSpec,
     DNS_KINDS,

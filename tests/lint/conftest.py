@@ -1,0 +1,35 @@
+"""Shared fixtures for the lint-framework tests.
+
+Every rule test works the same way: write a tiny fixture tree under
+``tmp_path``, load it as a :class:`~repro.lint.engine.Project`, run one
+rule, and assert on the findings.  ``make_project`` hides the
+boilerplate.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import Project
+
+
+@pytest.fixture()
+def make_project(tmp_path):
+    """``make_project({"pkg/mod.py": source, ...}) -> Project``."""
+
+    def _make(files: dict[str, str]) -> Project:
+        for rel, source in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source))
+        return Project.load(tmp_path, ["."])
+
+    return _make
+
+
+@pytest.fixture()
+def repo_root() -> Path:
+    return Path(__file__).resolve().parents[2]

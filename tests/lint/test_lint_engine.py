@@ -1,0 +1,161 @@
+"""Engine semantics: baselines shrink, ignores filter, the CLI exits right."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+import repro.cli
+from repro.lint import (
+    Finding,
+    Project,
+    load_baseline,
+    run_lint,
+    write_baseline,
+)
+from repro.lint.rules import DeterminismRule, default_rules
+
+
+@dataclasses.dataclass
+class StubRule:
+    findings: list
+    rule_id: str = "stub"
+
+    def check(self, project):
+        return list(self.findings)
+
+
+def _finding(path="mod.py", line=3, rule="stub", message="broken"):
+    return Finding(path=path, line=line, rule=rule, message=message)
+
+
+class TestBaseline:
+    def test_baselined_finding_is_not_new(self, make_project):
+        project = make_project({"mod.py": "x = 1\n"})
+        finding = _finding()
+        report = run_lint(
+            project, [StubRule([finding])],
+            baseline=frozenset((finding.baseline_key(),)),
+        )
+        assert report.findings == [finding]
+        assert report.new == []
+        assert report.ok()
+        assert report.ok(check=True)
+
+    def test_unbaselined_finding_fails(self, make_project):
+        project = make_project({"mod.py": "x = 1\n"})
+        report = run_lint(project, [StubRule([_finding()])])
+        assert not report.ok()
+
+    def test_baseline_key_survives_line_shifts(self):
+        moved = dataclasses.replace(_finding(), line=99)
+        assert moved.baseline_key() == _finding().baseline_key()
+
+    def test_stale_entry_fails_only_check_mode(self, make_project):
+        project = make_project({"mod.py": "x = 1\n"})
+        report = run_lint(
+            project, [StubRule([])],
+            baseline=frozenset(("gone.py\tstub\tfixed long ago",)),
+        )
+        assert report.stale == ["gone.py\tstub\tfixed long ago"]
+        assert report.ok()
+        assert not report.ok(check=True)
+
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "baseline.txt"
+        write_baseline(path, [_finding(), _finding(message="other")])
+        keys = load_baseline(path)
+        assert keys == {
+            "mod.py\tstub\tbroken", "mod.py\tstub\tother",
+        }
+        assert path.read_text().startswith("#")
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.txt") == frozenset()
+
+
+class TestProjectLoad:
+    def test_recurses_sorted_and_deduped(self, make_project):
+        project = make_project({
+            "b/two.py": "x = 2\n",
+            "a/one.py": "x = 1\n",
+        })
+        assert [m.rel for m in project.modules] == ["a/one.py", "b/two.py"]
+
+    def test_single_file_path(self, tmp_path):
+        (tmp_path / "solo.py").write_text("x = 1\n")
+        project = Project.load(tmp_path, ["solo.py"])
+        assert [m.rel for m in project.modules] == ["solo.py"]
+
+    def test_missing_path_is_loud(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            Project.load(tmp_path, ["nowhere"])
+
+
+class TestCli:
+    @pytest.fixture()
+    def project_dir(self, tmp_path, monkeypatch):
+        (tmp_path / "clean.py").write_text("x = 1\n")
+        (tmp_path / "dirty.py").write_text(
+            "import time\n\n\ndef stamp():\n    return time.time()\n"
+        )
+        monkeypatch.chdir(tmp_path)
+        return tmp_path
+
+    def test_new_findings_exit_nonzero(self, project_dir, capsys):
+        code = repro.cli.main(["lint", "dirty.py"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "dirty.py:5 determinism" in out
+
+    def test_clean_tree_exits_zero(self, project_dir, capsys):
+        assert repro.cli.main(["lint", "clean.py"]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_write_then_check_round_trip(self, project_dir, capsys):
+        assert repro.cli.main(
+            ["lint", "dirty.py", "--baseline", "base.txt",
+             "--write-baseline"]
+        ) == 0
+        assert repro.cli.main(
+            ["lint", "dirty.py", "--baseline", "base.txt", "--check"]
+        ) == 0
+        # The finding is fixed; --check now demands the entry's removal.
+        (project_dir / "dirty.py").write_text("x = 2\n")
+        assert repro.cli.main(
+            ["lint", "dirty.py", "--baseline", "base.txt"]
+        ) == 0
+        assert repro.cli.main(
+            ["lint", "dirty.py", "--baseline", "base.txt", "--check"]
+        ) == 1
+        assert "stale baseline entry" in capsys.readouterr().out
+
+
+class TestRepoIsClean:
+    """The tree lints clean with an empty baseline — the acceptance bar."""
+
+    def test_whole_repo_zero_findings(self, repo_root):
+        project = Project.load(repo_root, ["src", "tools"])
+        report = run_lint(project, default_rules())
+        assert report.new == [], [f.render() for f in report.new]
+
+    def test_checked_in_baseline_is_empty(self, repo_root):
+        baseline = load_baseline(repo_root / "tools" / "lint_baseline.txt")
+        assert baseline == frozenset()
+
+    def test_default_rules_cover_all_four_families(self):
+        assert sorted(rule.rule_id for rule in default_rules()) == [
+            "cache-key", "determinism", "shared-state", "typed-errors",
+        ]
+
+    def test_inline_ignore_rule_mismatch_still_fires(self, make_project):
+        project = make_project({"mod.py": """\
+            import time
+
+            def stamp():
+                return time.time()  # repro-lint: ignore[]
+        """})
+        # Empty bracket = wildcard: documents the grammar's edge case.
+        report = run_lint(project, [DeterminismRule()])
+        assert report.findings == []

@@ -1,0 +1,150 @@
+"""The ``shared-state`` rule: unguarded memo containers are flagged."""
+
+from __future__ import annotations
+
+from repro.lint.rules import SharedStateRule
+
+
+def _findings(project):
+    return list(SharedStateRule().check(project))
+
+
+class TestModuleGlobals:
+    def test_mutated_global_dict_fires(self, make_project):
+        project = make_project({"mod.py": """\
+            _CACHE = {}
+
+            def remember(key, value):
+                _CACHE[key] = value
+        """})
+        (finding,) = _findings(project)
+        assert "'_CACHE'" in finding.message
+        assert finding.line == 1
+
+    def test_method_mutators_fire(self, make_project):
+        project = make_project({"mod.py": """\
+            _SEEN = set()
+
+            def visit(item):
+                _SEEN.add(item)
+        """})
+        assert len(_findings(project)) == 1
+
+    def test_import_time_population_is_fine(self, make_project):
+        project = make_project({"mod.py": """\
+            _TABLE = {}
+            for i in range(10):
+                _TABLE[i] = i * i
+
+            def lookup(i):
+                return _TABLE[i]
+        """})
+        assert _findings(project) == []
+
+    def test_lock_guard_is_sanctioned(self, make_project):
+        project = make_project({"mod.py": """\
+            import threading
+
+            _CACHE = {}
+            _LOCK = threading.Lock()
+
+            def remember(key, value):
+                with _LOCK:
+                    _CACHE[key] = value
+        """})
+        assert _findings(project) == []
+
+    def test_thread_safe_comment_is_sanctioned(self, make_project):
+        project = make_project({"mod.py": """\
+            # thread-safe: populated before the executor starts.
+            _CACHE = {}
+
+            def remember(key, value):
+                _CACHE[key] = value
+        """})
+        assert _findings(project) == []
+
+
+class TestInstanceMemos:
+    def test_private_memo_dict_fires(self, make_project):
+        project = make_project({"mod.py": """\
+            from dataclasses import dataclass, field
+
+            @dataclass
+            class Worker:
+                _memo: dict = field(default_factory=dict)
+
+                def compute(self, key):
+                    if key not in self._memo:
+                        self._memo[key] = key * 2
+                    return self._memo[key]
+        """})
+        (finding,) = _findings(project)
+        assert "'_memo'" in finding.message
+
+    def test_init_assigned_memo_fires(self, make_project):
+        project = make_project({"mod.py": """\
+            class Worker:
+                def __init__(self):
+                    self._memo = {}
+
+                def compute(self, key):
+                    return self._memo.setdefault(key, key * 2)
+        """})
+        assert len(_findings(project)) == 1
+
+    def test_public_field_is_out_of_scope(self, make_project):
+        project = make_project({"mod.py": """\
+            from dataclasses import dataclass, field
+
+            @dataclass
+            class Tally:
+                counts: dict = field(default_factory=dict)
+
+                def bump(self, key):
+                    self.counts[key] = self.counts.get(key, 0) + 1
+        """})
+        assert _findings(project) == []
+
+    def test_read_only_memo_is_fine(self, make_project):
+        project = make_project({"mod.py": """\
+            from dataclasses import dataclass, field
+
+            @dataclass
+            class Frozen:
+                _table: dict = field(default_factory=dict)
+
+                def lookup(self, key):
+                    return self._table.get(key)
+        """})
+        assert _findings(project) == []
+
+    def test_thread_safe_comment_above_definition(self, make_project):
+        project = make_project({"mod.py": """\
+            from dataclasses import dataclass, field
+
+            @dataclass
+            class Worker:
+                # thread-safe: one Worker per task; never shared.
+                _memo: dict = field(default_factory=dict)
+
+                def compute(self, key):
+                    return self._memo.setdefault(key, key * 2)
+        """})
+        assert _findings(project) == []
+
+    def test_lock_guarded_write_is_sanctioned(self, make_project):
+        project = make_project({"mod.py": """\
+            import threading
+            from dataclasses import dataclass, field
+
+            @dataclass
+            class Worker:
+                _memo: dict = field(default_factory=dict)
+                _lock: threading.Lock = field(default_factory=threading.Lock)
+
+                def compute(self, key):
+                    with self._lock:
+                        return self._memo.setdefault(key, key * 2)
+        """})
+        assert _findings(project) == []

@@ -38,7 +38,8 @@ class TestSweepSpec:
 
     def test_parse_axes_types(self):
         axes = SweepSpec.parse_axes(
-            ["n_sites=120,240", "alexa_share=0.3", "har_models=endless+immediate,endless"]
+            ["n_sites=120,240", "alexa_share=0.3",
+             "har_models=endless+immediate,endless"]
         )
         assert axes == (
             ("n_sites", (120, 240)),

@@ -87,7 +87,8 @@ class TestPct:
     def test_half_up_at_tie_boundaries(self, numerator, denominator, expected):
         assert pct(numerator, denominator) == expected
 
-    @given(st.integers(min_value=0, max_value=1000), st.integers(min_value=1, max_value=1000))
+    @given(st.integers(min_value=0, max_value=1000),
+           st.integers(min_value=1, max_value=1000))
     def test_half_up_never_below_bankers(self, numerator, denominator):
         rendered = int(pct(numerator, denominator).split()[0])
         exact = 100 * numerator / denominator

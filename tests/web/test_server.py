@@ -111,3 +111,58 @@ class TestBuildFleet:
                             excluded_domains={"y.example.com"})
         fleet[0].excluded_domains.add("z.example.com")
         assert "z.example.com" not in fleet[1].excluded_domains
+
+
+class TestSharedResponseCacheUnderThreads:
+    """The response memo survived `repro lint`'s shared-state rule by
+    becoming a module-level ``lru_cache``; hammer it the way the thread
+    executor does — many tasks, one shared endpoint — and require the
+    answers to be byte-identical to serial ones."""
+
+    def test_concurrent_requests_match_serial(self, sni_server):
+        import threading
+
+        from repro.web.server import _response
+
+        _response.cache_clear()
+        requests = [
+            ("static.example.com", f"/asset/{i % 37}", i % 3 == 0)
+            for i in range(600)
+        ]
+        serial = [
+            sni_server.handle_request(
+                domain, path, method="GET", credentials=credentialed
+            )
+            for domain, path, credentialed in requests
+        ]
+
+        _response.cache_clear()
+        results: list = [None] * len(requests)
+        start = threading.Barrier(8)
+
+        def worker(worker_id: int) -> None:
+            start.wait()
+            for index in range(worker_id, len(requests), 8):
+                domain, path, credentialed = requests[index]
+                results[index] = sni_server.handle_request(
+                    domain, path, method="GET", credentials=credentialed
+                )
+
+        threads = [
+            threading.Thread(target=worker, args=(n,)) for n in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert results == serial
+
+    def test_cache_shares_one_response_object_per_shape(self, sni_server):
+        first = sni_server.handle_request(
+            "static.example.com", "/shared", method="GET", credentials=False
+        )
+        again = sni_server.handle_request(
+            "static.example.com", "/shared", method="GET", credentials=False
+        )
+        assert again is first
