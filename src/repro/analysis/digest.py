@@ -28,6 +28,7 @@ from repro.core.session import SessionRecord
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.analysis.study import Study
     from repro.crawl.classify import ClassifiedDataset
+    from repro.runlog import RunCoverage
 
 __all__ = [
     "DigestPart",
@@ -163,12 +164,22 @@ def merge_digest_parts(parts: Iterable[DigestPart]) -> DigestPart:
     return merged
 
 
-def fold_study_digest(parts: Iterable[DigestPart]) -> str:
+def fold_study_digest(
+    parts: Iterable[DigestPart],
+    *,
+    coverage: "RunCoverage | None" = None,
+) -> str:
     """Finalise merged parts into the study digest hex string.
 
     Feeds the hasher exactly the way the monolithic digest does: each
     dataset key (sorted), then the dataset header, then each site's
     chunk in sorted site order.
+
+    A *partial* ``coverage`` (quarantined shards) contributes its own
+    trailing chunk, so a degraded run can never digest-collide with a
+    complete run over the surviving sites.  Complete (or absent)
+    coverage contributes nothing — the runlog layer stays inert and
+    the golden digests unchanged.
     """
     merged = merge_digest_parts(parts)
     hasher = hashlib.blake2b(digest_size=16)
@@ -178,6 +189,12 @@ def fold_study_digest(parts: Iterable[DigestPart]) -> str:
         hasher.update(header)
         for site in sorted(chunks):
             hasher.update(chunks[site])
+    if coverage is not None and coverage.shards_quarantined > 0:
+        hasher.update(repr((
+            "partial-coverage",
+            coverage.shards_quarantined,
+            tuple(sorted(coverage.excluded_domains)),
+        )).encode())
     return hasher.hexdigest()
 
 
@@ -197,6 +214,10 @@ def study_digest(study: "Study") -> str:
     dataset, plus the classifier's verdicts — produce the same digest;
     any divergence (ordering, timing, RNG drift) changes it.
     Implemented as the 1-part fold, so sharded and monolithic studies
-    share one digest definition.
+    share one digest definition.  A study degraded by quarantined
+    shards folds its coverage in (see :func:`fold_study_digest`).
     """
-    return fold_study_digest([partial_study_digest(study.datasets)])
+    return fold_study_digest(
+        [partial_study_digest(study.datasets)],
+        coverage=getattr(study, "coverage", None),
+    )

@@ -40,6 +40,25 @@ def generate_report(study: Study, *, include_dns_study: bool = True) -> str:
         "",
     ]
 
+    # Journalled runs state their shard coverage up front; a degraded
+    # (quarantined) run names every excluded domain so no table below
+    # can be mistaken for a complete measurement.
+    coverage = study.coverage
+    if coverage is not None:
+        parts += [
+            "## Run coverage",
+            "",
+            f"- Status: {coverage.describe()}",
+            f"- Shards ok: {coverage.shards_ok}/{coverage.shards_total}",
+            f"- Shards quarantined: {coverage.shards_quarantined}",
+        ]
+        if coverage.excluded_domains:
+            parts.append(
+                "- Excluded domains: "
+                + ", ".join(coverage.excluded_domains)
+            )
+        parts.append("")
+
     table_order = [f"table{i}" for i in range(1, 13)]
     for name in table_order:
         if name == "table11" and not include_dns_study:

@@ -166,6 +166,18 @@ class ResilienceResult:
                 header=["Metric", "Baseline", "Faulted"],
             ),
         ]
+        # Degraded coverage (quarantined shards) would silently bias
+        # every delta above, so a partial run is called out explicitly.
+        for label, study in (
+            ("baseline", self.baseline), ("faulted", self.faulted)
+        ):
+            coverage = study.coverage
+            if coverage is not None and not coverage.complete:
+                parts += [
+                    "",
+                    f"Coverage caveat: {label} run is "
+                    f"{coverage.describe()}",
+                ]
         return "\n".join(parts)
 
 

@@ -108,7 +108,24 @@ def _dataset_table(cells: "list[CellResult]") -> str:
 
 def _digest_lines(cells: "list[CellResult]") -> Iterable[str]:
     for cell in cells:
-        yield f"    seed={cell.cell.seed}: {cell.digest}"
+        partial = (
+            "  PARTIAL"
+            if cell.coverage is not None and not cell.coverage.complete
+            else ""
+        )
+        yield f"    seed={cell.cell.seed}: {cell.digest}{partial}"
+
+
+def _coverage_lines(cells: "list[CellResult]") -> Iterable[str]:
+    """Coverage caveats for degraded cells (nothing when all complete)."""
+    for cell in cells:
+        coverage = cell.coverage
+        if coverage is None or coverage.complete:
+            continue
+        yield (
+            f"    seed={cell.cell.seed}: {coverage.describe()} — excluded: "
+            + ", ".join(coverage.excluded_domains)
+        )
 
 
 def robustness_report(result: "SweepResult") -> str:
@@ -135,4 +152,8 @@ def robustness_report(result: "SweepResult") -> str:
         lines.append(_dataset_table(cells))
         lines.append("  Study digests:")
         lines.extend(_digest_lines(cells))
+        caveats = list(_coverage_lines(cells))
+        if caveats:
+            lines.append("  Coverage caveats (quarantined shards):")
+            lines.extend(caveats)
     return "\n".join(lines)

@@ -32,6 +32,7 @@ from repro.core.session import LifetimeModel
 from repro.evolve.policy import evolution_policy
 from repro.faults.plan import fault_profile, merge_counts
 from repro.dnsstudy.study import DnsLoadBalancingStudy, DnsStudyResult
+from repro.runlog import RunContext, RunCoverage
 from repro.runtime import (
     Executor,
     StageTimings,
@@ -189,6 +190,10 @@ class Study:
     alexa_common_sites: list[str]
     datasets: dict[str, ClassifiedDataset]
     timings: StageTimings = field(default_factory=null_timings)
+    #: Shard coverage of the run (see :mod:`repro.runlog`): ``None``
+    #: for cacheless runs, else complete-or-partial accounting that the
+    #: digest and every report fold in when shards were quarantined.
+    coverage: RunCoverage | None = None
 
     @classmethod
     def run(
@@ -198,6 +203,9 @@ class Study:
         executor: Executor | None = None,
         timings: StageTimings | None = None,
         cache: StudyCache | None = None,
+        runlog: RunContext | None = None,
+        resume: bool = False,
+        strict: bool = False,
     ) -> "Study":
         """Execute the full pipeline for ``config``.
 
@@ -206,15 +214,36 @@ class Study:
         ``cache`` (see :mod:`repro.store`) loads crawl and
         classification artefacts produced by earlier identical runs
         instead of recomputing them — cached stages record zero items.
+
+        With a cache the run is journalled through a :class:`RunContext`
+        (crash-safe, retrying, quarantining; see :mod:`repro.runlog`);
+        ``resume`` replays a prior interrupted journal and skips its
+        finished shards, ``strict`` restores fail-fast on the first
+        shard failure.  Pass an explicit ``runlog`` to share one
+        context; the caller then owns its ``finish()``/``close()``.
         """
         config = config or StudyConfig()
         config.validate()
+        if resume and cache is None:
+            raise ValueError("resume requires a cache to journal into")
         owns_executor = executor is None
         executor = executor if executor is not None else config.make_executor()
         timings = timings if timings is not None else null_timings()
+        owns_runlog = runlog is None and cache is not None
+        if owns_runlog:
+            runlog = RunContext.for_study(
+                config, cache, resume=resume, strict=strict
+            )
         try:
-            return cls._run(config, executor, timings, cache)
+            study = cls._run(config, executor, timings, cache, runlog)
+            if runlog is not None:
+                study.coverage = (
+                    runlog.finish() if owns_runlog else runlog.coverage()
+                )
+            return study
         finally:
+            if owns_runlog and runlog is not None:
+                runlog.close()
             if owns_executor:
                 executor.close()
 
@@ -225,6 +254,7 @@ class Study:
         executor: Executor,
         timings: StageTimings,
         cache: StudyCache | None = None,
+        runlog: RunContext | None = None,
     ) -> "Study":
         eco_config = config.ecosystem_config()
         world_cached = ecosystem_is_cached(eco_config)
@@ -252,7 +282,8 @@ class Study:
         )
         with timings.stage("crawl-httparchive", items=pending_items(ha_plan)):
             har_corpus = ha_crawler.crawl(
-                ha_domains, executor=executor, cache=cache, plan=ha_plan
+                ha_domains, executor=executor, cache=cache, plan=ha_plan,
+                runlog=runlog,
             )
 
         alexa_count = max(1, int(config.n_sites * config.alexa_share))
@@ -274,7 +305,7 @@ class Study:
             ):
                 alexa_run = alexa_crawler.run(
                     alexa_domains, run_name="alexa-fetch", executor=executor,
-                    cache=cache, plan=fetch_plan,
+                    cache=cache, plan=fetch_plan, runlog=runlog,
                 )
         if "nofetch" in config.alexa_variants:
             nofetch_plan = alexa_crawler.plan_shards(
@@ -292,6 +323,7 @@ class Study:
                     executor=executor,
                     cache=cache,
                     plan=nofetch_plan,
+                    runlog=runlog,
                 )
         # "We review the intersection of websites for comparability."
         reachable_sets = [
@@ -312,6 +344,12 @@ class Study:
             name = f"har-{model_value}"
             shard_jobs = []
             for shard in ha_plan:
+                # A quarantined crawl shard has no data in the corpus:
+                # classifying its (empty) view would poison the cache
+                # under the full shard's classify key, so the dataset
+                # simply folds without it.
+                if runlog is not None and runlog.is_quarantined(shard.key):
+                    continue
                 view = har_corpus.shard_view(shard)
                 key = (
                     view.classify_cache_key(model, name)
@@ -340,6 +378,8 @@ class Study:
         for run, run_plan, name, model in alexa_datasets:
             shard_jobs = []
             for shard in run_plan:
+                if runlog is not None and runlog.is_quarantined(shard.key):
+                    continue
                 members = set(shard.domains)
                 sites = [site for site in common if site in members]
                 view = run.shard_view(shard)

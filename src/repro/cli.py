@@ -67,8 +67,27 @@ def _add_runtime_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--fault-profile", default="none",
         help="named fault scenario injected into every crawl visit: "
-             "none, flaky-dns, broken-tls, h2-churn, slow-origin or "
-             "chaos (see repro.faults)",
+             "none, flaky-dns, broken-tls, h2-churn, slow-origin, "
+             "chaos, or the task-level worker-crash, worker-poison, "
+             "cache-rot (see repro.faults)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="replay the run journal of an interrupted identical run "
+             "(requires --cache-dir) and skip its finished shards "
+             "(see repro.runlog)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="fail fast on the first shard failure instead of "
+             "retrying and quarantining (disables graceful "
+             "degradation)",
+    )
+    parser.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="watchdog window for pool executors: abort a crawl stage "
+             "that completes no new work for this many seconds "
+             "(default: wait forever)",
     )
     parser.add_argument(
         "--epochs", type=int, default=0,
@@ -94,7 +113,7 @@ def _cache_from_args(args):
 def _study_from_args(args):
     """Run the full study as configured by the common CLI flags."""
     from repro.analysis.study import Study, StudyConfig
-    from repro.runtime import StageTimings, null_timings
+    from repro.runtime import StageTimings, make_executor, null_timings
 
     timings = (
         StageTimings(memory=True) if getattr(args, "profile", False)
@@ -110,17 +129,30 @@ def _study_from_args(args):
         evolution_policy=getattr(args, "evolution_policy", "none"),
         shards=getattr(args, "shards", 1),
     )
+    cache = _cache_from_args(args)
+    resume = getattr(args, "resume", False)
+    if resume and cache is None:
+        print("error: --resume requires --cache-dir (the journal lives "
+              "under the cache)", file=sys.stderr)
+        raise SystemExit(2)
     try:
         config.validate()
-        executor = config.make_executor()
+        executor = make_executor(
+            config.executor, config.parallelism,
+            task_timeout=getattr(args, "task_timeout", None),
+        )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         raise SystemExit(2)
     with executor:
-        return Study.run(
-            config, executor=executor, timings=timings,
-            cache=_cache_from_args(args),
+        study = Study.run(
+            config, executor=executor, timings=timings, cache=cache,
+            resume=resume, strict=getattr(args, "strict", False),
         )
+    if study.coverage is not None and not study.coverage.complete:
+        print(f"warning: run is {study.coverage.describe()}; results "
+              f"below exclude the quarantined shards", file=sys.stderr)
+    return study
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -273,6 +305,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="CI mode: also fail when the baseline lists findings that "
              "no longer fire (the baseline may only shrink)",
     )
+
+    runs = commands.add_parser(
+        "runs",
+        help="list the run journals under a cache directory (complete / "
+             "resumable / quarantined), or show one run's records",
+    )
+    runs.add_argument(
+        "run", nargs="?", default=None,
+        help="run id (or unique prefix) to show in per-shard detail; "
+             "omit to list every journal",
+    )
+    runs.add_argument(
+        "--cache-dir", default=None,
+        help="cache directory whose runs/ journals to inspect",
+    )
     return parser
 
 
@@ -337,7 +384,14 @@ def _cmd_sweep(args) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     cache = _cache_from_args(args)
-    result = run_sweep(spec, cache=cache, progress=print)
+    if args.resume and cache is None:
+        print("error: --resume requires --cache-dir (the journals live "
+              "under the cache)", file=sys.stderr)
+        return 2
+    result = run_sweep(
+        spec, cache=cache, progress=print,
+        resume=args.resume, strict=args.strict,
+    )
     print()
     print(robustness_report(result))
     if args.profile:
@@ -461,12 +515,20 @@ def _cmd_resilience(args) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     cache = _cache_from_args(args)
+    if args.resume and cache is None:
+        print("error: --resume requires --cache-dir (the journals live "
+              "under the cache)", file=sys.stderr)
+        return 2
     with executor:
         baseline = Study.run(
             replace(faulted_config, fault_profile="none"),
             executor=executor, cache=cache,
+            resume=args.resume, strict=args.strict,
         )
-        faulted = Study.run(faulted_config, executor=executor, cache=cache)
+        faulted = Study.run(
+            faulted_config, executor=executor, cache=cache,
+            resume=args.resume, strict=args.strict,
+        )
     print(resilience_report(baseline, faulted).render())
     return 0
 
@@ -492,10 +554,16 @@ def _cmd_evolve(args) -> int:
         fault_profile=args.fault_profile,
         shards=args.shards,
     )
+    cache = _cache_from_args(args)
+    if args.resume and cache is None:
+        print("error: --resume requires --cache-dir (the journals live "
+              "under the cache)", file=sys.stderr)
+        return 2
     try:
         result = run_longitudinal(
             config, policy=policy, epochs=args.epochs,
-            cache=_cache_from_args(args), progress=print,
+            cache=cache, progress=print,
+            resume=args.resume, strict=args.strict,
         )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -621,6 +689,28 @@ def _cmd_lint(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_runs(args) -> int:
+    from pathlib import Path
+
+    from repro.runlog import list_runs, render_run_detail, render_runs
+
+    if args.cache_dir is None:
+        print("error: runs needs --cache-dir (journals live under "
+              "<cache-dir>/runs/)", file=sys.stderr)
+        return 2
+    directory = Path(args.cache_dir)
+    if args.run is not None:
+        detail = render_run_detail(directory, args.run)
+        if detail is None:
+            print(f"error: no unique run journal matches {args.run!r} "
+                  f"under {directory}/runs/", file=sys.stderr)
+            return 1
+        print(detail)
+        return 0
+    print(render_runs(list_runs(directory)))
+    return 0
+
+
 _COMMANDS = {
     "study": _cmd_study,
     "sweep": _cmd_sweep,
@@ -634,13 +724,33 @@ _COMMANDS = {
     "evolve": _cmd_evolve,
     "bench": _cmd_bench,
     "lint": _cmd_lint,
+    "runs": _cmd_runs,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except KeyboardInterrupt:
+        # Ctrl-C mid-run is an expected, recoverable event, not a
+        # crash: executor pools and run journals close on their way
+        # out (context managers / finally blocks), the cache only ever
+        # holds atomically-renamed entries, and the journal's fsynced
+        # prefix is exactly what --resume replays.
+        print("\ninterrupted; re-run with --resume --cache-dir to pick "
+              "up where this run left off", file=sys.stderr)
+        return 130
+    except BrokenPipeError:
+        # stdout went away (e.g. piped into `head`): die quietly like
+        # any well-behaved unix filter.  Point the dangling descriptor
+        # at devnull so the interpreter's shutdown flush cannot raise
+        # a second time.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141  # 128 + SIGPIPE, the shell convention
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

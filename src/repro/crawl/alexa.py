@@ -20,7 +20,8 @@ gets its own time slot, browser and RNG streams derived from
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
 
 from repro.browser.browser import BrowserConfig, ChromiumBrowser
 from repro.crawl.classify import ClassifiedDataset, classify_dataset
@@ -34,6 +35,9 @@ from repro.store import StudyCache, stable_key
 from repro.util.clock import SimClock
 from repro.util.rng import RngFactory, stable_hash
 from repro.web.ecosystem import Ecosystem, EcosystemConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runlog import RunContext
 
 __all__ = ["AlexaMeasurement", "AlexaRun", "AlexaCrawler"]
 
@@ -74,6 +78,10 @@ class _AlexaSiteTask:
     transient_unreachable_share: float
     keep_netlog: bool
     fault_profile: str = "none"
+    #: Retry generation (set by the run layer's re-dispatch); feeds
+    #: only the attempt-bounded ``worker-crash`` fault, never an RNG
+    #: stream, so a task's *output* is attempt-independent.
+    attempt: int = 0
 
 
 def _permanently_down(seed: int, domain: str, share: float) -> bool:
@@ -98,6 +106,13 @@ def _measure_one_site(task: _AlexaSiteTask) -> AlexaMeasurement:
         task.fault_profile, seed=task.seed, run=task.run_name,
         domain=task.domain,
     )
+    if plan is not None and plan.task_crash(task.attempt):
+        from repro.runlog.errors import WorkerCrashError
+
+        raise WorkerCrashError(
+            f"injected worker crash measuring {task.domain} in "
+            f"{task.run_name} (attempt {task.attempt})"
+        )
     resolver = ecosystem.make_resolver("internal")
     if plan is not None:
         resolver.faults = plan
@@ -353,6 +368,43 @@ class AlexaCrawler:
             ),
         )
 
+    def _site_task(
+        self, domain: str, offset: int, *, run_name: str,
+        ignore_privacy_mode: bool, honor_origin_frame: bool,
+        run_offset: float,
+    ) -> _AlexaSiteTask:
+        return _AlexaSiteTask(
+            ecosystem_config=self.ecosystem.config,
+            seed=self.seed,
+            run_name=run_name,
+            domain=domain,
+            start_time=(
+                self.start_time + run_offset + offset * self.site_slot_s
+            ),
+            vantage_country=self.vantage_country,
+            ignore_privacy_mode=ignore_privacy_mode,
+            honor_origin_frame=honor_origin_frame,
+            observe_s=self.observe_s,
+            permanent_unreachable_share=self.permanent_unreachable_share,
+            transient_unreachable_share=self.transient_unreachable_share,
+            keep_netlog=self.keep_netlogs,
+            fault_profile=self.fault_profile,
+        )
+
+    @staticmethod
+    def _shard_part(
+        shard: CrawlShard, results: list, *, run_name: str,
+        ignore_privacy_mode: bool,
+    ) -> AlexaRun:
+        """One shard's sub-run from its site measurements."""
+        part = AlexaRun(
+            name=run_name, ignore_privacy_mode=ignore_privacy_mode,
+            provenance=shard.key,
+        )
+        for measurement in results:
+            part.measurements[measurement.domain] = measurement
+        return part
+
     def run(
         self,
         domains: list[str],
@@ -366,6 +418,7 @@ class AlexaCrawler:
         cache_key: str | None = None,
         shards: int = 1,
         plan: list[CrawlShard] | None = None,
+        runlog: "RunContext | None" = None,
     ) -> AlexaRun:
         """One crawl over ``domains`` with the given browser patch.
 
@@ -373,6 +426,8 @@ class AlexaCrawler:
         configuration load from disk and only the missing shards visit
         any site; ``cache_key`` passes a precomputed :meth:`stage_key`
         (1-shard runs), ``plan`` a precomputed :meth:`plan_shards`.
+        A ``runlog`` journals, retries and — on poison — quarantines
+        shards exactly like the HTTP Archive crawl.
         """
         if plan is None:
             plan = self.plan_shards(
@@ -382,6 +437,15 @@ class AlexaCrawler:
                 run_offset=run_offset, cache=cache, cache_key=cache_key,
             )
         executor = executor or SerialExecutor()
+
+        def site_task(domain: str, offset: int) -> _AlexaSiteTask:
+            return self._site_task(
+                domain, offset, run_name=run_name,
+                ignore_privacy_mode=ignore_privacy_mode,
+                honor_origin_frame=honor_origin_frame,
+                run_offset=run_offset,
+            )
+
         parts: dict[int, AlexaRun] = {}
         pending: list[CrawlShard] = []
         for shard in plan:
@@ -389,59 +453,68 @@ class AlexaCrawler:
                 cached = cache.get("alexa-crawl", shard.key)
                 if cached is not None:
                     parts[shard.index] = cached
+                    if runlog is not None:
+                        runlog.note_cached(run_name, shard)
                     continue
             pending.append(shard)
-        if pending:
+        if pending and runlog is None:
             prime_ecosystem(self.ecosystem)
             tasks = [
-                _AlexaSiteTask(
-                    ecosystem_config=self.ecosystem.config,
-                    seed=self.seed,
-                    run_name=run_name,
-                    domain=domain,
-                    start_time=(
-                        self.start_time + run_offset
-                        + offset * self.site_slot_s
-                    ),
-                    vantage_country=self.vantage_country,
-                    ignore_privacy_mode=ignore_privacy_mode,
-                    honor_origin_frame=honor_origin_frame,
-                    observe_s=self.observe_s,
-                    permanent_unreachable_share=self.permanent_unreachable_share,
-                    transient_unreachable_share=self.transient_unreachable_share,
-                    keep_netlog=self.keep_netlogs,
-                    fault_profile=self.fault_profile,
-                )
+                site_task(domain, offset)
                 for shard in pending
                 for domain, offset in zip(shard.domains, shard.offsets)
             ]
             results = executor.map_sites(_measure_one_site, tasks)
             position = 0
             for shard in pending:
-                part = AlexaRun(
-                    name=run_name, ignore_privacy_mode=ignore_privacy_mode,
-                    provenance=shard.key,
+                part = self._shard_part(
+                    shard, results[position:position + len(shard.domains)],
+                    run_name=run_name,
+                    ignore_privacy_mode=ignore_privacy_mode,
                 )
-                for measurement in results[
-                    position:position + len(shard.domains)
-                ]:
-                    part.measurements[measurement.domain] = measurement
                 position += len(shard.domains)
                 if shard.key is not None and cache is not None:
                     cache.put("alexa-crawl", shard.key, part)
                 parts[shard.index] = part
+        elif pending:
+            prime_ecosystem(self.ecosystem)
+            for shard in pending:
+                tasks = [
+                    site_task(domain, offset)
+                    for domain, offset in zip(shard.domains, shard.offsets)
+                ]
+                results = runlog.run_shard(
+                    run_name, shard, _measure_one_site, tasks,
+                    executor=executor,
+                    reattempt=lambda task, n: replace(task, attempt=n),
+                )
+                if results is None:  # poison quarantine: fold without it
+                    continue
+                part = self._shard_part(
+                    shard, results, run_name=run_name,
+                    ignore_privacy_mode=ignore_privacy_mode,
+                )
+                if shard.key is not None and cache is not None:
+                    path = cache.put("alexa-crawl", shard.key, part)
+                    runlog.maybe_rot(run_name, shard, path)
+                runlog.finish_shard(run_name, shard)
+                parts[shard.index] = part
         if len(plan) == 1:
-            return parts[plan[0].index]
+            only = parts.get(plan[0].index)
+            return only if only is not None else AlexaRun(
+                name=run_name, ignore_privacy_mode=ignore_privacy_mode
+            )
+        included = [shard for shard in plan if shard.index in parts]
         merged = AlexaRun(
             name=run_name,
             ignore_privacy_mode=ignore_privacy_mode,
             provenance=stable_key(
                 "alexa-crawl-fold",
-                tuple(shard.key for shard in plan),
-            ) if plan and all(
-                shard.key is not None for shard in plan
+                tuple(shard.key for shard in included),
+            ) if included and all(
+                shard.key is not None for shard in included
             ) else None,
         )
-        for shard in sorted(plan, key=lambda shard: shard.index):
+        for shard in sorted(included, key=lambda shard: shard.index):
             merged.measurements.update(parts[shard.index].measurements)
         return merged

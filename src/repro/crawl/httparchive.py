@@ -16,7 +16,8 @@ output.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
 
 from repro.browser.browser import BrowserConfig, ChromiumBrowser
 from repro.crawl.classify import ClassifiedDataset, aggregate_classifications
@@ -32,6 +33,9 @@ from repro.store import StudyCache, stable_key
 from repro.util.clock import SimClock
 from repro.util.rng import RngFactory, stable_hash
 from repro.web.ecosystem import Ecosystem, EcosystemConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runlog import RunContext
 
 __all__ = ["HarCorpus", "HttpArchiveCrawler"]
 
@@ -49,6 +53,10 @@ class _HaSiteTask:
     loads_per_site: int
     observe_s: float
     fault_profile: str = "none"
+    #: Retry generation (set by the run layer's re-dispatch); feeds
+    #: only the attempt-bounded ``worker-crash`` fault, never an RNG
+    #: stream, so a task's *output* is attempt-independent.
+    attempt: int = 0
 
 
 def _crawl_one_site(
@@ -68,6 +76,13 @@ def _crawl_one_site(
         task.fault_profile, seed=task.seed, run="httparchive",
         domain=task.domain,
     )
+    if plan is not None and plan.task_crash(task.attempt):
+        from repro.runlog.errors import WorkerCrashError
+
+        raise WorkerCrashError(
+            f"injected worker crash visiting {task.domain} "
+            f"(attempt {task.attempt})"
+        )
     resolver = ecosystem.make_resolver("httparchive-crux")
     if plan is not None:
         resolver.faults = plan
@@ -272,11 +287,37 @@ class HttpArchiveCrawler:
             ),
         )
 
+    def _site_task(self, domain: str, offset: int) -> _HaSiteTask:
+        return _HaSiteTask(
+            ecosystem_config=self.ecosystem.config,
+            seed=self.seed,
+            domain=domain,
+            start_time=self.start_time + offset * self.site_slot_s,
+            vantage_country=self.vantage_country,
+            noise=self.noise,
+            loads_per_site=self.loads_per_site,
+            observe_s=self.observe_s,
+            fault_profile=self.fault_profile,
+        )
+
+    @staticmethod
+    def _shard_part(shard: CrawlShard, results: list) -> HarCorpus:
+        """One shard's sub-corpus from its site results."""
+        part = HarCorpus(name="httparchive", provenance=shard.key)
+        for domain, har, counts in results:
+            if har is None:
+                part.unreachable.append(domain)
+            else:
+                part.hars[domain] = har
+            merge_counts(part.fault_counts, counts)
+        return part
+
     def crawl(
         self, domains: list[str] | None = None,
         *, executor: Executor | None = None, cache: StudyCache | None = None,
         cache_key: str | None = None, shards: int = 1,
         plan: list[CrawlShard] | None = None,
+        runlog: "RunContext | None" = None,
     ) -> HarCorpus:
         """Crawl ``domains`` (default: the ecosystem's CrUX-like sample).
 
@@ -286,6 +327,11 @@ class HttpArchiveCrawler:
         (1-shard runs), ``plan`` a precomputed :meth:`plan_shards`.
         The fold over shard sub-corpora is output-identical to the
         monolithic crawl for every shard count.
+
+        A ``runlog`` (see :mod:`repro.runlog`) journals every shard,
+        retries transient failures, and quarantines poisoned shards —
+        the fold then simply proceeds without them, and the study's
+        coverage block owns up to the gap.
         """
         if domains is None:
             domains = self.ecosystem.httparchive_sample(seed=self.seed)
@@ -301,56 +347,67 @@ class HttpArchiveCrawler:
                 cached = cache.get("har-crawl", shard.key)
                 if cached is not None:
                     parts[shard.index] = cached
+                    if runlog is not None:
+                        runlog.note_cached("har-crawl", shard)
                     continue
             pending.append(shard)
-        if pending:
+        if pending and runlog is None:
             prime_ecosystem(self.ecosystem)
             tasks = [
-                _HaSiteTask(
-                    ecosystem_config=self.ecosystem.config,
-                    seed=self.seed,
-                    domain=domain,
-                    start_time=self.start_time + offset * self.site_slot_s,
-                    vantage_country=self.vantage_country,
-                    noise=self.noise,
-                    loads_per_site=self.loads_per_site,
-                    observe_s=self.observe_s,
-                    fault_profile=self.fault_profile,
-                )
+                self._site_task(domain, offset)
                 for shard in pending
                 for domain, offset in zip(shard.domains, shard.offsets)
             ]
             results = executor.map_sites(_crawl_one_site, tasks)
             position = 0
             for shard in pending:
-                part = HarCorpus(name="httparchive", provenance=shard.key)
-                for domain, har, counts in results[
-                    position:position + len(shard.domains)
-                ]:
-                    if har is None:
-                        part.unreachable.append(domain)
-                    else:
-                        part.hars[domain] = har
-                    merge_counts(part.fault_counts, counts)
+                part = self._shard_part(
+                    shard, results[position:position + len(shard.domains)]
+                )
                 position += len(shard.domains)
                 if shard.key is not None and cache is not None:
                     cache.put("har-crawl", shard.key, part)
                 parts[shard.index] = part
+        elif pending:
+            prime_ecosystem(self.ecosystem)
+            for shard in pending:
+                tasks = [
+                    self._site_task(domain, offset)
+                    for domain, offset in zip(shard.domains, shard.offsets)
+                ]
+                results = runlog.run_shard(
+                    "har-crawl", shard, _crawl_one_site, tasks,
+                    executor=executor,
+                    reattempt=lambda task, n: replace(task, attempt=n),
+                )
+                if results is None:  # poison quarantine: fold without it
+                    continue
+                part = self._shard_part(shard, results)
+                if shard.key is not None and cache is not None:
+                    path = cache.put("har-crawl", shard.key, part)
+                    runlog.maybe_rot("har-crawl", shard, path)
+                runlog.finish_shard("har-crawl", shard)
+                parts[shard.index] = part
         if len(plan) == 1:
-            return parts[plan[0].index]
+            only = parts.get(plan[0].index)
+            return only if only is not None else HarCorpus(name="httparchive")
         # Fold shard sub-corpora in bucket order.  Shards partition the
         # domain list, so the union is lossless; everything downstream
         # is order-insensitive (the digest sorts sites, counters add).
+        # Quarantined shards are simply absent; the fold provenance
+        # hashes the *included* keys, which equals the full-plan hash
+        # exactly when nothing was quarantined.
+        included = [shard for shard in plan if shard.index in parts]
         merged = HarCorpus(
             name="httparchive",
             provenance=stable_key(
                 "har-crawl-fold",
-                tuple(shard.key for shard in plan),
-            ) if plan and all(
-                shard.key is not None for shard in plan
+                tuple(shard.key for shard in included),
+            ) if included and all(
+                shard.key is not None for shard in included
             ) else None,
         )
-        for shard in sorted(plan, key=lambda shard: shard.index):
+        for shard in sorted(included, key=lambda shard: shard.index):
             part = parts[shard.index]
             merged.hars.update(part.hars)
             merged.unreachable.extend(part.unreachable)

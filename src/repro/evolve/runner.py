@@ -39,6 +39,8 @@ def run_longitudinal(
     executor: "Executor | None" = None,
     cache: "StudyCache | None" = None,
     progress: Callable[[str], None] | None = None,
+    resume: bool = False,
+    strict: bool = False,
 ) -> "LongitudinalResult":
     """Run ``config`` at every epoch ``0..epochs`` under ``policy``.
 
@@ -46,6 +48,11 @@ def run_longitudinal(
     overridden — the scenario is exactly the epoch axis this function
     sweeps.  Returns the snapshot sequence for
     :func:`~repro.analysis.longitudinal.longitudinal_report`.
+
+    ``resume``/``strict`` thread through to each epoch's
+    :meth:`Study.run`; every epoch journals under its own run id
+    (``epochs`` is a config field), so an interrupted horizon resumes
+    mid-epoch and replays earlier epochs from cache.
     """
     # Imported here, not at module scope: the analysis layer imports
     # repro.evolve.policy for validation, so a module-level import back
@@ -69,7 +76,8 @@ def run_longitudinal(
         for epoch in range(epochs + 1):
             before = cache.total_stats() if cache is not None else None
             study = Study.run(
-                replace(base, epochs=epoch), executor=executor, cache=cache
+                replace(base, epochs=epoch), executor=executor, cache=cache,
+                resume=resume, strict=strict,
             )
             snapshot = snapshot_study(epoch, study)
             snapshots.append(snapshot)

@@ -25,7 +25,7 @@ existed (the pinned golden digest proves it).
 
 >>> from repro.faults import FaultPlan, fault_profile, profile_names
 >>> profile_names()
-['broken-tls', 'chaos', 'flaky-dns', 'h2-churn', 'none', 'slow-origin']
+['broken-tls', 'cache-rot', 'chaos', 'flaky-dns', 'h2-churn', 'none', 'slow-origin', 'worker-crash', 'worker-poison']
 >>> FaultPlan.compile("none", seed=7, run="alexa-fetch", domain="a.com") is None
 True
 >>> plan = FaultPlan.compile("chaos", seed=7, run="alexa-fetch", domain="a.com")
@@ -75,6 +75,13 @@ class FaultKind(enum.Enum):
     SRV_ERROR_BURST = "srv-5xx-burst"
     SRV_LATENCY_SPIKE = "srv-latency-spike"
     SRV_TRUNCATED_BODY = "srv-truncated-body"
+    # Task-level infrastructure failures (repro.runlog): these strike
+    # the *execution* of a site task or the durability of its cached
+    # artefact, never the simulated network, so inside a visit they are
+    # invisible — a profile containing only task kinds digests
+    # byte-identically to "none" once the run layer recovers them.
+    TASK_WORKER_CRASH = "worker-crash"
+    TASK_CACHE_ROT = "cache-rot"
 
 
 #: Kinds that break the TLS handshake; their presence in a profile turns
@@ -205,6 +212,29 @@ PROFILES: dict[str, FaultProfile] = {
             _half(_FLAKY_DNS) + _half(_BROKEN_TLS) + _half(_H2_CHURN)
             + _half(_SLOW_ORIGIN),
         ),
+        # The task-level profiles below drive the repro.runlog tests;
+        # they are deliberately absent from "chaos" because task faults
+        # require the run layer to recover them, while chaos must stay
+        # runnable through a bare executor (the faulted golden pins it).
+        FaultProfile(
+            "worker-crash",
+            "a quarter of site tasks crash their worker once, then "
+            "succeed on retry (recoverable; digests like 'none')",
+            (FaultSpec(FaultKind.TASK_WORKER_CRASH, rate=0.25, param=1.0),),
+        ),
+        FaultProfile(
+            "worker-poison",
+            "a small share of site tasks crash their worker on every "
+            "attempt, forcing poison quarantine",
+            (FaultSpec(FaultKind.TASK_WORKER_CRASH, rate=0.02,
+                       param=1_000_000.0),),
+        ),
+        FaultProfile(
+            "cache-rot",
+            "most freshly written shard artefacts are truncated on disk "
+            "(recoverable: corrupt entries evict and recompute)",
+            (FaultSpec(FaultKind.TASK_CACHE_ROT, rate=0.6, param=0.5),),
+        ),
     )
 }
 
@@ -290,6 +320,31 @@ class FaultPlan:
             return False
         self._fired[kind] = self._fired.get(kind, 0) + 1
         return True
+
+    def task_crash(self, attempt: int) -> bool:
+        """Does the ``worker-crash`` fault strike this task attempt?
+
+        Unlike :meth:`fires`, the verdict is a pure hash of
+        ``(seed, run, domain)`` plus an attempt bound — *not* an RNG
+        stream draw.  The plan is recompiled fresh inside each retry
+        attempt's worker, so a stream draw would fire identically on
+        every attempt and no crash could ever be recovered; the hash
+        picks the same crashing domains every run, and ``param`` caps
+        how many attempts they crash for (a huge ``param`` makes them
+        poison).
+        """
+        spec = self.profile.spec_for(FaultKind.TASK_WORKER_CRASH)
+        if spec is None or spec.rate <= 0.0:
+            return False
+        if attempt >= spec.param:
+            return False
+        struck = stable_hash(
+            "worker-crash", self.seed, self.run, self.domain
+        ) % 10_000 < spec.rate * 10_000
+        if struck:
+            kind = FaultKind.TASK_WORKER_CRASH
+            self._fired[kind] = self._fired.get(kind, 0) + 1
+        return struck
 
     def param(self, kind: FaultKind, default: float = 0.0) -> float:
         """The magnitude configured for ``kind`` (profile-level)."""

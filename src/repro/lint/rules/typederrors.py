@@ -16,11 +16,14 @@ Two checks:
    subsystem's root, or one of the allowed builtin contract errors
    (``ValueError``/``TypeError``/... for caller bugs, which are not
    network outcomes);
-2. **broad handlers** (``except Exception`` / bare ``except``) anywhere
-   in the linted tree must either re-raise or visibly record the error
-   (an assignment/augassign to an ``errors``/``failures``-like counter
+2. **broad handlers** (``except Exception``) anywhere in the linted
+   tree must either re-raise or visibly record the error (an
+   assignment/augassign to an ``errors``/``failures``-like counter
    attribute, or a call to a ``record*`` function) — silently eating an
-   exception in stage code turns a real bug into a wrong number.
+   exception in stage code turns a real bug into a wrong number.  A
+   *bare* ``except:`` is banned outright: it additionally swallows
+   ``KeyboardInterrupt``/``SystemExit``, which breaks the run layer's
+   graceful-SIGINT contract, and no re-raise discipline redeems that.
 """
 
 from __future__ import annotations
@@ -56,6 +59,7 @@ class TypedErrorsRule:
         "src/repro/dns/": "DnsError",
         "src/repro/tls/": "CertificateError",
         "src/repro/h2/": "H2Error",
+        "src/repro/runlog/": "RunJournalError",
     })
 
     def check(self, project: Project) -> Iterable[Finding]:
@@ -146,12 +150,24 @@ class TypedErrorsRule:
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.ExceptHandler):
                 continue
-            if node.type is not None:
-                name = (
-                    node.type.id if isinstance(node.type, ast.Name) else None
+            if node.type is None:
+                # Bare except: unconditionally banned — it swallows
+                # KeyboardInterrupt/SystemExit, so even a handler that
+                # re-raises or records cannot honour Ctrl-C.
+                yield Finding(
+                    path=module.rel, line=node.lineno, rule=self.rule_id,
+                    message=(
+                        "bare 'except:' swallows KeyboardInterrupt/"
+                        "SystemExit; catch 'Exception' (and re-raise "
+                        "or record) instead"
+                    ),
                 )
-                if name not in ("Exception", "BaseException"):
-                    continue
+                continue
+            name = (
+                node.type.id if isinstance(node.type, ast.Name) else None
+            )
+            if name not in ("Exception", "BaseException"):
+                continue
             if self._reraises_or_records(node):
                 continue
             yield Finding(

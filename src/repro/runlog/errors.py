@@ -1,0 +1,61 @@
+"""The run-layer exception hierarchy.
+
+Two roots, both under :class:`RunJournalError` so callers can catch
+"anything the crash-safe run layer raised" with one clause:
+
+* :class:`RunJournalError` — the journal itself misbehaved (schema
+  mismatch, unwritable path);
+* :class:`ShardRetryError` — the retry machinery's own verdicts:
+  :class:`WorkerCrashError` is the injected task-level fault kind
+  (``worker-crash``), :class:`PoisonShardError` is the terminal
+  "this shard failed K times" signal that quarantines (or, under
+  ``--strict``, aborts) a shard.
+
+The lint's typed-errors rule pins every raise under ``src/repro/runlog``
+to this hierarchy, exactly like ``DnsError``/``H2Error``/
+``CertificateError`` pin theirs.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "RunJournalError",
+    "JournalSchemaError",
+    "ShardRetryError",
+    "WorkerCrashError",
+    "PoisonShardError",
+]
+
+
+class RunJournalError(Exception):
+    """Root of every error the crash-safe run layer raises."""
+
+
+class JournalSchemaError(RunJournalError):
+    """A journal file exists but speaks an incompatible schema."""
+
+
+class ShardRetryError(RunJournalError):
+    """Root of the retry machinery's error types."""
+
+
+class WorkerCrashError(ShardRetryError):
+    """A worker died mid-task (the injected ``worker-crash`` fault).
+
+    Raised inside executor workers, so it must survive pickling: keep
+    the constructor signature to plain positional ``str`` arguments.
+    """
+
+
+class PoisonShardError(ShardRetryError):
+    """A shard kept failing after every retry attempt was spent."""
+
+    def __init__(self, stage: str, domains: tuple[str, ...],
+                 attempts: int) -> None:
+        super().__init__(
+            f"shard of stage {stage!r} still failing after {attempts} "
+            f"attempt(s); {len(domains)} domain(s) quarantined"
+        )
+        self.stage = stage
+        self.domains = domains
+        self.attempts = attempts

@@ -1,0 +1,153 @@
+"""Reading journals back for humans: the ``repro runs`` subcommand.
+
+Status is derived purely from the records (never from file freshness):
+
+* ``complete`` — a ``run-finish`` record closed the run with every
+  shard ok;
+* ``quarantined-N`` — the run finished, but N shards were poisoned and
+  folded around;
+* ``resumable`` — no ``run-finish`` record: the run was interrupted
+  (crash, SIGINT, kill) and ``--resume`` will pick it up where the
+  journal ends.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.runlog.journal import ReplayState, journal_dir, load_records
+
+__all__ = ["RunStatus", "list_runs", "render_runs", "render_run_detail"]
+
+
+@dataclass(frozen=True)
+class RunStatus:
+    """One journal, summarised."""
+
+    run: str
+    path: Path
+    status: str
+    records: int
+    shards_finished: int
+    shards_quarantined: int
+    seed: int | None = None
+    n_sites: int | None = None
+    fault_profile: str | None = None
+
+    @property
+    def resumable(self) -> bool:
+        return self.status == "resumable"
+
+
+def _status_of(records: list[dict], state: ReplayState) -> str:
+    if not state.completed:
+        return "resumable"
+    if state.quarantined:
+        return f"quarantined-{len(state.quarantined)}"
+    return "complete"
+
+
+def _summarize(path: Path) -> RunStatus | None:
+    records = load_records(path)
+    if not records or records[0].get("event") != "run-start":
+        return None
+    head = records[0]
+    state = ReplayState.from_records(records)
+    return RunStatus(
+        run=str(head.get("run", path.stem)),
+        path=path,
+        status=_status_of(records, state),
+        records=len(records),
+        shards_finished=len(state.finished),
+        shards_quarantined=len(state.quarantined),
+        seed=head.get("seed"),
+        n_sites=head.get("n_sites"),
+        fault_profile=head.get("fault_profile"),
+    )
+
+
+def list_runs(cache_directory: str | os.PathLike) -> list[RunStatus]:
+    """Every readable journal under ``<cache-dir>/runs``, sorted by id."""
+    directory = journal_dir(cache_directory)
+    if not directory.is_dir():
+        return []
+    summaries = []
+    for path in sorted(directory.glob("*.jsonl")):
+        summary = _summarize(path)
+        if summary is not None:
+            summaries.append(summary)
+    return summaries
+
+
+def render_runs(runs: list[RunStatus]) -> str:
+    """The ``repro runs`` listing table."""
+    from repro.util.formatting import align_table
+
+    if not runs:
+        return "No run journals found."
+    rows = [
+        [
+            run.run[:12],
+            run.status,
+            str(run.records),
+            str(run.shards_finished),
+            str(run.shards_quarantined),
+            "-" if run.seed is None else str(run.seed),
+            "-" if run.n_sites is None else str(run.n_sites),
+            run.fault_profile or "-",
+        ]
+        for run in runs
+    ]
+    return align_table(
+        rows,
+        header=["Run", "Status", "Records", "Done", "Quar",
+                "Seed", "Sites", "Faults"],
+    )
+
+
+def render_run_detail(cache_directory: str | os.PathLike,
+                      run: str) -> str | None:
+    """Per-shard detail of one run (``repro runs show <id>``).
+
+    ``run`` may be a unique prefix of the run id; returns ``None`` when
+    no journal matches.
+    """
+    matches = [
+        status for status in list_runs(cache_directory)
+        if status.run.startswith(run)
+    ]
+    if len(matches) != 1:
+        return None
+    status = matches[0]
+    records = load_records(status.path)
+    lines = [
+        f"run {status.run}  [{status.status}]  "
+        f"({status.records} record(s), {status.path})"
+    ]
+    for record in records:
+        event = record.get("event", "?")
+        if event == "run-start":
+            meta = ", ".join(
+                f"{field}={record[field]}"
+                for field in ("seed", "n_sites", "shards", "fault_profile",
+                              "epochs", "evolution_policy")
+                if field in record
+            )
+            lines.append(f"  [{record.get('seq', '?'):>4}] run-start  {meta}")
+            continue
+        detail = []
+        for field in ("stage", "reason", "status", "error", "attempt",
+                      "attempts", "n_domains", "shards_ok",
+                      "shards_quarantined", "classification"):
+            if field in record:
+                detail.append(f"{field}={record[field]}")
+        key = record.get("key")
+        if isinstance(key, str):
+            detail.append(f"key={key[:12]}")
+        lines.append(
+            f"  [{record.get('seq', '?'):>4}] {event:<17} "
+            + "  ".join(detail)
+        )
+    return "\n".join(lines)

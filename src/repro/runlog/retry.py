@@ -1,0 +1,162 @@
+"""Failure classification and the chunk-then-single retry loop.
+
+The policy splits failures along the line the PR-7 typed-error
+hierarchies drew: **transient** errors are simulated (or real)
+infrastructure outcomes — ``DnsError``, ``H2Error``,
+``CertificateError``, ``OSError``, timeouts, a worker-killed
+``BrokenExecutor`` — that a retry can plausibly outlive; **fatal**
+errors are programming bugs (``TypeError``, ``KeyError``,
+``AssertionError``, ...) that would fail identically forever, so
+retrying them only buries the traceback.
+
+:func:`retry_map` is the shard execution primitive: one whole-chunk
+attempt through the executor, then — on a transient failure —
+re-dispatch of every item as its own single-item map so one poisoned
+site cannot hold the rest of its chunk hostage.  When an item exhausts
+its attempt budget, the whole map raises :class:`PoisonShardError`;
+the run context catches that and quarantines the shard instead of
+aborting the study.
+
+Backoff is deterministic: attempt ``n`` sleeps ``backoff_base * n``
+seconds (default 0 — simulated infrastructure does not get less broken
+by waiting, and the test suite must not either).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import BrokenExecutor
+from dataclasses import dataclass
+from typing import Callable, Sequence, TypeVar
+
+from repro.runlog.errors import PoisonShardError
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+__all__ = ["RetryPolicy", "classify_failure", "retry_map"]
+
+#: Exception types that mean "the code is wrong, not the weather":
+#: retrying them reproduces the same failure with interest.
+_FATAL_TYPES: tuple[type[BaseException], ...] = (
+    TypeError, AttributeError, NameError, LookupError, ValueError,
+    AssertionError, ImportError, RecursionError, NotImplementedError,
+    ZeroDivisionError, SyntaxError,
+)
+
+
+def classify_failure(error: BaseException) -> str:
+    """``"fatal"`` for programming errors, ``"transient"`` otherwise.
+
+    ``OSError`` (and everything else, including the subsystem
+    hierarchies and :class:`BrokenExecutor`) counts as transient: the
+    run layer's bias is to retry anything that *could* be the
+    environment, and let the attempt budget bound the damage when it
+    is not.
+    """
+    if isinstance(error, _FATAL_TYPES) and not isinstance(error, OSError):
+        return "fatal"
+    return "transient"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times a shard's work may fail before quarantine."""
+
+    #: Total attempts per item, the initial whole-chunk try included.
+    max_attempts: int = 3
+    #: Deterministic backoff factor: attempt ``n`` sleeps ``base * n``
+    #: seconds before running.  0 disables sleeping entirely.
+    backoff_base: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_base < 0.0:
+            raise ValueError(
+                f"backoff_base must be >= 0, got {self.backoff_base}"
+            )
+
+    def backoff_s(self, attempt: int) -> float:
+        """Seconds to wait before retry ``attempt`` (1-based)."""
+        return self.backoff_base * attempt
+
+
+def retry_map(
+    executor,
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    *,
+    policy: RetryPolicy,
+    stage: str,
+    domains: tuple[str, ...] = (),
+    reattempt: Callable[[T, int], T] | None = None,
+    on_event: Callable[[str, dict], None] | None = None,
+) -> list[R]:
+    """``executor.map_sites(fn, items)`` with retry and poison detection.
+
+    ``reattempt(item, n)`` rewrites an item for retry attempt ``n``
+    (the crawl tasks bump their ``attempt`` counter so the injected
+    ``worker-crash`` fault can be attempt-bounded); ``on_event`` sees
+    every failure as ``(kind, detail)`` for journal recording.
+
+    Raises the original error when it classifies fatal (or when the
+    policy allows a single attempt — strict mode), and
+    :class:`PoisonShardError` when an item survives every attempt.
+    """
+    items = list(items)
+    if not items:
+        return []
+
+    def note(kind: str, detail: dict) -> None:
+        if on_event is not None:
+            on_event(kind, detail)
+
+    try:
+        return executor.map_sites(fn, items)
+    except Exception as error:
+        verdict = classify_failure(error)
+        note("chunk-failed", {
+            "stage": stage, "error": type(error).__name__,
+            "message": str(error), "classification": verdict,
+        })
+        if verdict == "fatal" or policy.max_attempts <= 1:
+            raise
+
+    # The chunk failed for a transient reason: re-dispatch every item
+    # singly.  Items whose work is deterministic and healthy reproduce
+    # their chunk-attempt results exactly (nothing in a task's output
+    # depends on the attempt number); the failing ones get the rest of
+    # the attempt budget one at a time.
+    results: list[R] = []
+    for position, item in enumerate(items):
+        last_error: BaseException | None = None
+        recovered = False
+        for attempt in range(1, policy.max_attempts):
+            delay = policy.backoff_s(attempt)
+            if delay > 0.0:
+                time.sleep(delay)
+            retry_item = (
+                reattempt(item, attempt) if reattempt is not None else item
+            )
+            try:
+                results.extend(executor.map_sites(fn, [retry_item]))
+                recovered = True
+                break
+            except Exception as error:
+                verdict = classify_failure(error)
+                note("item-failed", {
+                    "stage": stage, "item": position, "attempt": attempt,
+                    "error": type(error).__name__, "message": str(error),
+                    "classification": verdict,
+                })
+                if verdict == "fatal":
+                    raise
+                last_error = error
+        if not recovered:
+            raise PoisonShardError(
+                stage, domains, policy.max_attempts
+            ) from last_error
+    return results

@@ -19,6 +19,7 @@ from repro.runtime.executor import (
     Executor,
     ProcessExecutor,
     SerialExecutor,
+    TaskTimeoutError,
     ThreadExecutor,
     chunk_items,
     make_executor,
@@ -35,6 +36,7 @@ from repro.runtime.worker import (
 __all__ = [
     "Executor",
     "SerialExecutor",
+    "TaskTimeoutError",
     "ThreadExecutor",
     "ProcessExecutor",
     "chunk_items",

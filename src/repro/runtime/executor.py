@@ -33,12 +33,25 @@ R = TypeVar("R")
 __all__ = [
     "Executor",
     "SerialExecutor",
+    "TaskTimeoutError",
     "ThreadExecutor",
     "ProcessExecutor",
     "chunk_items",
     "make_executor",
     "shard_items",
 ]
+
+
+class TaskTimeoutError(TimeoutError):
+    """The pool made no progress for a full watchdog window.
+
+    Raised by pool executors constructed with a ``task_timeout``: when
+    an entire window elapses without a single new chunk completing, the
+    map is presumed wedged (a hung worker, a deadlocked page load), the
+    pool is discarded, and this error surfaces.  It subclasses
+    ``TimeoutError`` so the run layer classifies it as transient and
+    retries the shard against a fresh pool.
+    """
 
 
 def default_workers() -> int:
@@ -132,14 +145,23 @@ class _PoolExecutor(Executor):
     """Shared chunk-submission logic for the pool-backed executors."""
 
     def __init__(self, max_workers: int | None = None,
-                 chunk_size: int | None = None) -> None:
+                 chunk_size: int | None = None,
+                 task_timeout: float | None = None) -> None:
         if max_workers is not None and max_workers <= 0:
             raise ValueError(f"max_workers must be positive, got {max_workers}")
         if chunk_size is not None and chunk_size <= 0:
             raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError(
+                f"task_timeout must be positive, got {task_timeout}"
+            )
         self.max_workers = max_workers if max_workers is not None \
             else default_workers()
         self.chunk_size = chunk_size
+        #: Watchdog window in seconds: a map_sites that completes no new
+        #: chunk for one full window raises TaskTimeoutError.  None (the
+        #: default) waits forever — the exact pre-watchdog behaviour.
+        self.task_timeout = task_timeout
         self._pool = None
 
     def _make_pool(self):
@@ -174,7 +196,7 @@ class _PoolExecutor(Executor):
             # not merely until the *input-order-first* chunk resolved,
             # which would let a failure in a late chunk keep the whole
             # queue churning behind a slow early chunk.
-            wait(futures, return_when=FIRST_EXCEPTION)
+            self._wait_for_progress(futures)
             failed = next(
                 (
                     future for future in futures
@@ -208,6 +230,44 @@ class _PoolExecutor(Executor):
                 pending.cancel()
             self.close()
             raise
+
+    def _wait_for_progress(self, futures: list) -> None:
+        """``wait(FIRST_EXCEPTION)``, optionally under the watchdog.
+
+        With a ``task_timeout``, waits in windows of that many seconds;
+        a window in which **no** additional chunk completed (two for a
+        map whose very first chunks hang) discards the pool and raises
+        :class:`TaskTimeoutError`.  Progress-based rather than
+        per-chunk-deadline, so slow-but-moving maps never trip it.
+        """
+        if self.task_timeout is None:
+            wait(futures, return_when=FIRST_EXCEPTION)
+            return
+        completed = -1
+        while True:
+            done, not_done = wait(
+                futures, timeout=self.task_timeout,
+                return_when=FIRST_EXCEPTION,
+            )
+            if not not_done:
+                return
+            if any(
+                future.done() and not future.cancelled()
+                and future.exception() is not None
+                for future in done
+            ):
+                return  # the FIRST_EXCEPTION path: let the caller scan
+            if len(done) == completed:
+                for pending in futures:
+                    pending.cancel()
+                pool, self._pool = self._pool, None
+                if pool is not None:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                raise TaskTimeoutError(
+                    f"no task progress for {self.task_timeout} s "
+                    f"({len(not_done)} chunk(s) outstanding)"
+                )
+            completed = len(done)
 
     def close(self) -> None:
         if self._pool is not None:
@@ -269,13 +329,15 @@ def executor_names() -> Iterator[str]:
 def make_executor(
     spec: str | Executor | None = "serial",
     workers: int | None = None,
-    *, chunk_size: int | None = None,
+    *, chunk_size: int | None = None, task_timeout: float | None = None,
 ) -> Executor:
     """Build an executor from a spec string.
 
     Accepts ``"serial"``, ``"thread"``, ``"process"``, optionally with a
     worker count suffix (``"thread:8"``).  An :class:`Executor` instance
-    passes through unchanged; ``None`` means serial.
+    passes through unchanged; ``None`` means serial.  ``task_timeout``
+    arms the pool executors' no-progress watchdog (serial runs ignore
+    it: inline work cannot be watched from the thread doing it).
     """
     if spec is None:
         return SerialExecutor()
@@ -299,4 +361,5 @@ def make_executor(
     cls = _EXECUTORS[name]
     if cls is SerialExecutor:
         return SerialExecutor()
-    return cls(max_workers=workers, chunk_size=chunk_size)
+    return cls(max_workers=workers, chunk_size=chunk_size,
+               task_timeout=task_timeout)

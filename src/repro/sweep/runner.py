@@ -20,6 +20,7 @@ from repro.analysis.digest import study_digest
 from repro.analysis.headline import HeadlineStats, headline
 from repro.analysis.study import Study
 from repro.core.causes import Cause
+from repro.runlog import RunCoverage
 from repro.runtime import Executor, StageTimings
 from repro.store import StudyCache
 from repro.sweep.spec import SweepCell, SweepSpec
@@ -96,6 +97,10 @@ class CellResult:
     headline: HeadlineStats | None
     datasets: dict[str, DatasetSummary]
     timings: StageTimings
+    #: Shard coverage of the cell's run: ``None`` for cacheless sweeps,
+    #: partial when the run layer quarantined shards (the robustness
+    #: report flags such cells instead of treating them as complete).
+    coverage: RunCoverage | None = None
 
 
 @dataclass
@@ -152,6 +157,7 @@ def _summarize(cell: SweepCell, study: Study, timings: StageTimings) -> CellResu
             for name, dataset in study.datasets.items()
         },
         timings=timings,
+        coverage=study.coverage,
     )
 
 
@@ -161,6 +167,8 @@ def run_sweep(
     cache: StudyCache | None = None,
     executor: Executor | None = None,
     progress: Callable[[str], None] | None = None,
+    resume: bool = False,
+    strict: bool = False,
 ) -> SweepResult:
     """Run every cell of ``spec`` and collect the summaries.
 
@@ -170,6 +178,11 @@ def run_sweep(
     when given, is shared too — cells with common stage configurations
     (same crawl under different lifetime models, re-runs of a warm
     sweep) skip the corresponding work entirely.
+
+    ``resume`` and ``strict`` thread through to every cell's
+    :meth:`Study.run`: each cell journals under its own run id, so an
+    interrupted sweep resumed with the same spec replays finished
+    cells from cache and finished shards from their journals.
     """
     cells = spec.cells()
     axis_names = {name for name, _ in spec.axes}
@@ -191,18 +204,25 @@ def run_sweep(
                     study = Study.run(
                         cell.config, executor=cell_executor,
                         timings=timings, cache=cache,
+                        resume=resume, strict=strict,
                     )
             else:
                 study = Study.run(
-                    cell.config, executor=shared, timings=timings, cache=cache
+                    cell.config, executor=shared, timings=timings, cache=cache,
+                    resume=resume, strict=strict,
                 )
             summary = _summarize(cell, study, timings)
             result.cells.append(summary)
             if progress is not None:
+                partial = (
+                    "  PARTIAL"
+                    if summary.coverage is not None
+                    and not summary.coverage.complete else ""
+                )
                 progress(
                     f"[{index + 1}/{len(cells)}] {cell.label()}  "
                     f"digest={summary.digest[:12]}  "
-                    f"{timings.total_seconds:.2f} s"
+                    f"{timings.total_seconds:.2f} s{partial}"
                 )
     finally:
         if owns_shared and shared is not None:

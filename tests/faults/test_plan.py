@@ -202,3 +202,110 @@ class TestConfigIntegration:
         )
         with pytest.raises(ValueError, match="unknown fault profile"):
             spec.cells()
+
+
+class TestTaskFaults:
+    """The task-level kinds driving the repro.runlog recovery tests."""
+
+    def test_task_profiles_registered(self):
+        for name in ("worker-crash", "worker-poison", "cache-rot"):
+            assert name in PROFILES
+            assert name in profile_names()
+
+    def test_chaos_excludes_task_kinds(self):
+        # chaos must stay runnable through a bare executor; task faults
+        # need the run layer to recover them.
+        kinds = fault_profile("chaos").kinds
+        assert FaultKind.TASK_WORKER_CRASH not in kinds
+        assert FaultKind.TASK_CACHE_ROT not in kinds
+
+    def _struck_domains(self, profile: str, n: int = 400) -> list[str]:
+        domains = [f"site{index:06d}.com" for index in range(n)]
+        return [
+            domain for domain in domains
+            if FaultPlan.compile(
+                profile, seed=7, run="alexa-crawl", domain=domain
+            ).task_crash(0)
+        ]
+
+    def test_worker_crash_is_attempt_bounded(self):
+        # param=1.0: attempt 0 may strike, attempt 1 never does — that
+        # bound is what makes the profile recoverable by re-dispatch.
+        struck = self._struck_domains("worker-crash")
+        assert struck  # rate 0.25 over 400 domains must hit something
+        for domain in struck:
+            retry_plan = FaultPlan.compile(
+                "worker-crash", seed=7, run="alexa-crawl", domain=domain
+            )
+            assert not retry_plan.task_crash(1)
+
+    def test_worker_poison_strikes_every_attempt(self):
+        struck = self._struck_domains("worker-poison")
+        assert struck  # rate 0.02 over 400 domains
+        plan = FaultPlan.compile(
+            "worker-poison", seed=7, run="alexa-crawl", domain=struck[0]
+        )
+        for attempt in (0, 1, 5, 1000):
+            assert plan.task_crash(attempt)
+
+    def test_verdict_is_a_pure_function_of_coordinates(self):
+        # Recompiled plans (fresh worker per retry) must agree with the
+        # original — the whole recovery story depends on it.
+        for domain in ("site000000.com", "site000003.com", "other.org"):
+            verdicts = {
+                FaultPlan.compile(
+                    "worker-crash", seed=7, run="r", domain=domain
+                ).task_crash(0)
+                for _ in range(3)
+            }
+            assert len(verdicts) == 1
+        assert self._struck_domains("worker-crash") == (
+            self._struck_domains("worker-crash")
+        )
+
+    def test_task_crash_false_without_a_task_spec(self):
+        plan = FaultPlan.compile(
+            "flaky-dns", seed=7, run="r", domain="a.com"
+        )
+        assert not plan.task_crash(0)
+
+    def test_struck_crash_tallies_in_counts(self):
+        struck = self._struck_domains("worker-crash")
+        plan = FaultPlan.compile(
+            "worker-crash", seed=7, run="alexa-crawl", domain=struck[0]
+        )
+        assert plan.task_crash(0)
+        assert ("worker-crash", 1) in plan.counts()
+
+    def test_task_crash_does_not_consume_rng_streams(self):
+        # The hash-based verdict must not perturb the per-kind RNG
+        # streams, or adding retries would change which *protocol*
+        # faults fire and break digest parity with 'none'.
+        hybrid = FaultProfile(
+            name="hybrid-task-dns", description="test",
+            specs=(
+                FaultSpec(FaultKind.TASK_WORKER_CRASH, rate=1.0,
+                          param=10.0),
+                FaultSpec(FaultKind.DNS_SERVFAIL, rate=0.5),
+            ),
+        )
+        untouched = FaultPlan.compile(hybrid, seed=7, run="r",
+                                      domain="a.com")
+        crashed = FaultPlan.compile(hybrid, seed=7, run="r",
+                                    domain="a.com")
+        for attempt in range(4):
+            crashed.task_crash(attempt)
+        draws_untouched = [
+            untouched.fires(FaultKind.DNS_SERVFAIL) for _ in range(20)
+        ]
+        draws_crashed = [
+            crashed.fires(FaultKind.DNS_SERVFAIL) for _ in range(20)
+        ]
+        assert draws_untouched == draws_crashed
+
+    def test_cache_rot_param_is_the_keep_factor(self):
+        plan = FaultPlan.compile(
+            "cache-rot", seed=7, run="cache-rot:alexa-crawl",
+            domain="shardkey"
+        )
+        assert plan.param(FaultKind.TASK_CACHE_ROT) == 0.5

@@ -95,7 +95,26 @@ class TestBroadHandlers:
                 except:
                     return 0
         """})
-        assert len(_findings(project)) == 1
+        (finding,) = _findings(project)
+        assert "bare 'except:'" in finding.message
+
+    def test_bare_except_fires_even_when_reraising(self, make_project):
+        # Unlike 'except Exception', no discipline redeems a bare
+        # except: it swallows KeyboardInterrupt/SystemExit before the
+        # handler body even runs, breaking graceful Ctrl-C.
+        project = make_project({"stage.py": """\
+            def fold(item):
+                try:
+                    return item.value
+                except:
+                    raise
+        """})
+        (finding,) = _findings(project)
+        assert "KeyboardInterrupt" in finding.message
+
+    def test_runlog_tree_is_a_default_hierarchy(self):
+        rule = TypedErrorsRule()
+        assert rule.hierarchies["src/repro/runlog/"] == "RunJournalError"
 
     def test_reraise_is_fine(self, make_project):
         project = make_project({"stage.py": """\

@@ -1,0 +1,144 @@
+"""The ISSUE's kill-and-resume differential.
+
+A real ``repro study`` subprocess is interrupted mid-run — one pool
+worker SIGKILLed, then SIGINT to the driver — and the run is resumed
+in-process with ``resume=True``.  The resumed study must be
+digest-identical to an uninterrupted run of the same config, and the
+journal must show the finished shards being skipped, not redone.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.digest import study_digest
+from repro.analysis.study import Study, StudyConfig
+from repro.runlog import load_records, run_id
+from repro.store import StudyCache
+
+# The exact config the CLI below builds (executor/parallelism are
+# normalised away by run_id, so the serial in-process resume continues
+# the process-pool run's journal).
+CONFIG = StudyConfig(seed=7, n_sites=120, shards=8)
+CLI = [
+    sys.executable, "-m", "repro", "study",
+    "--sites", "120", "--shards", "8", "--seed", "7",
+    "--executor", "process:2", "--headline",
+]
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def _env() -> dict[str, str]:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}:{existing}" if existing else src
+    return env
+
+
+def _journal_path(cache_dir: Path) -> Path:
+    return cache_dir / "runs" / f"{run_id(CONFIG)}.jsonl"
+
+
+def _events(cache_dir: Path) -> list[str]:
+    return [r["event"] for r in load_records(_journal_path(cache_dir))]
+
+
+def _worker_pids(pid: int) -> list[int]:
+    try:
+        raw = Path(f"/proc/{pid}/task/{pid}/children").read_text()
+    except OSError:
+        return []
+    return [int(child) for child in raw.split()]
+
+
+def _interrupt_a_real_run(cache_dir: Path) -> "tuple[int, str] | None":
+    """Start the CLI study, SIGKILL a worker once shards are landing,
+    SIGINT the driver.  Returns (returncode, stderr), or None if the
+    run won the race and completed before the interrupt landed."""
+    proc = subprocess.Popen(
+        CLI + ["--cache-dir", str(cache_dir)],
+        stdout=subprocess.DEVNULL, stderr=subprocess.PIPE,
+        env=_env(), cwd=REPO_ROOT, text=True,
+    )
+    try:
+        deadline = time.monotonic() + 90.0
+        while time.monotonic() < deadline:
+            if proc.poll() is not None:
+                proc.communicate()
+                return None  # completed before we could interrupt
+            if _events(cache_dir).count("shard-finish") >= 2:
+                break
+            time.sleep(0.02)
+        else:
+            pytest.fail("study subprocess produced no shard-finish "
+                        "records within 90s")
+        workers = _worker_pids(proc.pid)
+        if workers:
+            os.kill(workers[-1], signal.SIGKILL)
+            time.sleep(0.2)
+        if proc.poll() is not None:
+            proc.communicate()
+            return None
+        proc.send_signal(signal.SIGINT)
+        _, stderr = proc.communicate(timeout=90)
+        if proc.returncode == 0:
+            return None  # SIGINT landed after the run finished
+        return proc.returncode, stderr
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+
+
+@pytest.mark.slow
+class TestKillAndResume:
+    def test_interrupted_run_resumes_to_an_identical_digest(
+        self, tmp_path_factory
+    ):
+        reference_cache = StudyCache(tmp_path_factory.mktemp("reference"))
+        reference = study_digest(Study.run(CONFIG, cache=reference_cache))
+
+        for _ in range(3):
+            cache_dir = tmp_path_factory.mktemp("interrupted")
+            outcome = _interrupt_a_real_run(cache_dir)
+            if outcome is not None:
+                break
+        else:
+            pytest.skip("study completed before the interrupt could "
+                        "land on three consecutive tries")
+
+        returncode, stderr = outcome
+        assert returncode == 130
+        assert "--resume" in stderr
+        assert "Traceback" not in stderr
+
+        events = _events(cache_dir)
+        assert "run-finish" not in events  # genuinely interrupted
+        finished_before = events.count("shard-finish")
+        assert finished_before >= 2
+
+        resumed = Study.run(
+            CONFIG, cache=StudyCache(cache_dir), resume=True
+        )
+        assert study_digest(resumed) == reference
+        assert resumed.coverage is not None and resumed.coverage.complete
+
+        records = load_records(_journal_path(cache_dir))
+        events = [r["event"] for r in records]
+        assert events[-1] == "run-finish"
+        journal_skips = [
+            r for r in records
+            if r["event"] == "shard-skip" and r.get("reason") == "journal"
+        ]
+        # Every shard the interrupted run finished was skipped on
+        # resume via its journalled cache key, not recomputed.
+        assert len(journal_skips) >= finished_before

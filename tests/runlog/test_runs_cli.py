@@ -1,0 +1,90 @@
+"""``repro runs``: listing journals and rendering one run's detail."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.runlog import RunJournal, journal_dir, list_runs
+
+
+def _write_journal(cache_dir: Path, run: str, *, quarantined=0,
+                   finished=2, finish: str | None = "complete") -> None:
+    journal = RunJournal.fresh(
+        journal_dir(cache_dir) / f"{run}.jsonl", run=run,
+        meta={"seed": 7, "n_sites": 120, "shards": 4,
+              "fault_profile": "none"},
+    )
+    for index in range(finished):
+        journal.append({"event": "shard-finish", "stage": "alexa-crawl",
+                        "key": f"key-{run}-{index}",
+                        "artifact": f"key-{run}-{index}"})
+    for index in range(quarantined):
+        journal.append({"event": "shard-quarantined", "stage": "har-crawl",
+                        "key": f"poison-{run}-{index}", "attempts": 3})
+    if finish is not None:
+        journal.append({"event": "run-finish", "status": finish})
+    journal.close()
+
+
+@pytest.fixture
+def populated_cache(tmp_path):
+    _write_journal(tmp_path, "aaaa11112222", finish="complete")
+    _write_journal(tmp_path, "bbbb33334444", finish=None)  # interrupted
+    _write_journal(tmp_path, "cccc55556666", quarantined=2,
+                   finish="partial")
+    return tmp_path
+
+
+class TestListing:
+    def test_statuses(self, populated_cache):
+        by_run = {s.run: s for s in list_runs(populated_cache)}
+        assert by_run["aaaa11112222"].status == "complete"
+        assert by_run["bbbb33334444"].status == "resumable"
+        assert by_run["bbbb33334444"].resumable
+        assert by_run["cccc55556666"].status == "quarantined-2"
+        assert by_run["cccc55556666"].shards_quarantined == 2
+        assert by_run["aaaa11112222"].shards_finished == 2
+
+    def test_cli_lists_every_journal(self, populated_cache, capsys):
+        rc = main(["runs", "--cache-dir", str(populated_cache)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for expected in ("Run", "Status", "aaaa11112222", "complete",
+                         "resumable", "quarantined-2"):
+            assert expected in out
+
+    def test_cli_empty_cache(self, tmp_path, capsys):
+        rc = main(["runs", "--cache-dir", str(tmp_path)])
+        assert rc == 0
+        assert "No run journals found." in capsys.readouterr().out
+
+    def test_cli_requires_cache_dir(self, capsys):
+        rc = main(["runs"])
+        assert rc == 2
+        assert "--cache-dir" in capsys.readouterr().err
+
+
+class TestDetail:
+    def test_unique_prefix_renders_records(self, populated_cache, capsys):
+        rc = main(["runs", "cccc", "--cache-dir", str(populated_cache)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "run cccc55556666  [quarantined-2]" in out
+        assert "run-start" in out and "seed=7" in out
+        assert "shard-quarantined" in out and "attempts=3" in out
+        assert "status=partial" in out
+
+    def test_no_match_fails(self, populated_cache, capsys):
+        rc = main(["runs", "zzzz", "--cache-dir", str(populated_cache)])
+        assert rc == 1
+        assert "no unique run journal" in capsys.readouterr().err
+
+    def test_ambiguous_prefix_fails(self, tmp_path, capsys):
+        _write_journal(tmp_path, "aaaa11112222")
+        _write_journal(tmp_path, "aaaa99990000")
+        rc = main(["runs", "aaaa", "--cache-dir", str(tmp_path)])
+        assert rc == 1
+        assert "no unique" in capsys.readouterr().err

@@ -12,6 +12,7 @@ import pytest
 from repro.runtime import (
     ProcessExecutor,
     SerialExecutor,
+    TaskTimeoutError,
     ThreadExecutor,
     chunk_items,
     make_executor,
@@ -232,3 +233,66 @@ class TestMakeExecutor:
     def test_bad_specs_rejected(self, spec):
         with pytest.raises(ValueError):
             make_executor(spec)
+
+
+class TestTaskWatchdog:
+    """The no-progress watchdog armed by ``task_timeout``."""
+
+    def test_stalled_map_times_out_and_pool_recovers(self):
+        release = threading.Event()
+
+        def stall(value: int) -> int:
+            release.wait(timeout=10)
+            return value
+
+        executor = ThreadExecutor(2, task_timeout=0.15)
+        try:
+            with pytest.raises(TaskTimeoutError):
+                executor.map_sites(stall, [1], chunk_size=1)
+        finally:
+            release.set()  # let the abandoned worker thread exit
+        # The broken pool was discarded: the executor is immediately
+        # usable again on a fresh one.
+        assert executor.map_sites(_square, [2, 3]) == [4, 9]
+        executor.close()
+
+    def test_slow_but_moving_map_never_trips(self):
+        # Progress-based, not per-chunk-deadline: chunks that each
+        # outlast several windows are fine as long as *some* chunk
+        # completes per window.
+        def dawdle(value: int) -> int:
+            time.sleep(0.06)
+            return value
+
+        with ThreadExecutor(1, task_timeout=0.5) as executor:
+            assert executor.map_sites(
+                dawdle, list(range(8)), chunk_size=1
+            ) == list(range(8))
+
+    def test_failure_beats_the_watchdog(self):
+        # A chunk exception surfaces as itself, not as a timeout.
+        with ThreadExecutor(2, task_timeout=5.0) as executor:
+            with pytest.raises(RuntimeError, match="boom"):
+                executor.map_sites(_boom, [1])
+
+    def test_is_a_timeout_error(self):
+        # Retry classification keys off TimeoutError ancestry: a
+        # watchdog abort is transient infrastructure, never fatal.
+        assert issubclass(TaskTimeoutError, TimeoutError)
+
+    @pytest.mark.parametrize("bad", [0, -1.0])
+    def test_validation(self, bad):
+        with pytest.raises(ValueError):
+            ThreadExecutor(2, task_timeout=bad)
+
+    def test_make_executor_passthrough(self):
+        executor = make_executor("thread:2", task_timeout=1.5)
+        assert executor.task_timeout == 1.5
+        assert make_executor("thread:2").task_timeout is None
+        # Serial runs ignore the watchdog entirely.
+        assert isinstance(
+            make_executor("serial", task_timeout=1.5), SerialExecutor
+        )
+
+    def test_default_is_disarmed(self):
+        assert ThreadExecutor(2).task_timeout is None
