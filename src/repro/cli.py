@@ -306,6 +306,39 @@ def build_parser() -> argparse.ArgumentParser:
              "no longer fire (the baseline may only shrink)",
     )
 
+    serve = commands.add_parser(
+        "serve",
+        help="serve studies and sweeps over HTTP (JSON or SSE streaming) "
+             "from one shared executor and cache (see docs/API_REFERENCE.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="address to bind (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="port to bind (default: 8765; 0 picks a free one)")
+    serve.add_argument(
+        "--cache-dir", default=None,
+        help="content-addressed stage cache shared by every request "
+             "(required; warm requests answer near-instantly)",
+    )
+    serve.add_argument(
+        "--executor", default="thread",
+        help="shared execution substrate for all requests: serial, "
+             "thread or process (default: thread)",
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker count for the shared executor",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=4,
+        help="admission limit: concurrent study/sweep requests beyond "
+             "this are answered 429 (default: 4)",
+    )
+    serve.add_argument(
+        "--request-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-connection socket timeout (default: none)",
+    )
+
     runs = commands.add_parser(
         "runs",
         help="list the run journals under a cache directory (complete / "
@@ -689,6 +722,62 @@ def _cmd_lint(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_serve(args) -> int:
+    import signal
+
+    from repro.serve import StudyService, make_server
+
+    if args.cache_dir is None:
+        print("error: serve needs --cache-dir (the cache is what makes "
+              "repeated requests instant)", file=sys.stderr)
+        return 2
+    try:
+        service = StudyService(
+            args.cache_dir, executor=args.executor, jobs=args.jobs,
+            max_inflight=args.max_inflight,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    server = make_server(
+        service, host=args.host, port=args.port,
+        request_timeout=args.request_timeout,
+    )
+    host, port = server.server_address[:2]
+    print(f"repro serve: listening on http://{host}:{port} "
+          f"(executor={args.executor}, max_inflight={args.max_inflight}, "
+          f"cache={args.cache_dir})", file=sys.stderr)
+
+    def _sigterm(signum, frame):
+        # Fold SIGTERM into the KeyboardInterrupt path so systemd-style
+        # stops and Ctrl-C drain identically.
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, _sigterm)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        # Graceful drain: stop admitting, let every inflight request
+        # hit its next observer checkpoint (which journals and sends a
+        # terminal error event to streaming clients), then tear down.
+        print("\nrepro serve: draining inflight requests...",
+              file=sys.stderr)
+        service.drain()
+        if not service.wait_idle(timeout=30.0):
+            print("repro serve: drain timed out; journals of unfinished "
+                  "runs remain resumable", file=sys.stderr)
+        print(f"interrupted; re-run interrupted requests with "
+              f"\"resume\": true (or repro study --resume --cache-dir "
+              f"{args.cache_dir}) to pick up where they left off",
+              file=sys.stderr)
+        return 130
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+        server.server_close()
+        service.close()
+    return 0
+
+
 def _cmd_runs(args) -> int:
     from pathlib import Path
 
@@ -724,6 +813,7 @@ _COMMANDS = {
     "evolve": _cmd_evolve,
     "bench": _cmd_bench,
     "lint": _cmd_lint,
+    "serve": _cmd_serve,
     "runs": _cmd_runs,
 }
 

@@ -110,12 +110,15 @@ class RunContext:
         resume: bool = False,
         strict: bool = False,
         policy: RetryPolicy | None = None,
+        observer: Callable[[dict], None] | None = None,
     ) -> "RunContext":
         """The context of one :class:`StudyConfig` against one cache.
 
         ``resume=True`` reopens the config's existing journal (falling
         back to a fresh one when none exists); otherwise a fresh
-        journal replaces whatever was there.
+        journal replaces whatever was there.  ``observer`` is installed
+        on the journal and sees every record after its durable append —
+        the serve layer's per-shard progress feed.
         """
         run = run_id(config)
         path = journal_dir(cache.directory) / f"{run}.jsonl"
@@ -130,6 +133,8 @@ class RunContext:
                 "epochs": config.epochs,
                 "evolution_policy": config.evolution_policy,
             })
+        if observer is not None:
+            journal.observer = observer
         return cls(
             journal, run=run, policy=policy, strict=strict,
             seed=config.seed, fault_profile=config.fault_profile,

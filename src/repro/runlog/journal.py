@@ -165,6 +165,11 @@ class RunJournal:
         self.path = path
         self.records = records
         self._handle = handle
+        #: Called as ``observer(record)`` after each durable append —
+        #: the record is already fsync'd when the observer sees it, so
+        #: an observer that raises (the serve layer's drain signal)
+        #: leaves the journal resumable.
+        self.observer = None
         self._seq = max(
             (record.get("seq", -1) for record in records
              if isinstance(record.get("seq"), int)),
@@ -234,6 +239,8 @@ class RunJournal:
         self._handle.flush()
         os.fsync(self._handle.fileno())
         self.records.append(record)
+        if self.observer is not None:
+            self.observer(record)
         return record
 
     def close(self) -> None:

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import math
 import os
+import threading
 from abc import ABC, abstractmethod
 from concurrent.futures import (
     FIRST_EXCEPTION,
@@ -142,7 +143,17 @@ class SerialExecutor(Executor):
 
 
 class _PoolExecutor(Executor):
-    """Shared chunk-submission logic for the pool-backed executors."""
+    """Shared chunk-submission logic for the pool-backed executors.
+
+    One instance may be shared by concurrent callers (the serve layer
+    runs many requests through one executor).  Each ``map_sites``
+    *leases* the pool under a lock: the pool plus a generation counter.
+    A caller that finds its pool broken (or wedged past the watchdog)
+    retires **its own generation only** — if another caller already
+    rebuilt, the fresh pool and the futures riding on it are left
+    untouched, so a failure in one request can never silently drop a
+    concurrent request's work.
+    """
 
     def __init__(self, max_workers: int | None = None,
                  chunk_size: int | None = None,
@@ -162,10 +173,43 @@ class _PoolExecutor(Executor):
         #: chunk for one full window raises TaskTimeoutError.  None (the
         #: default) waits forever — the exact pre-watchdog behaviour.
         self.task_timeout = task_timeout
+        # thread-safe: _pool/_generation are only read or swapped inside
+        # ``with self._pool_lock`` (see _lease/_retire/close); pool
+        # shutdown itself happens outside the lock so a slow teardown
+        # never blocks concurrent leases.
         self._pool = None
+        self._generation = 0
+        self._pool_lock = threading.Lock()
 
     def _make_pool(self):
         raise NotImplementedError
+
+    def _lease(self):
+        """Borrow the current pool, creating one if needed.
+
+        Returns ``(pool, generation)``.  The generation ties the lease
+        to one concrete pool instance: a caller may only retire the
+        generation it leased, never whatever pool happens to be
+        installed at failure time.
+        """
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = self._make_pool()
+                self._generation += 1
+            return self._pool, self._generation
+
+    def _retire(self, generation: int, pool) -> None:
+        """Discard a leased pool after a failure, if still installed.
+
+        If another caller already retired this generation (and possibly
+        rebuilt), the executor's current pool is left alone; only the
+        failed lease's own pool is shut down either way, with pending
+        work cancelled.
+        """
+        with self._pool_lock:
+            if self._generation == generation and self._pool is pool:
+                self._pool = None
+        pool.shutdown(wait=False, cancel_futures=True)
 
     def _effective_chunk_size(self, n_items: int) -> int:
         if self.chunk_size is not None:
@@ -185,18 +229,17 @@ class _PoolExecutor(Executor):
             self._effective_chunk_size(len(items))
         )
         chunks = chunk_items(items, size)
-        if self._pool is None:
-            self._pool = self._make_pool()
+        pool, generation = self._lease()
         futures: list = []
         try:
             futures.extend(
-                self._pool.submit(_run_chunk, fn, chunk) for chunk in chunks
+                pool.submit(_run_chunk, fn, chunk) for chunk in chunks
             )
             # Block until everything finished OR any chunk raised —
             # not merely until the *input-order-first* chunk resolved,
             # which would let a failure in a late chunk keep the whole
             # queue churning behind a slow early chunk.
-            self._wait_for_progress(futures)
+            self._wait_for_progress(futures, pool, generation)
             failed = next(
                 (
                     future for future in futures
@@ -224,14 +267,17 @@ class _PoolExecutor(Executor):
             raise AssertionError("unreachable: failed future had no error")
         except BrokenExecutor:
             # The pool itself died (worker killed, unpicklable error in
-            # a spawned process, ...): discard it so the next map_sites
-            # on this executor starts from a fresh, working pool.
+            # a spawned process, ...): retire *this lease's* pool so the
+            # next map_sites starts from a fresh, working one.  A
+            # concurrent caller that already rebuilt keeps its new pool
+            # — the old close()-on-failure path would have destroyed it
+            # and silently dropped that caller's futures.
             for pending in futures:
                 pending.cancel()
-            self.close()
+            self._retire(generation, pool)
             raise
 
-    def _wait_for_progress(self, futures: list) -> None:
+    def _wait_for_progress(self, futures: list, pool, generation: int) -> None:
         """``wait(FIRST_EXCEPTION)``, optionally under the watchdog.
 
         With a ``task_timeout``, waits in windows of that many seconds;
@@ -260,9 +306,7 @@ class _PoolExecutor(Executor):
             if len(done) == completed:
                 for pending in futures:
                     pending.cancel()
-                pool, self._pool = self._pool, None
-                if pool is not None:
-                    pool.shutdown(wait=False, cancel_futures=True)
+                self._retire(generation, pool)
                 raise TaskTimeoutError(
                     f"no task progress for {self.task_timeout} s "
                     f"({len(not_done)} chunk(s) outstanding)"
@@ -270,9 +314,10 @@ class _PoolExecutor(Executor):
             completed = len(done)
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown()
 
 
 class ThreadExecutor(_PoolExecutor):

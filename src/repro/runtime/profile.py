@@ -12,7 +12,7 @@ import time
 import tracemalloc
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from typing import Callable, Iterable, Iterator
 
 __all__ = ["StageTiming", "StageTimings", "null_timings"]
 
@@ -48,6 +48,14 @@ class StageTimings:
     enabled: bool = True
     memory: bool = False
     stages: list[StageTiming] = field(default_factory=list)
+    #: Called as ``observer(name, items)`` when a stage *starts* (before
+    #: any work runs), even when timing itself is disabled.  The serve
+    #: layer uses this to stream ``stage_start`` events; exceptions it
+    #: raises propagate, which is how a draining server aborts a run at
+    #: the next stage boundary.
+    observer: Callable[[str, int | None], None] | None = field(
+        default=None, repr=False, compare=False,
+    )
     #: Per-active-stage maximum peaks; makes nested stages correct:
     #: ``reset_peak`` is process-global, so before a child stage resets
     #: it, the parent's window peak is banked here, and the child's
@@ -56,7 +64,9 @@ class StageTimings:
 
     @contextmanager
     def stage(self, name: str, *, items: int | None = None) -> Iterator[None]:
-        """Time one stage; a no-op when disabled."""
+        """Time one stage; a no-op when disabled (observer still fires)."""
+        if self.observer is not None:
+            self.observer(name, items)
         if not self.enabled:
             yield
             return

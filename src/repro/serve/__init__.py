@@ -1,0 +1,39 @@
+"""The streaming study service (``repro serve``).
+
+A stdlib-only JSON/SSE front end over the existing pipeline: the
+sweep engine, the content-addressed :class:`~repro.store.StudyCache`
+and the crash-safe run journals are all request-shaped already — this
+package serves them to concurrent HTTP clients through one shared
+executor, with admission control, per-run journal locking and a
+graceful drain on shutdown.
+
+Layers:
+
+* :mod:`repro.serve.schema` — schema-versioned request bodies,
+  validated field by field with every bad field reported;
+* :mod:`repro.serve.service` — one :class:`StudyService` per process:
+  shared executor + cache, admission semaphore, per-run-id locks,
+  progress events, the drain flag;
+* :mod:`repro.serve.http` — the ``http.server`` threading front end:
+  JSON responses, ``text/event-stream`` streaming, typed error codes.
+"""
+
+from repro.serve.http import StudyHTTPServer, make_server
+from repro.serve.schema import (
+    SCHEMA_VERSION,
+    SchemaError,
+    parse_study_request,
+    parse_sweep_request,
+)
+from repro.serve.service import ServeShutdown, StudyService
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SchemaError",
+    "ServeShutdown",
+    "StudyHTTPServer",
+    "StudyService",
+    "make_server",
+    "parse_study_request",
+    "parse_sweep_request",
+]

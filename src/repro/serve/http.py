@@ -1,0 +1,253 @@
+"""The stdlib HTTP front end of the study service.
+
+Built on :class:`http.server.ThreadingHTTPServer` — one daemon thread
+per connection, no third-party dependencies.  Endpoints:
+
+* ``POST /v1/study``   — run (or cache-serve) one study;
+* ``POST /v1/sweep``   — run a scenario grid, cell by cell;
+* ``GET  /v1/runs``    — list the run journals under the cache;
+* ``GET  /v1/runs/<p>``— one journal's per-shard detail (unique prefix);
+* ``GET  /v1/healthz`` — liveness, inflight counts, cache statistics.
+
+Responses are JSON by default; a ``POST`` carrying ``Accept:
+text/event-stream`` streams Server-Sent Events instead — ``stage_start``
+and ``shard_done`` while the pipeline runs, ``coverage`` once accounting
+is final, then a terminal ``result`` (the same payload the JSON path
+returns) or ``error``.  Every error, including a mid-stream drain, is a
+typed event or status code — a client never sees a bare dropped socket.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.serve.schema import (
+    SCHEMA_VERSION,
+    SchemaError,
+    parse_study_request,
+    parse_sweep_request,
+)
+from repro.serve.service import ServeShutdown, StudyService
+
+__all__ = ["StudyHTTPServer", "make_server"]
+
+#: Largest accepted request body; study/sweep configs are tiny, so
+#: anything bigger is a client bug (or abuse), answered with 413.
+_MAX_BODY_BYTES = 1 << 20
+
+#: The hint every drain response carries: how to finish the
+#: interrupted run once the server is back.
+_RESUME_HINT = (
+    "re-send the request with \"resume\": true (or run repro study "
+    "--resume --cache-dir <dir>) to pick up where this run left off"
+)
+
+
+class StudyHTTPServer(ThreadingHTTPServer):
+    """Threading HTTP server bound to one :class:`StudyService`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, service: StudyService,
+                 request_timeout: float | None = None) -> None:
+        self.service = service
+        self.request_timeout = request_timeout
+        super().__init__(address, _Handler)
+
+
+def make_server(service: StudyService, *, host: str = "127.0.0.1",
+                port: int = 0,
+                request_timeout: float | None = None) -> StudyHTTPServer:
+    """Bind a server for ``service`` (``port=0`` picks a free port)."""
+    return StudyHTTPServer((host, port), service,
+                           request_timeout=request_timeout)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1"
+
+    def setup(self) -> None:  # per-connection socket timeout
+        self.timeout = self.server.request_timeout
+        super().setup()
+
+    # ------------------------------------------------------------------
+    # Response helpers.
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload, sort_keys=True).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _start_stream(self) -> None:
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-store")
+        self.send_header("Connection", "close")
+        self.end_headers()
+
+    def _send_event(self, event: str, payload: dict) -> None:
+        data = json.dumps(payload, sort_keys=True)
+        self.wfile.write(f"event: {event}\ndata: {data}\n\n".encode())
+        self.wfile.flush()
+
+    def _wants_stream(self) -> bool:
+        return "text/event-stream" in self.headers.get("Accept", "")
+
+    # ------------------------------------------------------------------
+    # GET: introspection.
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server contract
+        service = self.server.service
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/v1/healthz":
+            self._send_json(200, service.healthz())
+        elif path == "/v1/runs":
+            self._send_json(200, service.runs_payload())
+        elif path.startswith("/v1/runs/"):
+            prefix = path[len("/v1/runs/"):]
+            payload = service.run_detail_payload(prefix)
+            if payload is None:
+                self._send_json(404, {
+                    "schema": SCHEMA_VERSION, "error": "not-found",
+                    "message": f"no unique run journal matches {prefix!r}",
+                })
+            else:
+                self._send_json(200, payload)
+        else:
+            self._send_json(404, {
+                "schema": SCHEMA_VERSION, "error": "not-found",
+                "message": f"unknown path {path!r}",
+            })
+
+    # ------------------------------------------------------------------
+    # POST: study and sweep execution.
+
+    def _read_body(self):
+        """The parsed JSON body, or ``None`` after an error response."""
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = -1
+        if length < 0 or length > _MAX_BODY_BYTES:
+            self._send_json(413, {
+                "schema": SCHEMA_VERSION, "error": "body-too-large",
+                "message": f"request bodies are capped at "
+                           f"{_MAX_BODY_BYTES} bytes",
+            })
+            return None
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw or b"{}")
+        except json.JSONDecodeError as error:
+            self._send_json(400, {
+                "schema": SCHEMA_VERSION, "error": "bad-json",
+                "message": f"request body is not valid JSON: {error}",
+            })
+            return None
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server contract
+        service = self.server.service
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if path == "/v1/study":
+            parse, run = parse_study_request, service.run_study
+        elif path == "/v1/sweep":
+            parse, run = parse_sweep_request, service.run_sweep
+        else:
+            self._send_json(404, {
+                "schema": SCHEMA_VERSION, "error": "not-found",
+                "message": f"unknown path {path!r}",
+            })
+            return
+        body = self._read_body()
+        if body is None:
+            return
+        try:
+            request = parse(body)
+        except SchemaError as error:
+            self._send_json(400, {
+                "schema": SCHEMA_VERSION, "error": "bad-request",
+                "message": "request body failed validation",
+                "fields": error.errors,
+            })
+            return
+        if not service.admit():
+            if service.draining:
+                self._send_json(503, {
+                    "schema": SCHEMA_VERSION, "error": "draining",
+                    "message": "server is shutting down",
+                })
+            else:
+                self._send_json(429, {
+                    "schema": SCHEMA_VERSION, "error": "busy",
+                    "message": f"at max_inflight="
+                               f"{service.max_inflight}; retry later",
+                })
+            return
+        try:
+            if self._wants_stream():
+                self._run_streaming(run, request)
+            else:
+                self._run_json(run, request)
+        finally:
+            service.release()
+
+    def _run_json(self, run, request) -> None:
+        service = self.server.service
+        try:
+            payload = run(request)
+        except ServeShutdown:
+            self._send_json(503, {
+                "schema": SCHEMA_VERSION, "error": "draining",
+                "message": f"run interrupted by shutdown; {_RESUME_HINT}",
+            })
+            return
+        except SchemaError as error:
+            self._send_json(400, {
+                "schema": SCHEMA_VERSION, "error": "bad-request",
+                "message": "request body failed validation",
+                "fields": error.errors,
+            })
+            return
+        except Exception as error:
+            service.record_failure(type(error).__name__)
+            self._send_json(500, {
+                "schema": SCHEMA_VERSION, "error": "internal",
+                "type": type(error).__name__, "message": str(error),
+            })
+            return
+        self._send_json(200, payload)
+
+    def _run_streaming(self, run, request) -> None:
+        service = self.server.service
+        self._start_stream()
+        try:
+            payload = run(request, emit=self._send_event)
+            self._send_event("result", payload)
+        except ServeShutdown:
+            # The terminal error event the shutdown contract promises:
+            # streaming clients learn *why* the stream ended and how to
+            # resume, instead of seeing a dropped socket.
+            self._send_event("error", {
+                "error": "draining",
+                "message": f"run interrupted by shutdown; {_RESUME_HINT}",
+            })
+        except (BrokenPipeError, ConnectionResetError):
+            service.record_failure("client-disconnected")
+        except Exception as error:
+            service.record_failure(type(error).__name__)
+            self._send_event("error", {
+                "error": "internal",
+                "type": type(error).__name__, "message": str(error),
+            })
+
+    # ------------------------------------------------------------------
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        # One quiet access log line per request on stderr (the default
+        # implementation, kept explicit so tests may silence it by
+        # subclassing).
+        super().log_message(format, *args)

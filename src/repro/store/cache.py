@@ -57,6 +57,7 @@ import os
 import pickle
 import re
 import tempfile
+import threading
 from dataclasses import dataclass, fields, is_dataclass
 from enum import Enum
 from pathlib import Path
@@ -158,13 +159,19 @@ class StudyCache:
 
     One instance may serve many studies and sweep cells concurrently
     within a process; writes are atomic (write-to-temp + rename), so a
-    crashed run never leaves a truncated artefact behind.
+    crashed run never leaves a truncated artefact behind.  The hit/miss
+    counters are lock-guarded, so concurrent server requests sharing
+    one cache count every lookup exactly once (the on-disk entries were
+    already safe; the *stats* used to race).
     """
 
     def __init__(self, directory: str | os.PathLike) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        # thread-safe: every mutation goes through _record() under
+        # _stats_lock; readers take snapshots under the same lock.
         self.counters: dict[str, CacheStats] = {}
+        self._stats_lock = threading.Lock()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"StudyCache({str(self.directory)!r})"
@@ -183,18 +190,55 @@ class StudyCache:
             )
         return self.directory / kind / f"{key}.pkl"
 
-    def _stats(self, kind: str) -> CacheStats:
-        return self.counters.setdefault(kind, CacheStats())
+    def _record(self, kind: str, *, hits: int = 0, misses: int = 0,
+               writes: int = 0, errors: int = 0) -> None:
+        """Atomically bump one kind's counters.
+
+        ``setdefault`` plus the bare ``+=`` used to run unlocked; two
+        server threads touching the same kind could interleave the
+        read-modify-write and lose (or double-count) increments.  All
+        counter traffic now serialises on one lock — file I/O stays
+        outside it, so the hot path is untouched.
+        """
+        with self._stats_lock:
+            stats = self.counters.setdefault(kind, CacheStats())
+            stats.hits += hits
+            stats.misses += misses
+            stats.writes += writes
+            stats.errors += errors
 
     def total_stats(self) -> CacheStats:
         """Counters summed across kinds (a snapshot, not a live view)."""
         total = CacheStats()
-        for stats in self.counters.values():
+        for stats in self._snapshot().values():
             total.hits += stats.hits
             total.misses += stats.misses
             total.writes += stats.writes
             total.errors += stats.errors
         return total
+
+    def _snapshot(self) -> dict[str, CacheStats]:
+        """A consistent copy of the per-kind counters."""
+        with self._stats_lock:
+            return {
+                kind: CacheStats(
+                    hits=stats.hits, misses=stats.misses,
+                    writes=stats.writes, errors=stats.errors,
+                )
+                for kind, stats in sorted(self.counters.items())
+            }
+
+    def stats_snapshot(self) -> dict[str, dict[str, int]]:
+        """Per-kind counters as plain JSON-ready dicts (for ``healthz``)."""
+        return {
+            kind: {
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "writes": stats.writes,
+                "errors": stats.errors,
+            }
+            for kind, stats in self._snapshot().items()
+        }
 
     def contains(self, kind: str, key: str) -> bool:
         """Whether an artefact exists (does not touch the counters)."""
@@ -211,25 +255,23 @@ class StudyCache:
         stage never kills the study it was meant to speed up.
         """
         path = self._path(kind, key)
-        stats = self._stats(kind)
         try:
             with path.open("rb") as handle:
                 artefact = pickle.load(handle)
         except FileNotFoundError:
-            stats.misses += 1
+            self._record(kind, misses=1)
             return None
         except Exception:
             # Unpickling a damaged file can raise almost anything
             # (UnpicklingError, EOFError, AttributeError, ...); all of
             # them mean the same thing here: the entry is unusable.
-            stats.errors += 1
-            stats.misses += 1
+            self._record(kind, errors=1, misses=1)
             try:
                 path.unlink()
             except FileNotFoundError:  # pragma: no cover - racing prune
                 pass
             return None
-        stats.hits += 1
+        self._record(kind, hits=1)
         return artefact
 
     def put(self, kind: str, key: str, artefact: Any) -> Path:
@@ -249,7 +291,7 @@ class StudyCache:
             except FileNotFoundError:  # pragma: no cover - already moved
                 pass
             raise
-        self._stats(kind).writes += 1
+        self._record(kind, writes=1)
         return path
 
     # ------------------------------------------------------------------
@@ -291,7 +333,7 @@ class StudyCache:
         rows = [
             [kind, str(stats.hits), str(stats.misses), str(stats.writes),
              str(stats.errors)]
-            for kind, stats in sorted(self.counters.items())
+            for kind, stats in self._snapshot().items()
         ]
         if not rows:
             return "Cache: no lookups"

@@ -5,6 +5,7 @@ from repro.sweep.runner import (
     DatasetSummary,
     SweepResult,
     run_sweep,
+    summarize_cell,
     summarize_dataset,
 )
 from repro.sweep.spec import SweepCell, SweepSpec
@@ -16,5 +17,6 @@ __all__ = [
     "SweepSpec",
     "SweepResult",
     "run_sweep",
+    "summarize_cell",
     "summarize_dataset",
 ]

@@ -30,6 +30,7 @@ __all__ = [
     "CellResult",
     "SweepResult",
     "run_sweep",
+    "summarize_cell",
     "summarize_dataset",
 ]
 
@@ -142,7 +143,14 @@ def summarize_dataset(name: str, dataset) -> DatasetSummary:
     )
 
 
-def _summarize(cell: SweepCell, study: Study, timings: StageTimings) -> CellResult:
+def summarize_cell(
+    cell: SweepCell, study: Study, timings: StageTimings
+) -> CellResult:
+    """Reduce one cell's study to its compact :class:`CellResult`.
+
+    Shared by :func:`run_sweep` and the serve layer, which drives cells
+    itself so it can stream per-shard progress.
+    """
     try:
         stats = headline(study)
     except KeyError:
@@ -211,7 +219,7 @@ def run_sweep(
                     cell.config, executor=shared, timings=timings, cache=cache,
                     resume=resume, strict=strict,
                 )
-            summary = _summarize(cell, study, timings)
+            summary = summarize_cell(cell, study, timings)
             result.cells.append(summary)
             if progress is not None:
                 partial = (

@@ -1,0 +1,197 @@
+"""Shared-executor concurrency: the lease/generation contract.
+
+The serve layer drives one pool executor from many request threads at
+once, which is exactly where the old single-driver assumptions broke:
+two simultaneous first calls could each build a pool (leaking one), and
+a request hitting a ``BrokenExecutor`` used to ``close()`` whatever
+pool was installed *at failure time* — destroying the fresh pool a
+concurrent caller had just rebuilt and silently dropping its futures.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+from concurrent.futures import BrokenExecutor
+
+import pytest
+
+from repro.analysis.digest import study_digest
+from repro.analysis.study import Study, StudyConfig
+from repro.runtime import ProcessExecutor, ThreadExecutor
+from repro.store import StudyCache
+
+
+def _square(value: int) -> int:
+    return value * value
+
+
+def _slow_square(value: int) -> int:
+    time.sleep(0.01)
+    return value * value
+
+
+class TestLeaseGeneration:
+    def test_concurrent_first_maps_build_exactly_one_pool(self):
+        executor = ThreadExecutor(2)
+        made = []
+        original = executor._make_pool
+
+        def counting_make_pool():
+            made.append(object())
+            time.sleep(0.01)  # widen the check-then-create window
+            return original()
+
+        executor._make_pool = counting_make_pool
+        barrier = threading.Barrier(6)
+        failures = []
+
+        def work():
+            barrier.wait()
+            try:
+                assert executor.map_sites(_square, [1, 2, 3]) == [1, 4, 9]
+            except Exception as error:  # pragma: no cover - fail loudly
+                failures.append(error)
+
+        threads = [threading.Thread(target=work) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        executor.close()
+        assert not failures
+        assert len(made) == 1
+
+    def test_retire_discards_only_its_own_generation(self):
+        executor = ThreadExecutor(2)
+        pool1, gen1 = executor._lease()
+        executor._retire(gen1, pool1)
+        assert executor._pool is None
+
+        pool2, gen2 = executor._lease()
+        assert pool2 is not pool1
+        assert gen2 == gen1 + 1
+        # A straggler retiring the *old* lease must not clobber the
+        # rebuilt pool another caller is already using.
+        executor._retire(gen1, pool1)
+        assert executor._pool is pool2
+        assert executor.map_sites(_square, [3]) == [9]
+        executor.close()
+
+    def test_close_then_map_builds_a_fresh_generation(self):
+        executor = ThreadExecutor(2)
+        _, gen1 = executor._lease()
+        executor.close()
+        _, gen2 = executor._lease()
+        assert gen2 == gen1 + 1
+        executor.close()
+
+
+def _kill_self_worker(value: int) -> int:
+    if value == 99:
+        os._exit(13)
+    return value
+
+
+class TestConcurrentBrokenPool:
+    def test_broken_caller_does_not_drop_concurrent_callers_rebuild(self):
+        # Caller A breaks the pool; caller B rebuilds and runs on the
+        # fresh one.  Under the old close()-on-failure path, A's
+        # cleanup could shut B's new pool down mid-map.
+        executor = ProcessExecutor(2)
+        outcomes: dict[str, object] = {}
+        broken = threading.Event()
+
+        def breaker():
+            try:
+                executor.map_sites(_kill_self_worker, [99], chunk_size=1)
+                outcomes["breaker"] = "no-error"
+            except BrokenExecutor:
+                outcomes["breaker"] = "broken"
+            finally:
+                broken.set()
+
+        def survivor():
+            broken.wait(timeout=30)
+            # Retry until the rebuilt pool serves a full map: a retry
+            # may still land on the dying pool once, never forever.
+            for _ in range(10):
+                try:
+                    outcomes["survivor"] = executor.map_sites(
+                        _slow_square, list(range(12))
+                    )
+                    return
+                except BrokenExecutor:
+                    continue
+            outcomes["survivor"] = "never-recovered"
+
+        threads = [
+            threading.Thread(target=breaker),
+            threading.Thread(target=survivor),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        executor.close()
+        assert outcomes["breaker"] == "broken"
+        assert outcomes["survivor"] == [
+            value * value for value in range(12)
+        ]
+
+
+@pytest.mark.slow
+def test_two_concurrent_studies_survive_a_killed_worker(tmp_path):
+    """The ISSUE regression: two studies share one process pool, a
+    worker dies mid-flight, and *both* studies still complete with
+    digests identical to their serial baselines (the run layer retries
+    the broken shard against the rebuilt pool)."""
+    config_a = StudyConfig(
+        seed=7, n_sites=60, dns_study_days=0.25, shards=2
+    )
+    config_b = StudyConfig(
+        seed=8, n_sites=60, dns_study_days=0.25, shards=2
+    )
+    expected = {
+        "a": study_digest(Study.run(config_a)),
+        "b": study_digest(Study.run(config_b)),
+    }
+
+    executor = ProcessExecutor(2)
+    executor.map_sites(_square, [1])  # prime the pool
+    victims = list(executor._pool._processes)
+    cache = StudyCache(tmp_path)
+    digests: dict[str, str] = {}
+    errors: list[BaseException] = []
+    started = threading.Barrier(3)
+
+    def run(label: str, config: StudyConfig) -> None:
+        started.wait()
+        try:
+            study = Study.run(config, executor=executor, cache=cache)
+            digests[label] = study_digest(study)
+        except BaseException as error:  # pragma: no cover - fail loudly
+            errors.append(error)
+
+    def kill_one_worker() -> None:
+        started.wait()
+        time.sleep(0.05)
+        try:
+            os.kill(victims[0], signal.SIGKILL)
+        except ProcessLookupError:  # pragma: no cover - already gone
+            pass
+
+    threads = [
+        threading.Thread(target=run, args=("a", config_a)),
+        threading.Thread(target=run, args=("b", config_b)),
+        threading.Thread(target=kill_one_worker),
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    executor.close()
+    assert not errors
+    assert digests == expected

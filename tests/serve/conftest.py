@@ -1,0 +1,120 @@
+"""Fixtures and HTTP helpers for the serve-layer suite.
+
+Servers run in-process on an ephemeral port (``port=0``) with a tiny
+study configuration, so every test is hermetic and fast; the SIGTERM
+suite boots real subprocesses instead (see ``test_shutdown.py``).
+
+Everything is exposed as fixtures (tests are not a package, so helper
+imports from conftest are unavailable by design).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve import StudyService, make_server
+
+
+def _parse_sse(raw: str) -> list[tuple[str, dict]]:
+    """Parse ``event:``/``data:`` frames into ``(event, payload)`` pairs."""
+    events = []
+    name = None
+    for line in raw.splitlines():
+        if line.startswith("event: "):
+            name = line[len("event: "):]
+        elif line.startswith("data: "):
+            assert name is not None, "data frame before any event name"
+            events.append((name, json.loads(line[len("data: "):])))
+            name = None
+    return events
+
+
+class ServerHandle:
+    """One running in-process server plus request helpers."""
+
+    parse_sse = staticmethod(_parse_sse)
+
+    def __init__(self, server, service: StudyService) -> None:
+        self.server = server
+        self.service = service
+        host, port = server.server_address[:2]
+        self.base = f"http://{host}:{port}"
+
+    def get(self, path: str) -> tuple[int, dict]:
+        try:
+            with urllib.request.urlopen(self.base + path, timeout=60) as resp:
+                return resp.status, json.load(resp)
+        except urllib.error.HTTPError as error:
+            return error.code, json.load(error)
+
+    def post(self, path: str, body: dict,
+             headers: dict | None = None) -> tuple[int, dict]:
+        request = urllib.request.Request(
+            self.base + path, data=json.dumps(body).encode(),
+            headers={"Content-Type": "application/json", **(headers or {})},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=120) as resp:
+                return resp.status, json.load(resp)
+        except urllib.error.HTTPError as error:
+            return error.code, json.load(error)
+
+    def post_sse(self, path: str, body: dict) -> list[tuple[str, dict]]:
+        """POST with SSE accept; returns the ``(event, payload)`` list."""
+        request = urllib.request.Request(
+            self.base + path, data=json.dumps(body).encode(),
+            headers={"Accept": "text/event-stream"},
+        )
+        with urllib.request.urlopen(request, timeout=120) as resp:
+            assert resp.headers["Content-Type"] == "text/event-stream"
+            raw = resp.read().decode()
+        return _parse_sse(raw)
+
+
+@pytest.fixture()
+def small_body() -> dict:
+    """The request body every serve test studies: small and sharded,
+    so warm reruns have real per-shard reuse to report."""
+    return {
+        "schema": 1,
+        "seed": 7,
+        "n_sites": 80,
+        "dns_study_days": 0.25,
+        "shards": 2,
+    }
+
+
+@pytest.fixture()
+def serve_factory(tmp_path):
+    """Factory for in-process servers; every handle is torn down."""
+    handles: list[ServerHandle] = []
+
+    def make(cache_dir=None, **kwargs) -> ServerHandle:
+        defaults = {"executor": "thread", "jobs": 2, "max_inflight": 4}
+        defaults.update(kwargs)
+        directory = cache_dir if cache_dir is not None else (
+            tmp_path / f"cache{len(handles)}"
+        )
+        service = StudyService(str(directory), **defaults)
+        server = make_server(service, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        handle = ServerHandle(server, service)
+        handles.append(handle)
+        return handle
+
+    yield make
+    for handle in handles:
+        handle.server.shutdown()
+        handle.server.server_close()
+        handle.service.close()
+
+
+@pytest.fixture()
+def serve_handle(serve_factory) -> ServerHandle:
+    return serve_factory()

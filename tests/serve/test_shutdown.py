@@ -1,0 +1,83 @@
+"""Graceful shutdown of a real ``repro serve`` subprocess.
+
+The in-process suite covers drain semantics; these tests pin the outer
+contract a supervisor sees: SIGTERM drains, prints the resume hint, and
+exits 130 — the same rc every interrupted CLI run uses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+
+import pytest
+
+_LISTEN = re.compile(r"listening on http://([\d.]+):(\d+)")
+
+
+@pytest.fixture()
+def serve_process(tmp_path):
+    """Boot ``repro serve`` on an ephemeral port; yield (proc, base_url)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src"
+    env["PYTHONUNBUFFERED"] = "1"
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--cache-dir", str(tmp_path / "cache"), "--jobs", "2"],
+        stderr=subprocess.PIPE, text=True, cwd=os.getcwd(), env=env,
+    )
+    line = proc.stderr.readline()
+    match = _LISTEN.search(line)
+    assert match, f"no listening line on stderr, got: {line!r}"
+    host, port = match.group(1), match.group(2)
+    try:
+        yield proc, f"http://{host}:{port}"
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+        proc.stderr.close()
+        proc.wait(timeout=10)
+
+
+def test_sigterm_drains_and_exits_130(serve_process):
+    proc, base = serve_process
+    with urllib.request.urlopen(base + "/v1/healthz", timeout=30) as resp:
+        assert json.load(resp)["status"] == "ok"
+
+    proc.send_signal(signal.SIGTERM)
+    remainder = proc.stderr.read()
+    rc = proc.wait(timeout=30)
+    assert rc == 130
+    assert "draining inflight requests" in remainder
+    assert '"resume": true' in remainder
+
+
+@pytest.mark.slow
+def test_sigterm_serves_a_study_first_then_drains_cleanly(serve_process):
+    proc, base = serve_process
+    body = json.dumps({
+        "schema": 1, "seed": 7, "n_sites": 60,
+        "dns_study_days": 0.25, "shards": 2,
+    }).encode()
+    request = urllib.request.Request(
+        base + "/v1/study", data=body,
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=120) as resp:
+        payload = json.load(resp)
+    assert resp.status == 200
+    assert payload["cached"] is False
+    assert len(payload["digest"]) == 32
+
+    # An idle-but-warmed server still drains instantly and exits 130.
+    proc.send_signal(signal.SIGTERM)
+    deadline = time.monotonic() + 30
+    while proc.poll() is None and time.monotonic() < deadline:
+        time.sleep(0.05)
+    assert proc.returncode == 130

@@ -1,0 +1,127 @@
+"""StudyCache statistics under concurrency: counts must be *exact*.
+
+The old counters did ``setdefault`` + bare ``+=`` with no lock, so two
+server threads hitting the same kind could lose or double-count
+increments.  These tests pin the fix: a known workload fanned out over
+many threads must land on exactly the arithmetic total.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.store import CacheStats, StudyCache, stable_key
+
+THREADS = 8
+OPS = 150
+
+
+def test_threaded_hits_and_misses_count_exactly(tmp_path):
+    cache = StudyCache(tmp_path)
+    key = stable_key("stress-hit")
+    cache.put("classify", key, {"payload": 1})
+
+    barrier = threading.Barrier(THREADS)
+
+    def work(worker: int) -> None:
+        barrier.wait()
+        for op in range(OPS):
+            assert cache.get("classify", key) == {"payload": 1}
+            assert cache.get(
+                "classify", stable_key("stress-miss", worker, op)
+            ) is None
+
+    threads = [
+        threading.Thread(target=work, args=(worker,))
+        for worker in range(THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    stats = cache.counters["classify"]
+    assert stats.hits == THREADS * OPS
+    assert stats.misses == THREADS * OPS
+    assert stats.writes == 1
+    assert stats.errors == 0
+    assert stats.lookups == 2 * THREADS * OPS
+
+
+def test_threaded_writes_count_exactly(tmp_path):
+    cache = StudyCache(tmp_path)
+    barrier = threading.Barrier(THREADS)
+
+    def work(worker: int) -> None:
+        barrier.wait()
+        for op in range(OPS):
+            cache.put(
+                "har-crawl", stable_key("stress-write", worker, op),
+                {"worker": worker, "op": op},
+            )
+
+    threads = [
+        threading.Thread(target=work, args=(worker,))
+        for worker in range(THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert cache.counters["har-crawl"].writes == THREADS * OPS
+
+
+def test_threaded_mixed_kinds_stay_separate_and_exact(tmp_path):
+    cache = StudyCache(tmp_path)
+    keys = {
+        kind: stable_key("stress-kind", kind)
+        for kind in ("har-crawl", "alexa-crawl", "classify")
+    }
+    for kind, key in keys.items():
+        cache.put(kind, key, kind)
+    barrier = threading.Barrier(THREADS)
+
+    def work() -> None:
+        barrier.wait()
+        for _ in range(OPS):
+            for kind, key in keys.items():
+                assert cache.get(kind, key) == kind
+
+    threads = [threading.Thread(target=work) for _ in range(THREADS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    for kind in keys:
+        stats = cache.counters[kind]
+        assert stats.hits == THREADS * OPS
+        assert stats.misses == 0
+        assert stats.writes == 1
+    total = cache.total_stats()
+    assert total.hits == 3 * THREADS * OPS
+    assert total.writes == 3
+
+
+def test_snapshot_is_a_copy_not_a_live_view(tmp_path):
+    cache = StudyCache(tmp_path)
+    key = stable_key("snapshot")
+    cache.put("classify", key, 1)
+    snapshot = cache.stats_snapshot()
+    assert snapshot == {
+        "classify": {"hits": 0, "misses": 0, "writes": 1, "errors": 0}
+    }
+    cache.get("classify", key)
+    # The earlier snapshot must not have moved.
+    assert snapshot["classify"]["hits"] == 0
+    assert cache.stats_snapshot()["classify"]["hits"] == 1
+
+
+def test_total_stats_is_a_detached_snapshot(tmp_path):
+    cache = StudyCache(tmp_path)
+    cache.put("classify", stable_key("total"), 1)
+    total = cache.total_stats()
+    assert isinstance(total, CacheStats)
+    cache.get("classify", stable_key("total"))
+    assert total.hits == 0  # detached from later traffic
