@@ -7,6 +7,7 @@ from repro.analysis.ablation import (
 )
 from repro.analysis.digest import dataset_digest, study_digest
 from repro.analysis.figures import Figure2Result, Figure3Result, figure2, figure3
+from repro.analysis.h3 import H3Result, h3_report
 from repro.analysis.headline import HeadlineStats, headline
 from repro.analysis.longitudinal import (
     EpochSnapshot,
@@ -44,6 +45,8 @@ __all__ = [
     "Figure3Result",
     "figure2",
     "figure3",
+    "H3Result",
+    "h3_report",
     "HeadlineStats",
     "headline",
     "EpochSnapshot",

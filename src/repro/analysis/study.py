@@ -31,6 +31,7 @@ from repro.crawl.shards import pending_items
 from repro.core.session import LifetimeModel
 from repro.evolve.policy import evolution_policy
 from repro.faults.plan import fault_profile, merge_counts
+from repro.h3.plan import h3_profile
 from repro.dnsstudy.study import DnsLoadBalancingStudy, DnsStudyResult
 from repro.runlog import RunContext, RunCoverage
 from repro.runtime import (
@@ -101,6 +102,12 @@ class StudyConfig:
     #: Named ecosystem-churn policy for the evolution epochs; the
     #: default ``"none"`` never enters the evolution engine at all.
     evolution_policy: str = "none"
+    #: Named alt-svc/HTTP-3 adoption profile for the generated world
+    #: (see :mod:`repro.h3`); a first-class study/sweep/cache axis.
+    #: The default ``"none"`` compiles to no plan at all, leaving the
+    #: world and every browser on their pre-h3 code paths (the clean
+    #: golden digest pins this).
+    h3_profile: str = "none"
     #: How many deterministic site shards each crawl/classification
     #: stage is partitioned into (see :mod:`repro.crawl.shards`).  A
     #: site's shard is a hash of the domain alone, and per-shard
@@ -120,6 +127,7 @@ class StudyConfig:
             n_sites=self.n_sites,
             evolution_policy=self.evolution_policy,
             epoch=self.epochs,
+            h3_profile=self.h3_profile,
             **self.ecosystem_overrides,
         )
 
@@ -148,15 +156,19 @@ class StudyConfig:
             )
         fault_profile(self.fault_profile)  # raises ValueError on unknowns
         evolution_policy(self.evolution_policy)  # raises on unknowns
+        h3_profile(self.h3_profile)  # raises ValueError on unknowns
         if self.epochs < 0:
             raise ValueError(f"epochs must be >= 0, got {self.epochs}")
         if self.shards < 1:
             raise ValueError(f"shards must be >= 1, got {self.shards}")
-        overlap = {"evolution_policy", "epoch"} & set(self.ecosystem_overrides)
+        overlap = {
+            "evolution_policy", "epoch", "h3_profile",
+        } & set(self.ecosystem_overrides)
         if overlap:
             raise ValueError(
-                f"set evolution via StudyConfig.epochs/evolution_policy, "
-                f"not ecosystem_overrides ({sorted(overlap)})"
+                f"set scenario axes via StudyConfig (epochs, "
+                f"evolution_policy, h3_profile), not ecosystem_overrides "
+                f"({sorted(overlap)})"
             )
 
     def small(self) -> "StudyConfig":

@@ -54,6 +54,8 @@ class LoadedRequest:
     connection: Http2Connection
     coalesced: bool
     retried_after_421: bool = False
+    #: The request rode an alt-svc-driven h3 upgrade (h3_profile axis).
+    h3_upgraded: bool = False
 
 
 @dataclass(slots=True)
@@ -74,6 +76,8 @@ class PageLoadResult:
     stream_resets: int = 0
     #: 5xx responses observed (including ones cleared by the retry).
     server_errors: int = 0
+    #: Connections obtained as alt-svc h3 upgrades during this load.
+    h3_upgrades: int = 0
 
     @property
     def load_time(self) -> float:
@@ -326,11 +330,14 @@ class PageLoader:
                 result.server_errors += 1
 
         self._store_cookies(record)
+        if pool_decision.h3_upgraded and not retried:
+            result.h3_upgrades += 1
         loaded = LoadedRequest(
             record=record,
             connection=connection,
             coalesced=pool_decision.coalesced and not retried,
             retried_after_421=retried,
+            h3_upgraded=pool_decision.h3_upgraded and not retried,
         )
         result.requests.append(loaded)
         if record.status >= 500:

@@ -56,6 +56,9 @@ class PoolDecision:
     created: bool
     coalesced: bool
     via_origin_frame: bool = False
+    #: The connection is an alt-svc-driven h3 upgrade of a host whose
+    #: first contact negotiated h2 (only with ``h3_discovery``).
+    h3_upgraded: bool = False
 
 
 @dataclass
@@ -72,6 +75,15 @@ class ConnectionPool:
     #: methodology excludes those, which is why the paper's crawls ran
     #: with QUIC disabled.
     enable_quic: bool = False
+    #: Alt-svc *discovery* dynamics (the ``h3_profile`` axis, see
+    #: :mod:`repro.h3`): the first contact with an advertising endpoint
+    #: negotiates the server's ALPN protocol and remembers the alt-svc
+    #: offer; subsequent connections for remembered hosts upgrade to h3
+    #: — preferring an existing coalescable h3 session over a new one.
+    #: This reproduces exactly the h2/h3 switching the paper disabled
+    #: QUIC to avoid (§4.2.2).  Independent of the legacy
+    #: ``enable_quic`` toggle, which upgrades on first contact.
+    h3_discovery: bool = False
     #: Optional fault plan: forwarded to every created connection, and
     #: (for profiles with TLS faults) turns on handshake certificate
     #: verification in :meth:`_create`.
@@ -88,6 +100,11 @@ class ConnectionPool:
     _next_connection_id: int = 1
     coalesced_count: int = 0
     created_count: int = 0
+    # thread-safe: per-visit, like _aliases above.  Hosts whose served
+    # endpoint advertised alt-svc h3 on an earlier contact this visit.
+    _alt_svc_hosts: set[str] = field(default_factory=set, repr=False)
+    #: Connections obtained as h3 upgrades of previously-h2 hosts.
+    h3_upgraded_count: int = 0
 
     def _key(self, host: str, privacy_mode: bool) -> SessionKey:
         if self.ignore_privacy_mode:
@@ -126,6 +143,10 @@ class ConnectionPool:
         ``force_new`` skips all reuse (the 421 retry path).
         """
         key = self._key(host, privacy_mode)
+        # Discovery: a host learned to advertise h3 upgrades its next
+        # connection — an open h2 alias is deliberately skipped (the
+        # mid-visit h2→h3 switch the paper's methodology avoided).
+        wants_h3 = self.h3_discovery and host in self._alt_svc_hosts
 
         if not force_new:
             session = self._aliases.get(key)
@@ -133,15 +154,23 @@ class ConnectionPool:
                 session is not None
                 and session.is_open
                 and session.accepts_new_streams
+                and not (wants_h3 and session.protocol != "h3")
             ):
+                self._learn_alt_svc(host, session)
                 return PoolDecision(connection=session, created=False, coalesced=False)
 
-            if protocol_hint == "h2":
-                coalesced = self._find_coalescable(key, host, ips)
+            if protocol_hint == "h2" or wants_h3:
+                target_protocol = "h3" if wants_h3 else "h2"
+                coalesced = self._find_coalescable(
+                    key, host, ips, protocol=target_protocol
+                )
                 if coalesced is not None:
                     session, via_origin = coalesced
                     self._aliases[key] = session
                     self.coalesced_count += 1
+                    self._learn_alt_svc(host, session)
+                    if wants_h3:
+                        self.h3_upgraded_count += 1
                     if self.netlog is not None:
                         self.netlog.emit(
                             NetLogEventType.HTTP2_SESSION_POOL_FOUND_EXISTING_SESSION,
@@ -155,22 +184,50 @@ class ConnectionPool:
                         created=False,
                         coalesced=True,
                         via_origin_frame=via_origin,
+                        h3_upgraded=wants_h3,
                     )
 
         session = self._create(host, ips, privacy_mode=privacy_mode, now=now)
         if not force_new:
             self._aliases[key] = session
-        return PoolDecision(connection=session, created=True, coalesced=False)
+        self._learn_alt_svc(host, session)
+        upgraded = wants_h3 and session.protocol == "h3"
+        if upgraded:
+            self.h3_upgraded_count += 1
+        return PoolDecision(
+            connection=session, created=True, coalesced=False,
+            h3_upgraded=upgraded,
+        )
+
+    def _learn_alt_svc(self, host: str, session: Http2Connection) -> None:
+        """Remember an alt-svc h3 offer observed on ``host``'s endpoint.
+
+        Only consulted under ``h3_discovery``; the learned set is what
+        turns a *later* connection for the host into an h3 upgrade —
+        the first contact itself always keeps the negotiated protocol.
+        """
+        if self.h3_discovery and getattr(session.server, "alt_svc_h3", False):
+            self._alt_svc_hosts.add(host)
 
     def _find_coalescable(
-        self, key: SessionKey, host: str, ips: tuple[str, ...]
+        self,
+        key: SessionKey,
+        host: str,
+        ips: tuple[str, ...],
+        *,
+        protocol: str = "h2",
     ) -> tuple[Http2Connection, bool] | None:
         ip_set = set(ips)
-        origin = f"https://{host}" if self.honor_origin_frame else None
+        # The ORIGIN frame is an HTTP/2 extension (RFC 8336); h3
+        # coalescing qualifies on IP + certificate coverage only.
+        origin = (
+            f"https://{host}"
+            if self.honor_origin_frame and protocol == "h2" else None
+        )
         for session in self.sessions:
             if not session.is_open or not session.accepts_new_streams:
                 continue
-            if session.protocol != "h2":
+            if session.protocol != protocol:
                 continue
             if not self._partition_matches(session, key.privacy_mode):
                 continue
@@ -222,7 +279,15 @@ class ConnectionPool:
                 trusted_issuers=_TRUSTED_ISSUERS,
             )
         protocol = server.alpn
-        if self.enable_quic and getattr(server, "alt_svc_h3", False):
+        advertises_h3 = getattr(server, "alt_svc_h3", False)
+        if self.h3_discovery:
+            # Discovery dynamics: only hosts with a *previously seen*
+            # alt-svc offer upgrade, and only when the endpoint the
+            # dice landed on still advertises (load-balanced pools may
+            # mix adopters and laggards).
+            if advertises_h3 and host in self._alt_svc_hosts:
+                protocol = "h3"
+        elif self.enable_quic and advertises_h3:
             protocol = "h3"
         session = Http2Connection(
             connection_id=self._next_connection_id,

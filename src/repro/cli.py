@@ -14,6 +14,9 @@ Usage (after ``pip install -e .``)::
     python -m repro study --sites 400 --epochs 3 --evolution-policy dns-churn
     python -m repro sweep --sites 200 --epochs 2 --grid evolution_policy=none,mixed
     python -m repro evolve --sites 200 --policy cert-rotation --epochs 5
+    python -m repro study --sites 400 --h3-profile broad --headline
+    python -m repro sweep --sites 200 --grid h3_profile=none,cdn-first,broad
+    python -m repro h3 --h3-profile broad --seed 7 --n-sites 120
     python -m repro audit site000004.com --sites 150
     python -m repro dnsstudy --days 2
     python -m repro mitigations --sites 200
@@ -98,7 +101,13 @@ def _add_runtime_args(parser: argparse.ArgumentParser) -> None:
         "--evolution-policy", default="none",
         help="named ecosystem-churn policy evolving the world per "
              "epoch: none, cert-rotation, dns-churn, cdn-migration, "
-             "shard-consolidation or mixed (see repro.evolve)",
+             "shard-consolidation, h3-rollout or mixed (see repro.evolve)",
+    )
+    parser.add_argument(
+        "--h3-profile", default="none",
+        help="named HTTP/3 alt-svc adoption profile for the synthetic "
+             "world: none, cdn-first, broad, or adopt-<fraction> "
+             "(see repro.h3)",
     )
 
 
@@ -127,6 +136,7 @@ def _study_from_args(args):
         fault_profile=getattr(args, "fault_profile", "none"),
         epochs=getattr(args, "epochs", 0),
         evolution_policy=getattr(args, "evolution_policy", "none"),
+        h3_profile=getattr(args, "h3_profile", "none"),
         shards=getattr(args, "shards", 1),
     )
     cache = _cache_from_args(args)
@@ -229,6 +239,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     resilience.add_argument("--sites", type=int, default=200)
     _add_runtime_args(resilience)
+
+    h3 = commands.add_parser(
+        "h3",
+        help="run an h3-rollout study and diff it against its h2-only "
+             "baseline (protocol split, reuse deltas, what-if coalescing "
+             "potential)",
+    )
+    h3.add_argument(
+        "--sites", "--n-sites", dest="sites", type=int, default=200,
+        help="universe size (both spellings accepted)",
+    )
+    _add_runtime_args(h3)
 
     evolve = commands.add_parser(
         "evolve",
@@ -406,6 +428,7 @@ def _cmd_sweep(args) -> int:
         fault_profile=args.fault_profile,
         epochs=args.epochs,
         evolution_policy=args.evolution_policy,
+        h3_profile=args.h3_profile,
         shards=args.shards,
     )
     try:
@@ -539,6 +562,7 @@ def _cmd_resilience(args) -> int:
         fault_profile=args.fault_profile,
         epochs=args.epochs,
         evolution_policy=args.evolution_policy,
+        h3_profile=args.h3_profile,
         shards=args.shards,
     )
     try:
@@ -566,6 +590,52 @@ def _cmd_resilience(args) -> int:
     return 0
 
 
+def _cmd_h3(args) -> int:
+    from dataclasses import replace
+
+    from repro.analysis.h3 import h3_report
+    from repro.analysis.study import Study, StudyConfig
+
+    if args.h3_profile == "none":
+        print("error: h3 needs --h3-profile (e.g. cdn-first, broad, "
+              "adopt-0.25)", file=sys.stderr)
+        return 2
+    h3_config = StudyConfig(
+        seed=args.seed,
+        n_sites=args.sites,
+        executor=args.executor,
+        parallelism=args.jobs,
+        fault_profile=args.fault_profile,
+        epochs=args.epochs,
+        evolution_policy=args.evolution_policy,
+        h3_profile=args.h3_profile,
+        shards=args.shards,
+    )
+    try:
+        h3_config.validate()
+        executor = h3_config.make_executor()
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    cache = _cache_from_args(args)
+    if args.resume and cache is None:
+        print("error: --resume requires --cache-dir (the journals live "
+              "under the cache)", file=sys.stderr)
+        return 2
+    with executor:
+        baseline = Study.run(
+            replace(h3_config, h3_profile="none"),
+            executor=executor, cache=cache,
+            resume=args.resume, strict=args.strict,
+        )
+        h3_study = Study.run(
+            h3_config, executor=executor, cache=cache,
+            resume=args.resume, strict=args.strict,
+        )
+    print(h3_report(baseline, h3_study).render())
+    return 0
+
+
 def _cmd_evolve(args) -> int:
     from repro.analysis.study import StudyConfig
     from repro.evolve import run_longitudinal
@@ -585,6 +655,7 @@ def _cmd_evolve(args) -> int:
         executor=args.executor,
         parallelism=args.jobs,
         fault_profile=args.fault_profile,
+        h3_profile=args.h3_profile,
         shards=args.shards,
     )
     cache = _cache_from_args(args)
@@ -810,6 +881,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "validate": _cmd_validate,
     "resilience": _cmd_resilience,
+    "h3": _cmd_h3,
     "evolve": _cmd_evolve,
     "bench": _cmd_bench,
     "lint": _cmd_lint,

@@ -54,6 +54,12 @@ class AttributionIndex:
     all_issuers: dict[str, IssuerAttribution] = field(default_factory=dict)
     ip_as_connections: Counter = field(default_factory=Counter)
     ip_as_domains: dict[str, set[str]] = field(default_factory=lambda: defaultdict(set))
+    #: Per-protocol cause split: protocol ("h2"/"h3") → Counter of
+    #: cause values.  All-h2 on worlds without an ``h3_profile``; the
+    #: ``repro h3`` report renders the split (see :mod:`repro.h3`).
+    protocol_causes: dict[str, Counter] = field(
+        default_factory=lambda: defaultdict(Counter)
+    )
 
     def add_site(self, classification: SiteClassification) -> None:
         """Fold one classified site into the index."""
@@ -65,6 +71,7 @@ class AttributionIndex:
             issuer.domains.add(record.domain)
 
         for hit in classification.hits:
+            self.protocol_causes[hit.record.protocol][hit.cause.value] += 1
             if hit.cause is Cause.IP:
                 origin = self.ip_origins.setdefault(
                     hit.record.domain, OriginAttribution(origin=hit.record.domain)

@@ -53,6 +53,10 @@ class SiteClassification:
     records: list[SessionRecord] = field(default_factory=list)
     hits: list[CauseHit] = field(default_factory=list)
     excluded_domains: set[str] = field(default_factory=set)
+    #: HTTP/3 sessions observed (0 everywhere the world's ``h3_profile``
+    #: is ``"none"``); with h3 present, ``records`` holds the joint
+    #: h2+h3 eligible set and redundancy is judged per protocol.
+    h3_connections: int = 0
 
     @property
     def redundant_records(self) -> list[SessionRecord]:
@@ -95,28 +99,43 @@ def classify_site(
     *,
     model: LifetimeModel = LifetimeModel.ACTUAL,
 ) -> SiteClassification:
-    """Classify one site's connections under a lifetime model."""
+    """Classify one site's connections under a lifetime model.
+
+    Multiplexed sessions of both generations are eligible: HTTP/2 (the
+    paper's corpus) and, for worlds with an active ``h3_profile``,
+    HTTP/3.  A connection's redundancy witnesses are restricted to
+    priors of the *same* protocol — an h3 session cannot be sent over
+    an h2 one or vice versa, so the CERT/IP/CRED attribution naturally
+    splits by protocol (h3-free inputs classify byte-identically to the
+    h2-only classifier this extends).
+    """
     excluded = _excluded_domains(records)
-    h2_records = sorted(
-        (record for record in records if record.protocol == "h2"),
+    eligible = sorted(
+        (record for record in records if record.protocol in ("h2", "h3")),
         key=lambda record: (record.start, record.connection_id),
     )
     considered = [
-        record for record in h2_records if record.domain not in excluded
+        record for record in eligible if record.domain not in excluded
     ]
     result = SiteClassification(
         site=site,
         total_connections=len(records),
-        h2_connections=len(h2_records),
-        records=h2_records,
+        h2_connections=sum(
+            1 for record in eligible if record.protocol == "h2"
+        ),
+        records=eligible,
         excluded_domains=excluded,
+        h3_connections=sum(
+            1 for record in eligible if record.protocol == "h3"
+        ),
     )
 
     for index, record in enumerate(considered):
         priors = [
             prior
             for prior in considered[:index]
-            if prior.alive_at(record.start, model)
+            if prior.protocol == record.protocol
+            and prior.alive_at(record.start, model)
         ]
         if not priors:
             continue

@@ -28,6 +28,9 @@ class CorpusReport:
     h2_sites: int = 0
     total_connections: int = 0
     h2_connections: int = 0
+    #: HTTP/3 sessions across the corpus (0 unless the world's
+    #: ``h3_profile`` is active; see :mod:`repro.h3`).
+    h3_connections: int = 0
     redundant_sites: int = 0
     redundant_connections: int = 0
     by_cause: dict[Cause, CauseCounts] = field(
@@ -40,6 +43,9 @@ class CorpusReport:
         """Fold one site's classification into the report."""
         self.total_sites += 1
         self.total_connections += classification.total_connections
+        # Folded before the h2 gate: an all-h3 site still contributes
+        # its protocol split even though the h2 tables skip it.
+        self.h3_connections += getattr(classification, "h3_connections", 0)
         if classification.h2_connections == 0:
             return
         self.h2_sites += 1

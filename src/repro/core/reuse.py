@@ -5,6 +5,11 @@ resolves to the same destination IP that A is using (+ matching ports)
 and if A's TLS certificate includes D" (§2.2.2).  This module states the
 rule once so the classifier, the browser pool tests and the mitigation
 ablations all agree on what *should* have been reusable.
+
+HTTP/3 applies the same authority rule (RFC 9114 §3.3 inherits the
+coalescing conditions), but a request can only ride a connection of the
+*same* protocol — pass ``protocol="h3"`` to ask the h3 variant of the
+question (the ``h3_profile`` axis, see :mod:`repro.h3`).
 """
 
 from __future__ import annotations
@@ -13,11 +18,21 @@ from repro.core.session import SessionRecord
 
 __all__ = ["could_reuse", "reuse_blockers"]
 
+#: Multiplexed protocols the reuse rule is defined over.
+_MULTIPLEXED = {"h2": "HTTP/2", "h3": "HTTP/3"}
 
-def could_reuse(existing: SessionRecord, domain: str, ip: str, port: int = 443) -> bool:
+
+def could_reuse(
+    existing: SessionRecord,
+    domain: str,
+    ip: str,
+    port: int = 443,
+    *,
+    protocol: str = "h2",
+) -> bool:
     """Does the RFC allow sending ``domain``@``ip`` over ``existing``?"""
     return (
-        existing.protocol == "h2"
+        existing.protocol == protocol
         and existing.ip == ip
         and existing.port == port
         and existing.covers(domain)
@@ -25,12 +40,20 @@ def could_reuse(existing: SessionRecord, domain: str, ip: str, port: int = 443) 
 
 
 def reuse_blockers(
-    existing: SessionRecord, domain: str, ip: str, port: int = 443
+    existing: SessionRecord,
+    domain: str,
+    ip: str,
+    port: int = 443,
+    *,
+    protocol: str = "h2",
 ) -> list[str]:
     """Human-readable reasons reuse is *not* allowed (empty = allowed)."""
+    wanted = _MULTIPLEXED.get(protocol, protocol)
     blockers = []
-    if existing.protocol != "h2":
-        blockers.append(f"existing connection is {existing.protocol}, not HTTP/2")
+    if existing.protocol != protocol:
+        blockers.append(
+            f"existing connection is {existing.protocol}, not {wanted}"
+        )
     if existing.ip != ip:
         blockers.append(f"destination IP differs ({existing.ip} vs {ip})")
     if existing.port != port:

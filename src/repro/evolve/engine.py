@@ -137,6 +137,8 @@ def _evolve_site(ecosystem: "Ecosystem", site: Website, plan: EpochPlan) -> None
         _migrate_site(ecosystem, domains, plan)
     if plan.fires(ChurnKind.ORIGIN_FLIP):
         _flip_origin_frames(ecosystem, domains)
+    if plan.fires(ChurnKind.H3_ROLLOUT):
+        _rollout_h3(ecosystem, domains)
     _rekey_credentials(site, plan)
 
 
@@ -241,6 +243,19 @@ def _flip_origin_frames(ecosystem: "Ecosystem", domains: list[str]) -> None:
         return
     advertise = not servers[0].origin_frame_origins
     ecosystem.set_origin_frames(servers, advertise)
+
+
+def _rollout_h3(ecosystem: "Ecosystem", domains: list[str]) -> None:
+    """Light up alt-svc h3 advertisement on the site's fleet.
+
+    A one-way door, like real deployments: rollout only ever *adds*
+    advertising endpoints, so it commutes with the generate-time
+    adoption of :func:`repro.h3.plan.apply_h3_adoption`.  Browsers only
+    measure the flag under an active ``h3_profile``; a pure h3 rollout
+    is invisible to an ``h3_profile="none"`` study.
+    """
+    for server in ecosystem.fleet_for(domains):
+        server.alt_svc_h3 = True
 
 
 #: Resource types whose credential mode services re-key in practice;

@@ -14,7 +14,7 @@ the sweep grid and the study cache as plain strings:
 
 >>> from repro.evolve.policy import evolution_policy, policy_names
 >>> policy_names()
-['cdn-migration', 'cert-rotation', 'dns-churn', 'mixed', 'none', 'shard-consolidation']
+['cdn-migration', 'cert-rotation', 'dns-churn', 'h3-rollout', 'mixed', 'none', 'shard-consolidation']
 >>> evolution_policy("cert-rotation").empty
 False
 >>> evolution_policy("none").empty
@@ -23,7 +23,8 @@ True
 Traceback (most recent call last):
     ...
 ValueError: unknown evolution policy 'nope'; registered policies: \
-['cdn-migration', 'cert-rotation', 'dns-churn', 'mixed', 'none', 'shard-consolidation']
+['cdn-migration', 'cert-rotation', 'dns-churn', 'h3-rollout', 'mixed', 'none', \
+'shard-consolidation']
 """
 
 from __future__ import annotations
@@ -59,13 +60,18 @@ class ChurnKind(enum.Enum):
     ORIGIN_FLIP = "origin-flip"
     # Sharding (page-structure consolidation)
     SHARD_DROP = "shard-drop"
+    # HTTP/3 (alt-svc advertisement lights up on the site's fleet;
+    # measured only by browsers under an active h3_profile — see
+    # repro.h3 — so a pure h3 rollout is digest-invisible to studies
+    # still running with h3_profile="none", like the paper's)
+    H3_ROLLOUT = "h3-rollout"
 
 
 #: Kinds the engine decides once per *website*.
 SITE_KINDS = frozenset(
     (ChurnKind.CERT_ROTATE, ChurnKind.CERT_SPLIT, ChurnKind.CERT_MERGE,
      ChurnKind.CRED_REKEY, ChurnKind.CDN_MIGRATE, ChurnKind.ORIGIN_FLIP,
-     ChurnKind.SHARD_DROP)
+     ChurnKind.SHARD_DROP, ChurnKind.H3_ROLLOUT)
 )
 
 #: Kinds the engine decides once per *DNS address entry*.
@@ -184,6 +190,13 @@ POLICIES: dict[str, EvolutionPolicy] = {
             "sharded sites fold their shards back into the root domain "
             "(reuse opportunities decay)",
             _SHARD_CONSOLIDATION,
+        ),
+        EvolutionPolicy(
+            "h3-rollout",
+            "site fleets light up alt-svc h3 advertisement epoch over "
+            "epoch (pairs with the h3_profile study axis; deliberately "
+            "absent from 'mixed' so the longitudinal golden stays h2)",
+            (ChurnSpec(ChurnKind.H3_ROLLOUT, rate=0.15),),
         ),
         EvolutionPolicy(
             "mixed",

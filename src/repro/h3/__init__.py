@@ -1,0 +1,23 @@
+"""Deterministic alt-svc/HTTP-3 adoption plans (the ``h3_profile`` axis)."""
+
+from repro.h3.plan import (
+    PROFILES,
+    H3Kind,
+    H3Plan,
+    H3Profile,
+    H3Spec,
+    apply_h3_adoption,
+    h3_profile,
+    profile_names,
+)
+
+__all__ = [
+    "H3Kind",
+    "H3Spec",
+    "H3Profile",
+    "H3Plan",
+    "PROFILES",
+    "apply_h3_adoption",
+    "h3_profile",
+    "profile_names",
+]

@@ -119,6 +119,7 @@ _STUDY_FIELDS: dict[str, Callable[[Any], Any]] = {
     "fault_profile": _str,
     "epochs": _int,
     "evolution_policy": _str,
+    "h3_profile": _str,
     "shards": _int,
 }
 

@@ -76,8 +76,10 @@ __all__ = [
 #: EcosystemConfig grew the evolution axes (evolution_policy, epoch).
 #: Format 3: stage artefacts are stored per shard under per-site-set
 #: keys (base ecosystem config + evolution token + the shard's domain
-#: tuple) instead of one whole-study entry per stage.
-CACHE_FORMAT = 3
+#: tuple) instead of one whole-study entry per stage.  Format 4:
+#: SiteClassification grew the h3 protocol split (h3_connections and
+#: joint h2+h3 record lists under an active h3_profile).
+CACHE_FORMAT = 4
 
 #: The artefact kinds the cache stores.  ``_path`` validates against
 #: this set so a malformed kind can never address a directory outside

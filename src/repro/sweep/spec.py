@@ -14,7 +14,9 @@ elements with ``+``, e.g. ``--grid alexa_variants=fetch+nofetch,fetch``.
 Fault and evolution scenarios sweep like any other axis (a policy only
 applies when ``epochs`` is positive, so pair the two):
 ``--grid fault_profile=none,flaky-dns``,
-``--epochs 2 --grid evolution_policy=none,mixed``.
+``--epochs 2 --grid evolution_policy=none,mixed``, and the HTTP/3
+rollout axis sweeps named or fractional adoption profiles:
+``--grid h3_profile=none,cdn-first,broad,adopt-0.25``.
 
 >>> from repro.sweep import SweepSpec
 >>> SweepSpec.parse_axes(["n_sites=120,240", "evolution_policy=none,mixed"])
@@ -29,8 +31,8 @@ Traceback (most recent call last):
     ...
 ValueError: field 'bogus' is not sweepable from the CLI; choose from \
 ['alexa_share', 'alexa_variants', 'dns_study_days', 'epochs', \
-'evolution_policy', 'executor', 'fault_profile', 'ha_sample_share', \
-'har_models', 'n_sites', 'parallelism', 'shards']
+'evolution_policy', 'executor', 'fault_profile', 'h3_profile', \
+'ha_sample_share', 'har_models', 'n_sites', 'parallelism', 'shards']
 """
 
 from __future__ import annotations
@@ -60,6 +62,7 @@ _AXIS_PARSERS = {
     "fault_profile": str,
     "epochs": int,
     "evolution_policy": str,
+    "h3_profile": str,
     "shards": int,
 }
 

@@ -114,6 +114,11 @@ class EcosystemConfig:
     #: How many churn epochs have been applied to this world; 0 is the
     #: pristine just-generated state every pre-evolution study measured.
     epoch: int = 0
+    # ---- HTTP/3 rollout (see repro.h3) -------------------------------
+    #: Named alt-svc adoption profile deciding which origin fleets and
+    #: third-party providers advertise ``h3``; ``"none"`` compiles to
+    #: no plan at all (the hook is provably inert).
+    h3_profile: str = "none"
 
 
 @dataclass
@@ -218,6 +223,13 @@ class Ecosystem:
             websites=websites,
         )
         ecosystem._by_domain = {site.domain: site for site in websites}
+        if config.h3_profile != "none":
+            # Imported lazily for the same layering reason as evolve
+            # below; applied before churn so an h3-rollout policy can
+            # extend an already-adopted world.
+            from repro.h3.plan import apply_h3_adoption
+
+            apply_h3_adoption(ecosystem)
         if config.epoch > 0 and config.evolution_policy != "none":
             # Imported lazily: repro.evolve sits above the web layer and
             # is only needed for worlds that actually evolve.

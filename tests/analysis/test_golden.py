@@ -23,13 +23,13 @@ _GOLDEN_DIR = Path(__file__).resolve().parents[1] / "golden"
 @pytest.fixture(scope="module")
 def golden_artifacts(
     golden_regen, golden_study, faulted_golden_study,
-    longitudinal_golden_result,
+    longitudinal_golden_result, h3_golden_study,
 ) -> dict[str, str]:
     """Live render of every golden artefact at the pinned configs.
 
     The studies come from session-scoped fixtures (see conftest), so
-    the faults and evolve differential suites reuse them instead of
-    re-running more n=120 pipelines.
+    the faults, evolve and h3 differential suites reuse them instead
+    of re-running more n=120 pipelines.
     """
     artifacts = golden_regen.render_artifacts(golden_study)
     artifacts.update(
@@ -40,6 +40,7 @@ def golden_artifacts(
             longitudinal_golden_result.digests()
         )
     )
+    artifacts.update(golden_regen.render_h3_artifacts(h3_golden_study))
     return artifacts
 
 

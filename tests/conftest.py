@@ -60,6 +60,12 @@ def faulted_golden_study(golden_regen) -> Study:
 
 
 @pytest.fixture(scope="session")
+def h3_golden_study(golden_regen) -> Study:
+    """The canonical h3-rollout study (same scale, broad profile)."""
+    return Study.run(golden_regen.h3_config())
+
+
+@pytest.fixture(scope="session")
 def longitudinal_golden_result(golden_regen):
     """The pinned longitudinal sequence (mixed policy, epochs 0..2).
 

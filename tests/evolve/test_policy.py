@@ -19,8 +19,8 @@ from repro.evolve.policy import (
 class TestRegistry:
     def test_expected_policies_registered(self):
         assert policy_names() == [
-            "cdn-migration", "cert-rotation", "dns-churn", "mixed",
-            "none", "shard-consolidation",
+            "cdn-migration", "cert-rotation", "dns-churn", "h3-rollout",
+            "mixed", "none", "shard-consolidation",
         ]
 
     def test_none_is_empty(self):
@@ -32,12 +32,15 @@ class TestRegistry:
 
     def test_mixed_covers_every_axis_at_half_rate(self):
         mixed = evolution_policy("mixed")
-        # Every kind of every single-axis policy appears in mixed.
+        # Every kind of every pre-h3 single-axis policy appears in
+        # mixed; h3-rollout stays out so the pinned longitudinal
+        # golden remains h2-only.
         single_axis_kinds = set()
         for name in ("cert-rotation", "dns-churn", "cdn-migration",
                      "shard-consolidation"):
             single_axis_kinds |= evolution_policy(name).kinds
         assert mixed.kinds == single_axis_kinds
+        assert ChurnKind.H3_ROLLOUT not in mixed.kinds
         # And the rate of each is half its primary policy's rate.
         rotate = evolution_policy("cert-rotation").spec_for(
             ChurnKind.CERT_ROTATE

@@ -34,6 +34,11 @@ FAULTED_PROFILE = "chaos"
 LONGITUDINAL_POLICY = "mixed"
 LONGITUDINAL_EPOCHS = 2
 
+#: The canonical HTTP/3 rollout scenario: the widest named adoption
+#: profile, so origin fleets *and* third-party providers advertise h3
+#: and every discovery/coalescing/attribution hook contributes.
+H3_PROFILE = "broad"
+
 
 def golden_config():
     from repro.analysis.study import StudyConfig
@@ -47,6 +52,13 @@ def faulted_config():
     from dataclasses import replace
 
     return replace(golden_config(), fault_profile=FAULTED_PROFILE)
+
+
+def h3_config():
+    """The h3-golden configuration (seed=7, n=120, broad rollout)."""
+    from dataclasses import replace
+
+    return replace(golden_config(), h3_profile=H3_PROFILE)
 
 
 def render_longitudinal_artifact(digests) -> str:
@@ -79,6 +91,14 @@ def render_faulted_artifacts(faulted_study) -> dict[str, str]:
     return {"faulted_digest.txt": study_digest(faulted_study) + "\n"}
 
 
+def render_h3_artifacts(h3_study) -> dict[str, str]:
+    """The h3-study golden: pins the broad-rollout digest the way
+    ``faulted_digest.txt`` pins the chaos scenario."""
+    from repro.analysis import study_digest
+
+    return {"h3_digest.txt": study_digest(h3_study) + "\n"}
+
+
 def main() -> int:
     from repro.analysis.study import Study
     from repro.evolve import run_longitudinal
@@ -86,6 +106,7 @@ def main() -> int:
     study = Study.run(golden_config())
     artifacts = render_artifacts(study)
     artifacts.update(render_faulted_artifacts(Study.run(faulted_config())))
+    artifacts.update(render_h3_artifacts(Study.run(h3_config())))
     longitudinal = run_longitudinal(
         golden_config(), policy=LONGITUDINAL_POLICY,
         epochs=LONGITUDINAL_EPOCHS,

@@ -1,0 +1,48 @@
+"""Fixtures for the HTTP/3 rollout (:mod:`repro.h3`) suite.
+
+The expensive world (a broad-rollout 120-site ecosystem) is
+session-scoped like ``small_ecosystem``; the golden-scale h3 study
+comes from the top-level ``h3_golden_study`` fixture so the pinned
+digest is built exactly once per run.
+"""
+
+from __future__ import annotations
+
+import random
+from pathlib import Path
+
+import pytest
+
+from repro.browser.browser import BrowserConfig, ChromiumBrowser
+from repro.util.clock import SimClock
+from repro.web.ecosystem import Ecosystem, EcosystemConfig
+
+
+@pytest.fixture(scope="session")
+def h3_ecosystem() -> Ecosystem:
+    """The shared small world under the broad alt-svc rollout."""
+    return Ecosystem.generate(
+        EcosystemConfig(seed=7, n_sites=120, h3_profile="broad")
+    )
+
+
+@pytest.fixture()
+def h3_browser_factory(h3_ecosystem: Ecosystem):
+    """Factory for browsers over the broad-rollout world."""
+
+    def make(config: BrowserConfig | None = None,
+             seed: int = 1234) -> ChromiumBrowser:
+        return ChromiumBrowser(
+            ecosystem=h3_ecosystem,
+            resolver=h3_ecosystem.make_resolver(),
+            clock=SimClock(),
+            rng=random.Random(seed),
+            config=config or BrowserConfig(),
+        )
+
+    return make
+
+
+@pytest.fixture()
+def repo_root() -> Path:
+    return Path(__file__).resolve().parents[2]

@@ -1,0 +1,161 @@
+"""Unit tests for the alt-svc adoption plan layer (:mod:`repro.h3`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.h3 import (
+    PROFILES,
+    H3Kind,
+    H3Plan,
+    H3Profile,
+    H3Spec,
+    apply_h3_adoption,
+    h3_profile,
+    profile_names,
+)
+from repro.web.ecosystem import Ecosystem, EcosystemConfig
+
+
+class TestRegistry:
+    def test_registered_names(self):
+        assert profile_names() == ["broad", "cdn-first", "none"]
+
+    def test_none_is_empty(self):
+        assert h3_profile("none").empty
+        assert not h3_profile("cdn-first").empty
+        assert not h3_profile("broad").empty
+
+    def test_cdn_first_shape(self):
+        profile = h3_profile("cdn-first")
+        assert profile.fraction_for(H3Kind.PROVIDER_ADOPT) > (
+            profile.fraction_for(H3Kind.ORIGIN_ADOPT)
+        )
+
+    def test_broad_adopts_more_than_cdn_first(self):
+        for kind in H3Kind:
+            assert h3_profile("broad").fraction_for(kind) >= (
+                h3_profile("cdn-first").fraction_for(kind)
+            )
+
+    def test_unknown_profile_lists_names(self):
+        with pytest.raises(ValueError) as error:
+            h3_profile("warp")
+        message = str(error.value)
+        assert "'warp'" in message
+        for name in profile_names():
+            assert name in message
+        assert "adopt-<fraction>" in message
+
+    def test_lookup_returns_registry_object(self):
+        assert h3_profile("broad") is PROFILES["broad"]
+
+
+class TestAdoptFractionProfiles:
+    def test_synthesised_fractions(self):
+        profile = h3_profile("adopt-0.4")
+        assert profile.fraction_for(H3Kind.ORIGIN_ADOPT) == 0.4
+        assert profile.fraction_for(H3Kind.PROVIDER_ADOPT) == 0.4
+        assert not profile.empty
+
+    def test_integer_spelling(self):
+        assert h3_profile("adopt-1").fraction_for(H3Kind.ORIGIN_ADOPT) == 1.0
+
+    @pytest.mark.parametrize("name", ["adopt-1.5", "adopt--0.1", "adopt-",
+                                      "adopt-x", "adopt-0.5x"])
+    def test_out_of_range_or_malformed_rejected(self, name):
+        with pytest.raises(ValueError):
+            h3_profile(name)
+
+
+class TestSpecsAndProfiles:
+    def test_fraction_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            H3Spec(H3Kind.ORIGIN_ADOPT, fraction=1.01)
+        with pytest.raises(ValueError):
+            H3Spec(H3Kind.ORIGIN_ADOPT, fraction=-0.01)
+
+    def test_duplicate_kinds_rejected(self):
+        with pytest.raises(ValueError):
+            H3Profile("dup", "duplicate", (
+                H3Spec(H3Kind.ORIGIN_ADOPT, 0.1),
+                H3Spec(H3Kind.ORIGIN_ADOPT, 0.2),
+            ))
+
+
+class TestCompile:
+    def test_none_compiles_to_no_plan(self):
+        assert H3Plan.compile("none", seed=7) is None
+        assert H3Plan.compile(h3_profile("none"), seed=7) is None
+
+    def test_named_profile_compiles(self):
+        plan = H3Plan.compile("broad", seed=7)
+        assert plan is not None
+        assert plan.profile is PROFILES["broad"]
+        assert plan.seed == 7
+
+    def test_zero_fraction_never_adopts(self):
+        plan = H3Plan.compile("adopt-0.0", seed=7)
+        assert plan is not None  # non-empty profile, inert verdicts
+        assert not any(
+            plan.adopts(kind, f"site{i:03d}.com")
+            for kind in H3Kind for i in range(50)
+        )
+
+    def test_full_fraction_always_adopts(self):
+        plan = H3Plan.compile("adopt-1.0", seed=7)
+        assert all(
+            plan.adopts(kind, f"site{i:03d}.com")
+            for kind in H3Kind for i in range(50)
+        )
+
+
+class TestApplyAdoption:
+    def _world(self, profile: str) -> Ecosystem:
+        return Ecosystem.generate(
+            EcosystemConfig(seed=7, n_sites=40, h3_profile=profile)
+        )
+
+    def test_none_profile_applies_nothing(self):
+        assert apply_h3_adoption(self._world("none")) == ()
+
+    def test_broad_profile_adopts_both_populations(self):
+        counts = dict(apply_h3_adoption(self._world("broad")))
+        assert counts.get("origin-adopt", 0) > 0
+        assert counts.get("provider-adopt", 0) > 0
+
+    def test_application_is_idempotent(self):
+        # Flags are only ever set, never cleared: a second application
+        # (e.g. h3-rollout churn after generation) changes nothing.
+        world = self._world("broad")
+        before = {
+            site.domain: [
+                server.alt_svc_h3
+                for server in world.fleet_for([site.domain])
+            ]
+            for site in world.websites
+        }
+        apply_h3_adoption(world)
+        after = {
+            site.domain: [
+                server.alt_svc_h3
+                for server in world.fleet_for([site.domain])
+            ]
+            for site in world.websites
+        }
+        assert before == after
+
+    def test_broad_world_advertises_more_than_clean(self):
+        def advertising(world: Ecosystem) -> int:
+            count = 0
+            for site in world.websites:
+                domains = [site.domain, *site.shard_domains()]
+                count += sum(
+                    1 for server in world.fleet_for(domains)
+                    if server.alt_svc_h3
+                )
+            return count
+
+        assert advertising(self._world("broad")) > (
+            advertising(self._world("none"))
+        )

@@ -1,0 +1,106 @@
+"""Cache correctness of the ``h3_profile`` axis.
+
+Two acceptance properties, in the PR-7 style:
+
+* **statically** — ``h3_profile`` reaches every stage/shard key through
+  the ``ecosystem_config()`` router; deleting that single routing line
+  from the live sources turns the ``cache-key`` lint rule red;
+* **dynamically** — a :class:`~repro.store.StudyCache` warmed under one
+  profile never serves a study running another (the keys differ), so a
+  rollout can never leak cached h2-only artefacts.
+"""
+
+from __future__ import annotations
+
+import shutil
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis.digest import study_digest
+from repro.analysis.study import Study, StudyConfig
+from repro.lint import Project
+from repro.lint.rules import CacheKeyRule
+from repro.store import StudyCache
+
+#: The real files the StudyConfig completeness check reads (the same
+#: set the lint suite uses): the config itself, both crawlers'
+#: shard/stage keys, and the world-identity key.
+_REAL_KEY_FILES = (
+    "src/repro/analysis/study.py",
+    "src/repro/crawl/alexa.py",
+    "src/repro/crawl/httparchive.py",
+    "src/repro/web/ecosystem.py",
+)
+
+
+class TestStaticKeyCoverage:
+    """The lint acceptance property, on copies of the live sources."""
+
+    @pytest.fixture()
+    def real_tree(self, tmp_path, repo_root):
+        for rel in _REAL_KEY_FILES:
+            target = tmp_path / rel
+            target.parent.mkdir(parents=True, exist_ok=True)
+            shutil.copy(repo_root / rel, target)
+        return tmp_path
+
+    def _run(self, root):
+        project = Project.load(root, ["src"])
+        return list(CacheKeyRule().check(project))
+
+    def test_pristine_sources_pass(self, real_tree):
+        assert self._run(real_tree) == []
+
+    def test_deleting_h3_profile_routing_fails(self, real_tree):
+        # h3_profile reaches the keys only via the ecosystem_config()
+        # routing line; removing it must turn the rule red (were the
+        # field also read inside a key function, this deletion would
+        # pass silently and the coverage would be redundant).
+        path = real_tree / "src/repro/analysis/study.py"
+        munged = path.read_text().replace(
+            "\n            h3_profile=self.h3_profile,", "", 1
+        )
+        assert munged != path.read_text(), "munge missed the routing line"
+        path.write_text(munged)
+        findings = self._run(real_tree)
+        assert any(
+            "StudyConfig.h3_profile" in finding.message
+            for finding in findings
+        ), [finding.message for finding in findings]
+
+
+@pytest.mark.slow
+class TestCrossProfileCacheMiss:
+    def test_warm_cache_never_serves_another_profile(self, tmp_path):
+        cache = StudyCache(tmp_path / "cache")
+        config = StudyConfig(seed=7, n_sites=40, dns_study_days=0.25)
+
+        clean = Study.run(config, cache=cache)
+        cold = cache.total_stats()
+        assert cold.writes > 0
+
+        # Identical rerun: pure hits, nothing recomputed.
+        rerun = Study.run(config, cache=cache)
+        warm = cache.total_stats()
+        assert warm.hits > cold.hits
+        assert warm.misses == cold.misses
+        assert study_digest(rerun) == study_digest(clean)
+
+        # Same scale under a rollout: every stage lookup must miss.
+        broad = Study.run(
+            replace(config, h3_profile="broad"), cache=cache
+        )
+        crossed = cache.total_stats()
+        assert crossed.misses > warm.misses
+        assert crossed.hits == warm.hits
+        assert study_digest(broad) != study_digest(clean)
+
+        # And the rollout's own artefacts cache cleanly in turn.
+        rebroad = Study.run(
+            replace(config, h3_profile="broad"), cache=cache
+        )
+        rewarm = cache.total_stats()
+        assert rewarm.hits > crossed.hits
+        assert rewarm.misses == crossed.misses
+        assert study_digest(rebroad) == study_digest(broad)

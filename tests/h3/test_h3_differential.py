@@ -1,0 +1,131 @@
+"""The differential h3 invariants.
+
+Mirrors ``tests/faults/test_differential.py`` for the ``h3_profile``
+axis:
+
+1. **Determinism under rollout** — for every named adoption profile,
+   serial, thread and process executors must produce byte-identical
+   ``study_digest``s, and the digest must be shard-count-invariant:
+   adoption verdicts are pure threshold hashes of ``(seed, name)``, so
+   neither scheduling nor partitioning may leak in.
+2. **Inertness of the empty profile** — ``h3_profile="none"`` compiles
+   to no plan at all; the pinned clean golden digest (captured before
+   the h3 machinery existed) must reproduce exactly, and the canonical
+   broad-rollout study must match its own pinned digest so the h3
+   numbers are regression-locked like Table 1.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.digest import study_digest
+from repro.analysis.study import Study, StudyConfig
+from repro.runtime import ProcessExecutor, ThreadExecutor
+
+pytestmark = pytest.mark.slow
+
+_GOLDEN_DIR = Path(__file__).resolve().parents[1] / "golden"
+
+#: Every named (non-empty) adoption profile.
+PROFILES = ("cdn-first", "broad")
+
+#: Differential scale: small enough to afford the executor x profile x
+#: shard matrix, large enough that both populations adopt.
+_SCALE = dict(n_sites=40, dns_study_days=0.25)
+
+#: Shard counts the digest must be invariant over (1 is the serial
+#: baseline's default).
+_SHARD_COUNTS = (2, 3, 7)
+
+
+def _config(profile: str, **overrides) -> StudyConfig:
+    return StudyConfig(seed=7, h3_profile=profile, **_SCALE, **overrides)
+
+
+@pytest.fixture(scope="module")
+def serial_studies() -> dict[str, Study]:
+    """One serial study per profile (plus the h2-only baseline)."""
+    return {
+        profile: Study.run(_config(profile))
+        for profile in ("none",) + PROFILES
+    }
+
+
+class TestExecutorIndependence:
+    @pytest.mark.parametrize("profile", PROFILES)
+    def test_thread_executor_matches_serial(self, serial_studies, profile):
+        with ThreadExecutor(4) as executor:
+            threaded = Study.run(_config(profile), executor=executor)
+        assert study_digest(threaded) == study_digest(
+            serial_studies[profile]
+        ), profile
+
+    @pytest.mark.parametrize("profile", PROFILES)
+    def test_process_executor_matches_serial(self, serial_studies, profile):
+        with ProcessExecutor(2) as executor:
+            processed = Study.run(_config(profile), executor=executor)
+        assert study_digest(processed) == study_digest(
+            serial_studies[profile]
+        ), profile
+
+
+class TestShardInvariance:
+    @pytest.mark.parametrize("profile", PROFILES)
+    @pytest.mark.parametrize("shards", _SHARD_COUNTS)
+    def test_digest_is_shard_count_invariant(self, serial_studies,
+                                             profile, shards):
+        sharded = Study.run(_config(profile, shards=shards))
+        assert study_digest(sharded) == study_digest(
+            serial_studies[profile]
+        ), (profile, shards)
+
+
+class TestProfilesPerturb:
+    def test_every_profile_diverges_from_baseline(self, serial_studies):
+        baseline = study_digest(serial_studies["none"])
+        for profile in PROFILES:
+            assert study_digest(serial_studies[profile]) != baseline, profile
+
+    def test_profiles_pairwise_distinct(self, serial_studies):
+        digests = {
+            profile: study_digest(serial_studies[profile])
+            for profile in PROFILES
+        }
+        assert len(set(digests.values())) == len(digests), digests
+
+    def test_rollout_produces_h3_connections(self, serial_studies):
+        for profile in PROFILES:
+            report = serial_studies[profile].datasets["alexa"].report
+            assert report.h3_connections > 0, profile
+
+    def test_baseline_stays_h2_only(self, serial_studies):
+        for dataset in serial_studies["none"].datasets.values():
+            assert dataset.report.h3_connections == 0
+
+
+class TestPinnedGoldens:
+    def test_empty_plan_reproduces_pinned_golden_digest(self, golden_study):
+        """h3 machinery off => zero behavioural drift.
+
+        ``digest.txt`` was captured before the h3 subsystem existed; a
+        study run through the fully h3-wired stack with the empty plan
+        must still hash to it, byte for byte.
+        """
+        pinned = (_GOLDEN_DIR / "digest.txt").read_text().strip()
+        assert golden_study.config.h3_profile == "none"
+        assert study_digest(golden_study) == pinned
+
+    def test_h3_golden_digest_pinned(self, h3_golden_study):
+        pinned = (_GOLDEN_DIR / "h3_digest.txt").read_text().strip()
+        assert study_digest(h3_golden_study) == pinned
+
+    def test_h3_golden_differs_from_clean(self, golden_study,
+                                          h3_golden_study):
+        assert study_digest(h3_golden_study) != study_digest(golden_study)
+
+    def test_h3_golden_upgrades_every_alexa_dataset(self, h3_golden_study):
+        for name in ("alexa", "alexa-nofetch"):
+            assert h3_golden_study.datasets[name].report.h3_connections > 0

@@ -1,0 +1,65 @@
+"""The ``repro h3`` analysis layer (:mod:`repro.analysis.h3`)."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis.h3 import h3_report
+
+pytestmark = pytest.mark.slow
+
+
+class TestH3Report:
+    def test_render_covers_every_section(self, golden_study,
+                                         h3_golden_study):
+        rendered = h3_report(golden_study, h3_golden_study).render()
+        assert "h3 profile 'broad'" in rendered
+        assert "Protocol split per dataset" in rendered
+        assert "Reuse impact per dataset" in rendered
+        assert "Attribution by protocol" in rendered
+        assert "Coalescing potential" in rendered
+        # The what-if table carries both runs.
+        assert "baseline" in rendered
+        assert "h3 (broad)" in rendered
+
+    def test_protocol_rows_show_the_split(self, golden_study,
+                                          h3_golden_study):
+        result = h3_report(golden_study, h3_golden_study)
+        rows = {row[0]: row for row in result.protocol_rows()}
+        alexa = rows["alexa"]
+        assert int(alexa[3]) > 0  # h3 connections under the rollout
+        # The h3 run's joint h2+h3 total stays in the same ballpark as
+        # the baseline's h2-only count (upgrades split, not inflate).
+        assert int(alexa[1]) > 0
+
+    def test_cause_rows_split_by_protocol(self, golden_study,
+                                          h3_golden_study):
+        result = h3_report(golden_study, h3_golden_study)
+        protocols = {row[1] for row in result.cause_rows()}
+        assert "h2" in protocols
+        assert "h3" in protocols
+
+    def test_whatif_rows_cover_both_runs(self, golden_study,
+                                         h3_golden_study):
+        rows = h3_report(golden_study, h3_golden_study).whatif_rows()
+        assert [row[0] for row in rows] == ["baseline", "h3 (broad)"]
+        for row in rows:
+            assert int(row[1]) > 0  # sites estimated
+
+
+class TestInputValidation:
+    def test_baseline_must_be_profile_none(self, h3_golden_study):
+        with pytest.raises(ValueError, match="expected 'none'"):
+            h3_report(h3_golden_study, h3_golden_study)
+
+    def test_configs_must_match_beyond_h3_profile(self, golden_study,
+                                                  h3_golden_study):
+        mismatched = replace(
+            h3_golden_study, config=replace(
+                h3_golden_study.config, n_sites=99
+            )
+        )
+        with pytest.raises(ValueError, match="differ beyond h3_profile"):
+            h3_report(golden_study, mismatched)

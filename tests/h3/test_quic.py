@@ -1,4 +1,10 @@
-"""Tests for alt-svc / QUIC handling (§4.2.2)."""
+"""Legacy alt-svc / QUIC semantics (§4.2.2), retired here from
+``tests/browser/test_quic.py`` when the h3 suite became its own tier.
+
+These pin the *pre-discovery* behaviour: ``BrowserConfig.disable_quic``
+gates the immediate first-contact upgrade, independently of the
+``h3_profile`` discovery dynamics exercised in ``test_discovery.py``.
+"""
 
 from __future__ import annotations
 

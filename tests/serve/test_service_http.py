@@ -5,9 +5,14 @@ from __future__ import annotations
 import http.client
 import json
 import threading
+from pathlib import Path
+
+import pytest
 
 from repro.analysis.digest import study_digest
 from repro.analysis.study import Study, StudyConfig
+
+_GOLDEN_DIR = Path(__file__).resolve().parents[1] / "golden"
 
 
 def _config_of(body: dict) -> StudyConfig:
@@ -101,6 +106,49 @@ class TestStudyEndpoint:
         connection.close()
         assert response.status == 400
         assert payload["error"] == "bad-json"
+
+
+class TestH3Profile:
+    def test_unknown_h3_profile_is_400_config_error(self, serve_handle):
+        status, payload = serve_handle.post("/v1/study", {
+            "schema": 1, "n_sites": 40, "h3_profile": "warp",
+        })
+        assert status == 400
+        assert payload["error"] == "bad-request"
+        fields = {entry["field"]: entry["message"]
+                  for entry in payload["fields"]}
+        assert "(config)" in fields
+        assert "warp" in fields["(config)"]
+
+    def test_h3_profile_sweeps_as_an_axis(self, serve_handle, small_body):
+        body = {
+            "schema": 1,
+            "base": {key: value for key, value in small_body.items()
+                     if key != "schema"},
+            "axes": {"h3_profile": ["none", "broad"]},
+        }
+        status, payload = serve_handle.post("/v1/sweep", body)
+        assert status == 200
+        assert payload["n_cells"] == 2
+        digests = [cell["digest"] for cell in payload["cells"]]
+        assert len(set(digests)) == 2  # the rollout moves the digest
+
+    @pytest.mark.slow
+    def test_sse_h3_broad_returns_pinned_golden_digest(self, serve_handle):
+        # The golden-scale config over HTTP must hash to the pinned h3
+        # digest, byte for byte — no serve-side knob leaks into the h3
+        # code paths any more than the clean ones.
+        events = serve_handle.post_sse("/v1/study", {
+            "schema": 1,
+            "seed": 7,
+            "n_sites": 120,
+            "dns_study_days": 0.25,
+            "h3_profile": "broad",
+        })
+        names = [name for name, _ in events]
+        assert names[-1] == "result"
+        pinned = (_GOLDEN_DIR / "h3_digest.txt").read_text().strip()
+        assert events[-1][1]["digest"] == pinned
 
 
 class TestSweepEndpoint:
